@@ -1,0 +1,61 @@
+// Ablation: full vs workload-tailored Fourier coefficient sets.
+//
+// Section 6.1 runs every fixed mechanism with the same Q across workloads,
+// which for Fourier means sampling all n characters. The original mechanism
+// of ref [12] would instead restrict to the characters a low-order marginal
+// workload needs (weight <= 3 for 3-way marginals). This bench quantifies
+// what that tailoring is worth — and shows the Optimized mechanism discovers
+// comparable (or better) structure automatically.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/factorization.h"
+#include "mechanisms/fourier.h"
+#include "mechanisms/optimized.h"
+#include "workload/marginals.h"
+#include "workload/parity.h"
+
+int main(int argc, char** argv) {
+  wfm::FlagParser flags(argc, argv);
+  const int n = flags.GetInt("n", 64);  // k = 6 attributes.
+  const std::vector<double> eps_list = flags.GetDoubleList("eps", {0.5, 1.0, 2.0});
+
+  wfm::bench::PrintHeader(
+      "Ablation: Fourier coefficient set (full vs weight-limited)",
+      "Section 6.1 footnote: one Q per mechanism across all workloads",
+      "n = " + std::to_string(n));
+
+  wfm::TablePrinter table({"workload", "eps", "Fourier (all coeffs)",
+                           "Fourier (weight<=3)", "tailoring gain",
+                           "Optimized"});
+  std::vector<std::unique_ptr<wfm::Workload>> workloads;
+  workloads.push_back(std::make_unique<wfm::KWayMarginalsWorkload>(n, 3));
+  workloads.push_back(std::make_unique<wfm::ParityWorkload>(n, 3));
+
+  for (const auto& workload : workloads) {
+    const wfm::WorkloadStats stats = wfm::WorkloadStats::From(*workload);
+    for (double eps : eps_list) {
+      const wfm::FourierMechanism full_fourier(n, eps, -1);
+      const wfm::FourierMechanism tailored(n, eps, 3);
+      const wfm::OptimizedMechanism optimized(
+          stats, eps, wfm::bench::BenchOptimizerConfig(flags));
+      const double sc_full =
+          full_fourier.Analyze(stats).SampleComplexity(wfm::bench::kAlpha);
+      const double sc_tailored =
+          tailored.Analyze(stats).SampleComplexity(wfm::bench::kAlpha);
+      const double sc_opt =
+          optimized.Analyze(stats).SampleComplexity(wfm::bench::kAlpha);
+      table.AddRow({workload->Name(), wfm::TablePrinter::Num(eps),
+                    wfm::TablePrinter::Num(sc_full),
+                    wfm::TablePrinter::Num(sc_tailored),
+                    wfm::TablePrinter::Num(sc_full / sc_tailored) + "x",
+                    wfm::TablePrinter::Num(sc_opt)});
+    }
+  }
+  table.Print();
+  std::printf("\nweight-limited Fourier concentrates budget on the needed "
+              "characters; the Optimized mechanism should match or beat the "
+              "hand-tailored variant without being told the structure\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation: how close do optimized strategies get to the Theorem 5.6 SVD
+// lower bound?
+//
+// The paper uses the bound to characterize workload hardness (Section 5.3)
+// and observes that workload hardness spans orders of magnitude (Section
+// 6.2). This bench reports, per workload and ε: the bound, the optimized
+// objective, their ratio, and the randomized-response objective for scale.
+// The bound is generally not tight (it relaxes the LDP polytope to a
+// diagonal constraint), so ratios well above 1 are expected — shrinking with
+// ε is the interesting shape.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/factorization.h"
+#include "core/lower_bound.h"
+#include "core/objective.h"
+#include "mechanisms/optimized.h"
+#include "mechanisms/randomized_response.h"
+#include "workload/workload.h"
+
+int main(int argc, char** argv) {
+  wfm::FlagParser flags(argc, argv);
+  const int n = flags.GetInt("n", 32);
+  const std::vector<double> eps_list = flags.GetDoubleList("eps", {0.5, 1.0, 2.0});
+
+  wfm::bench::PrintHeader(
+      "Ablation: optimized objective vs the SVD lower bound (Theorem 5.6)",
+      "bound used analytically in Section 5.3 / 6.2",
+      "n = " + std::to_string(n));
+
+  wfm::TablePrinter table({"workload", "eps", "SVD bound", "Optimized L(Q)",
+                           "ratio", "RR L(Q)"});
+  for (const auto& wname : wfm::StandardWorkloadNames()) {
+    const auto workload = wfm::CreateWorkload(wname, n);
+    const wfm::WorkloadStats stats = wfm::WorkloadStats::From(*workload);
+    for (double eps : eps_list) {
+      const double bound = wfm::ObjectiveLowerBound(stats.gram, eps);
+      const wfm::OptimizedMechanism mech(stats, eps,
+                                         wfm::bench::BenchOptimizerConfig(flags));
+      const double opt = mech.optimizer_result().objective;
+      const double rr = wfm::EvalObjective(
+          wfm::RandomizedResponseMechanism::BuildStrategy(n, eps), stats.gram);
+      table.AddRow({wname, wfm::TablePrinter::Num(eps),
+                    wfm::TablePrinter::Num(bound), wfm::TablePrinter::Num(opt),
+                    wfm::TablePrinter::Num(opt / bound),
+                    wfm::TablePrinter::Num(rr)});
+    }
+  }
+  table.Print();
+  std::printf("\nhardness ordering by bound should match Figure 1: Histogram "
+              "easiest, Parity hardest (factor ~n between them)\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared plumbing for the reproduction benches.
+//
+// Every bench regenerates one table or figure of the paper. Defaults are
+// scaled down so the whole suite finishes in minutes on a small container;
+// pass --full to run at the paper's sizes (documented per bench), and
+// --iters / --n / --eps to override individual knobs.
+
+#ifndef WFM_BENCH_BENCH_UTIL_H_
+#define WFM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/optimizer.h"
+
+namespace wfm {
+namespace bench {
+
+/// Paper's evaluation constant: sample complexity targets normalized
+/// variance alpha = 0.01 (Section 6.1).
+inline constexpr double kAlpha = 0.01;
+
+/// Optimizer budget for bench runs. `--iters` overrides; `--full` raises the
+/// default budget to paper-scale convergence.
+inline OptimizerConfig BenchOptimizerConfig(const FlagParser& flags) {
+  OptimizerConfig config;
+  const bool full = flags.GetBool("full", false);
+  config.iterations = flags.GetInt("iters", full ? 1200 : 300);
+  config.step_search_iterations = full ? 60 : 30;
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 7));
+  return config;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_setting,
+                        const std::string& this_run) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("  paper run : %s\n", paper_setting.c_str());
+  std::printf("  this run  : %s   (use --full and/or --n/--eps/--iters to scale up)\n",
+              this_run.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace bench
+}  // namespace wfm
+
+#endif  // WFM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,81 @@
+// Figure 3a: sample complexity on benchmark datasets (Prefix workload).
+//
+// Paper setting: HEPTH / MEDCOST / NETTRACE from DPBench plus the worst
+// case; Prefix workload, n = 512, ε = 1, α = 0.01.
+// Default here:  synthetic stand-ins of the same shape classes (DESIGN.md
+// §5), n = 128.
+//
+// Section 6.4 findings to reproduce:
+//   * every mechanism's data-dependent sample complexity is close to its
+//     worst case (the paper's largest deviation is 1.69x, for Hadamard);
+//   * the Optimized mechanism is the most consistent (deviation ~1.006x) and
+//     best on every dataset.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/factorization.h"
+#include "data/datasets.h"
+#include "mechanisms/optimized.h"
+#include "mechanisms/registry.h"
+#include "workload/workload.h"
+
+int main(int argc, char** argv) {
+  wfm::FlagParser flags(argc, argv);
+  const bool full = flags.GetBool("full", false);
+  const int n = flags.GetInt("n", full ? 512 : 128);
+  const double eps = flags.GetDouble("eps", 1.0);
+  const double num_users = flags.GetDouble("users", 1e6);
+  const std::string wname = flags.GetString("workload", "Prefix");
+
+  wfm::bench::PrintHeader(
+      "Figure 3a: sample complexity on benchmark datasets (" + wname + ")",
+      "DPBench HEPTH/MEDCOST/NETTRACE + worst case, n = 512, eps = 1",
+      "synthetic dataset stand-ins, n = " + std::to_string(n));
+
+  const auto workload = wfm::CreateWorkload(wname, n);
+  const wfm::WorkloadStats stats = wfm::WorkloadStats::From(*workload);
+
+  std::vector<wfm::Dataset> datasets;
+  for (const auto& dname : wfm::BenchmarkDatasetNames()) {
+    datasets.push_back(wfm::MakeSyntheticDataset(dname, n, num_users));
+  }
+
+  std::vector<std::string> header{"mechanism"};
+  for (const auto& d : datasets) header.push_back(d.name);
+  header.push_back("Worst-case");
+  header.push_back("max deviation");
+  wfm::TablePrinter table(header);
+
+  auto add_row = [&](const std::string& label, const wfm::ErrorProfile& profile) {
+    std::vector<std::string> row{label};
+    const double worst = profile.SampleComplexity(wfm::bench::kAlpha);
+    double min_sc = worst;
+    for (const auto& d : datasets) {
+      const double sc =
+          profile.SampleComplexityOnData(d.histogram, wfm::bench::kAlpha);
+      min_sc = std::min(min_sc, sc);
+      row.push_back(wfm::TablePrinter::Num(sc));
+    }
+    row.push_back(wfm::TablePrinter::Num(worst));
+    row.push_back(wfm::TablePrinter::Num(worst / min_sc) + "x");
+    table.AddRow(row);
+  };
+
+  for (const auto& mname : wfm::StandardBaselineNames()) {
+    const auto mech = wfm::CreateBaseline(mname, n, eps);
+    if (mech == nullptr) continue;
+    add_row(mname, mech->Analyze(stats));
+  }
+  const wfm::OptimizedMechanism optimized(stats, eps,
+                                          wfm::bench::BenchOptimizerConfig(flags));
+  add_row("Optimized", optimized.Analyze(stats));
+  table.Print();
+
+  std::printf("\npaper reports: mechanisms perform consistently across "
+              "datasets; worst-case is a tight proxy (Optimized deviation "
+              "1.006x at n = 512)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 3c: per-iteration time of strategy optimization vs domain size.
+//
+// Paper setting: n up to 4096, m = 4n, identity workload (the per-iteration
+// cost depends on WᵀW only through its size), 15 iterations averaged;
+// reports ~2.5 s at n = 1024, ~19 s at n = 2048, ~139 s at n = 4096 and an
+// overall O(n³) growth rate.
+// Default here:  n ∈ {64, 128, 256, 512}; pass --full for n up to 2048.
+//
+// Absolute times differ from the paper's hardware (and the paper's autodiff
+// implementation); the reproduction target is the O(n³) slope.
+
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/optimizer.h"
+#include "linalg/rng.h"
+
+int main(int argc, char** argv) {
+  wfm::FlagParser flags(argc, argv);
+  const bool full = flags.GetBool("full", false);
+  const std::vector<int> domains = flags.GetIntList(
+      "domains", full ? std::vector<int>{64, 128, 256, 512, 1024, 2048}
+                      : std::vector<int>{64, 128, 256, 512});
+  const int reps = flags.GetInt("reps", full ? 5 : 3);
+  const double eps = flags.GetDouble("eps", 1.0);
+
+  wfm::bench::PrintHeader(
+      "Figure 3c: per-iteration optimization time vs domain size (m = 4n)",
+      "n up to 4096, 15 iterations averaged, O(n^3) growth",
+      "n up to " + std::to_string(domains.back()) + ", " + std::to_string(reps) +
+          " iterations averaged");
+
+  wfm::TablePrinter table(
+      {"n", "m", "sec/iteration", "growth vs prev", "ideal n^3 growth"});
+  wfm::Rng rng(33);
+  double prev_time = 0.0;
+  int prev_n = 0;
+  std::vector<double> times;
+  for (int n : domains) {
+    // Per-iteration cost depends on WᵀW only through its size (paper §6.6),
+    // so the identity Gram suffices.
+    const wfm::Matrix gram = wfm::Matrix::Identity(n);
+    double total = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      total += wfm::TimeOneIteration(gram, eps, 4 * n, rng);
+    }
+    const double per_iter = total / reps;
+    times.push_back(per_iter);
+    std::vector<std::string> row{std::to_string(n), std::to_string(4 * n),
+                                 wfm::TablePrinter::Num(per_iter)};
+    if (prev_n > 0) {
+      row.push_back(wfm::TablePrinter::Num(per_iter / prev_time) + "x");
+      const double ideal = std::pow(static_cast<double>(n) / prev_n, 3);
+      row.push_back(wfm::TablePrinter::Num(ideal) + "x");
+    } else {
+      row.push_back("-");
+      row.push_back("-");
+    }
+    table.AddRow(row);
+    prev_time = per_iter;
+    prev_n = n;
+  }
+  table.Print();
+
+  const double slope = std::log(times.back() / times.front()) /
+                       std::log(static_cast<double>(domains.back()) /
+                                domains.front());
+  std::printf("\nmeasured log-log slope: %.2f (paper: ~3, i.e. O(n^3) "
+              "per-iteration complexity)\n", slope);
+  return 0;
+}

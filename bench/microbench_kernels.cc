@@ -1,0 +1,97 @@
+// Google-benchmark microbenchmarks for the numerical kernels on the
+// optimizer's critical path (Section 6.6 attributes the O(n²m + n³ +
+// nm log m) per-iteration cost to exactly these pieces).
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "core/objective.h"
+#include "core/optimizer.h"
+#include "core/projection.h"
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "linalg/rng.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace wfm {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = rng.NextDouble();
+  }
+  return m;
+}
+
+Matrix RandomSpd(int n, Rng& rng) {
+  Matrix b = RandomMatrix(n, n, rng);
+  Matrix a = MultiplyABT(b, b);
+  for (int i = 0; i < n; ++i) a(i, i) += 1.0;
+  return a;
+}
+
+void BM_MultiplyATB(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Matrix q = RandomMatrix(4 * n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiplyATB(q, q));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MultiplyATB)->RangeMultiplier(2)->Range(32, 256)->Complexity();
+
+void BM_Cholesky(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const Matrix a = RandomSpd(n, rng);
+  for (auto _ : state) {
+    Cholesky chol;
+    benchmark::DoNotOptimize(chol.Factorize(a));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Cholesky)->RangeMultiplier(2)->Range(32, 256)->Complexity();
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const Matrix a = RandomSpd(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SymmetricEigen(a));
+  }
+}
+BENCHMARK(BM_SymmetricEigen)->RangeMultiplier(2)->Range(16, 64);
+
+void BM_Projection(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = 4 * n;
+  Rng rng(4);
+  const Matrix r = RandomMatrix(m, n, rng);
+  const Vector z(m, (1.0 + std::exp(-1.0)) / (2.0 * m));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProjectOntoLdpPolytope(r, z, 1.0));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Projection)->RangeMultiplier(2)->Range(32, 256)->Complexity();
+
+void BM_ObjectiveAndGradient(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  Vector z;
+  const ProjectionResult init = RandomInitialStrategy(4 * n, n, 1.0, rng, &z);
+  const Matrix gram = Matrix::Identity(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalObjectiveAndGradient(init.q, gram));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ObjectiveAndGradient)->RangeMultiplier(2)->Range(32, 128)->Complexity();
+
+}  // namespace
+}  // namespace wfm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// CDF estimation over a numeric attribute — the Prefix workload scenario the
+// paper's introduction motivates (e.g. ages, latencies, spend buckets).
+//
+// An analyst wants the empirical CDF of a bucketized attribute under ε-LDP.
+// The Prefix workload encodes exactly those n cumulative queries. This
+// example compares the workload-optimized strategy against the fixed
+// baselines analytically (sample complexity, Corollary 5.4), then runs the
+// protocol once on a synthetic heavy-tailed population and prints the
+// estimated CDF with and without WNNLS consistency post-processing.
+//
+// Build & run:  ./build/examples/cdf_estimation [--n=64] [--eps=1.0]
+//               [--users=20000]
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/factorization.h"
+#include "data/datasets.h"
+#include "estimation/estimator.h"
+#include "ldp/protocol.h"
+#include "mechanisms/optimized.h"
+#include "mechanisms/registry.h"
+#include "workload/prefix.h"
+
+int main(int argc, char** argv) {
+  wfm::FlagParser flags(argc, argv);
+  const int n = flags.GetInt("n", 64);
+  const double eps = flags.GetDouble("eps", 1.0);
+  const double num_users = flags.GetInt("users", 20000);
+  const double alpha = 0.01;
+
+  wfm::PrefixWorkload workload(n);
+  const wfm::WorkloadStats stats = wfm::WorkloadStats::From(workload);
+
+  // --- Analytic comparison: how many users does each mechanism need? -----
+  std::printf("Sample complexity to reach normalized variance %.2f on the "
+              "Prefix workload (n = %d, eps = %.2f):\n\n", alpha, n, eps);
+  wfm::OptimizerConfig config;
+  config.iterations = 300;
+  config.seed = 3;
+  const wfm::OptimizedMechanism optimized(stats, eps, config);
+
+  wfm::TablePrinter table({"mechanism", "samples needed"});
+  for (const auto& name : wfm::StandardBaselineNames()) {
+    const auto mech = wfm::CreateBaseline(name, n, eps);
+    if (mech == nullptr) continue;
+    table.AddRow({name, wfm::TablePrinter::Num(
+                            mech->Analyze(stats).SampleComplexity(alpha))});
+  }
+  table.AddRow({"Optimized (this paper)",
+                wfm::TablePrinter::Num(optimized.Analyze(stats).SampleComplexity(alpha))});
+  table.Print();
+
+  // --- One protocol run on a heavy-tailed population ----------------------
+  const wfm::Dataset data = wfm::MakeSyntheticDataset("HEPTH", n, num_users);
+  const wfm::Vector truth = workload.Apply(data.histogram);
+
+  const wfm::FactorizationAnalysis analysis = optimized.AnalyzeFactorization(stats);
+  wfm::Rng rng(99);
+  const wfm::Vector y =
+      wfm::SimulateResponseHistogram(optimized.strategy(), data.histogram, rng);
+  const auto unbiased = wfm::EstimateWorkloadAnswers(
+      analysis, workload, y, wfm::EstimatorKind::kUnbiased);
+  const auto consistent = wfm::EstimateWorkloadAnswers(
+      analysis, workload, y, wfm::EstimatorKind::kWnnls);
+
+  std::printf("\nEstimated CDF (every 8th bucket of %d, N = %.0f users):\n\n", n,
+              num_users);
+  wfm::TablePrinter cdf({"bucket <=", "true CDF", "unbiased est", "WNNLS est"});
+  for (int i = 7; i < n; i += 8) {
+    cdf.AddRow({std::to_string(i), wfm::TablePrinter::Num(truth[i] / num_users),
+                wfm::TablePrinter::Num(unbiased.query_answers[i] / num_users),
+                wfm::TablePrinter::Num(consistent.query_answers[i] / num_users)});
+  }
+  cdf.Print();
+
+  double err_u = 0, err_c = 0;
+  for (int i = 0; i < n; ++i) {
+    err_u += std::pow(unbiased.query_answers[i] - truth[i], 2);
+    err_c += std::pow(consistent.query_answers[i] - truth[i], 2);
+  }
+  std::printf("\ntotal squared error: unbiased %.1f | WNNLS %.1f "
+              "(analytic expectation %.1f)\n",
+              err_u, err_c, analysis.DataVariance(data.histogram));
+  return 0;
+}

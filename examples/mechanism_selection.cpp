@@ -1,0 +1,101 @@
+// Mechanism selection for a custom analyst workload.
+//
+// The paper's Section 6.2 observation: the best fixed mechanism changes with
+// the workload and the privacy budget, so without workload adaptivity an
+// analyst must maintain a library of mechanisms and guess. This example
+// builds a bespoke workload — a weighted stack of the full CDF (Prefix) and
+// a handful of high-priority point queries — sweeps ε, prints the sample
+// complexity of every baseline, and shows that the single Optimized
+// mechanism tracks or beats the per-cell winner everywhere.
+//
+// Build & run:  ./build/examples/mechanism_selection [--n=32]
+//               [--eps=0.5,1,2,4]
+
+#include <cstdio>
+#include <memory>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/lower_bound.h"
+#include "mechanisms/optimized.h"
+#include "mechanisms/registry.h"
+#include "workload/dense_workload.h"
+#include "workload/histogram.h"
+#include "workload/prefix.h"
+
+int main(int argc, char** argv) {
+  wfm::FlagParser flags(argc, argv);
+  const int n = flags.GetInt("n", 32);
+  const std::vector<double> eps_list =
+      flags.GetDoubleList("eps", {0.5, 1.0, 2.0, 4.0});
+  const double alpha = 0.01;
+
+  // --- A bespoke workload -------------------------------------------------
+  // The analyst cares about the CDF, and 3x as much about three "alert"
+  // buckets watched by a dashboard.
+  wfm::Matrix alerts(3, n);
+  alerts(0, n / 4) = 1.0;
+  alerts(1, n / 2) = 1.0;
+  alerts(2, (3 * n) / 4) = 1.0;
+  auto prefix = std::make_shared<wfm::PrefixWorkload>(n);
+  auto alert_queries = std::make_shared<wfm::DenseWorkload>(alerts, "Alerts");
+  const wfm::StackedWorkload workload({prefix, alert_queries}, {1.0, 3.0},
+                                      "CDF+Alerts");
+  const wfm::WorkloadStats stats = wfm::WorkloadStats::From(workload);
+  std::printf("custom workload '%s': %lld queries over domain %d\n\n",
+              workload.Name().c_str(),
+              static_cast<long long>(workload.num_queries()), n);
+
+  // --- Sweep epsilon ------------------------------------------------------
+  std::vector<std::string> header{"mechanism"};
+  for (double eps : eps_list) header.push_back("eps=" + wfm::TablePrinter::Num(eps));
+  wfm::TablePrinter table(header);
+
+  std::vector<std::vector<double>> scores;  // Per mechanism, per eps.
+  std::vector<std::string> names = wfm::StandardBaselineNames();
+  for (const auto& name : names) {
+    std::vector<std::string> row{name};
+    std::vector<double> sc_row;
+    for (double eps : eps_list) {
+      const auto mech = wfm::CreateBaseline(name, n, eps);
+      if (mech == nullptr) {
+        row.push_back("n/a");
+        sc_row.push_back(1e300);
+        continue;
+      }
+      const double sc = mech->Analyze(stats).SampleComplexity(alpha);
+      row.push_back(wfm::TablePrinter::Num(sc));
+      sc_row.push_back(sc);
+    }
+    scores.push_back(sc_row);
+    table.AddRow(row);
+  }
+
+  std::vector<std::string> opt_row{"Optimized (this paper)"};
+  std::vector<double> opt_scores;
+  for (double eps : eps_list) {
+    wfm::OptimizerConfig config;
+    config.iterations = 300;
+    config.seed = 11;
+    const wfm::OptimizedMechanism optimized(stats, eps, config);
+    const double sc = optimized.Analyze(stats).SampleComplexity(alpha);
+    opt_row.push_back(wfm::TablePrinter::Num(sc));
+    opt_scores.push_back(sc);
+  }
+  table.AddRow(opt_row);
+  table.Print();
+
+  // --- Who would the analyst have had to pick? ----------------------------
+  std::printf("\nbest fixed baseline per privacy level:\n");
+  for (std::size_t e = 0; e < eps_list.size(); ++e) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < scores.size(); ++i) {
+      if (scores[i][e] < scores[best][e]) best = i;
+    }
+    std::printf("  eps=%-4g -> %-22s (Optimized is %.2fx better)\n", eps_list[e],
+                names[best].c_str(), scores[best][e] / opt_scores[e]);
+  }
+  std::printf("\nwith the workload-adaptive mechanism, one implementation "
+              "covers every cell of this table.\n");
+  return 0;
+}

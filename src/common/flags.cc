@@ -1,0 +1,104 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace wfm {
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+FlagParser::FlagParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) continue;
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      values_[arg] = argv[i + 1];
+      ++i;
+    } else {
+      values_[arg] = "true";  // Bare boolean flag.
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& def) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int FlagParser::GetInt(const std::string& name, int def) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::atoi(it->second.c_str());
+}
+
+double FlagParser::GetDouble(const std::string& name, double def) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::atof(it->second.c_str());
+}
+
+bool FlagParser::GetBool(const std::string& name, bool def) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<double> FlagParser::GetDoubleList(
+    const std::string& name, const std::vector<double>& def) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  std::vector<double> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::atof(item.c_str()));
+  }
+  return out;
+}
+
+std::vector<int> FlagParser::GetIntList(const std::string& name,
+                                        const std::vector<int>& def) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  std::vector<int> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::atoi(item.c_str()));
+  }
+  return out;
+}
+
+std::vector<std::string> FlagParser::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, _] : values_) {
+    if (queried_.count(name) == 0) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace wfm

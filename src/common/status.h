@@ -1,0 +1,92 @@
+// Lightweight Status / StatusOr for recoverable errors (file I/O, parsing).
+//
+// Programming errors use WFM_CHECK instead; Status is reserved for conditions
+// a correct caller can hit at runtime (missing file, malformed input).
+
+#ifndef WFM_COMMON_STATUS_H_
+#define WFM_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace wfm {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Result of a fallible operation: either OK or a code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or the Status explaining why it is absent.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}           // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {    // NOLINT(runtime/explicit)
+    WFM_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    WFM_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    WFM_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    WFM_CHECK(ok()) << status_.ToString();
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+// Aligned plain-text table output shared by the bench binaries.
+//
+// Every bench prints the same rows/series the paper reports; TablePrinter
+// keeps the formatting consistent and machine-greppable (TSV-ish).
+
+#ifndef WFM_COMMON_TABLE_PRINTER_H_
+#define WFM_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace wfm {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; the number of cells must match the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns to stdout.
+  void Print() const;
+
+  /// Formats a double in a compact scientific/fixed hybrid (4 significant digits).
+  static std::string Num(double v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_COMMON_TABLE_PRINTER_H_

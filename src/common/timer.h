@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the scalability bench (Figure 3c).
+
+#ifndef WFM_COMMON_TIMER_H_
+#define WFM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace wfm {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_COMMON_TIMER_H_

@@ -1,0 +1,131 @@
+#include "core/factorization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/pseudo_inverse.h"
+
+namespace wfm {
+
+WorkloadStats WorkloadStats::From(const Workload& w) {
+  WorkloadStats s;
+  s.n = w.domain_size();
+  s.p = w.num_queries();
+  s.gram = w.Gram();
+  s.frob_sq = w.FrobeniusNormSq();
+  s.name = w.Name();
+  return s;
+}
+
+FactorizationAnalysis::FactorizationAnalysis(Matrix q, const WorkloadStats& workload)
+    : q_(std::move(q)), workload_(workload) {
+  const int m = q_.rows();
+  const int n = q_.cols();
+  WFM_CHECK_EQ(n, workload_.n) << "strategy domain mismatch";
+  WFM_CHECK_EQ(workload_.gram.rows(), n);
+
+  // D⁻¹ with zero-mass rows treated as unused outputs.
+  Vector d = q_.RowSums();
+  Vector dinv(m);
+  for (int o = 0; o < m; ++o) {
+    dinv[o] = d[o] > 1e-300 ? 1.0 / d[o] : 0.0;
+  }
+
+  Matrix dq = q_;       // D⁻¹ Q.
+  ScaleRows(dq, dinv);
+  const Matrix a = MultiplyATB(q_, dq);  // A = Qᵀ D⁻¹ Q (n x n, PSD).
+
+  PsdSolver solver(a);
+
+  // Objective L(Q) = tr(A† G).
+  const Matrix x = solver.Solve(workload_.gram);
+  objective_ = x.Trace();
+
+  // B = A† Qᵀ D⁻¹ = A† (D⁻¹Q)ᵀ  (n x m).
+  b_ = solver.Solve(dq.Transpose());
+
+  // c_o = [Bᵀ G B]_oo: columnwise inner products of B with GB.
+  const Matrix gb = Multiply(workload_.gram, b_);  // n x m.
+  Vector c(m, 0.0);
+  for (int i = 0; i < workload_.n; ++i) {
+    const double* brow = b_.RowPtr(i);
+    const double* gbrow = gb.RowPtr(i);
+    for (int o = 0; o < m; ++o) c[o] += brow[o] * gbrow[o];
+  }
+
+  // P = B Q (n x n); psi_u = [Pᵀ G P]_uu.
+  const Matrix p = Multiply(b_, q_);
+  const Matrix gp = Multiply(workload_.gram, p);
+  Vector psi(workload_.n, 0.0);
+  for (int i = 0; i < workload_.n; ++i) {
+    const double* prow = p.RowPtr(i);
+    const double* gprow = gp.RowPtr(i);
+    for (int u = 0; u < workload_.n; ++u) psi[u] += prow[u] * gprow[u];
+  }
+
+  // phi_u = sum_o q_ou c_o - psi_u.
+  const Vector t = MultiplyTVec(q_, c);
+  phi_.resize(workload_.n);
+  for (int u = 0; u < workload_.n; ++u) {
+    // Guard round-off: variance contributions are non-negative by
+    // construction (covariance of a multinomial is PSD).
+    phi_[u] = std::max(0.0, t[u] - psi[u]);
+  }
+
+  // Factorization residual ||G(BQ) - G||_max / ||G||_max. Since null(G) =
+  // null(W), G(BQ) = G is equivalent to (WB)Q = W (see DESIGN.md). GP was
+  // already computed above.
+  double max_diff = 0.0;
+  for (int i = 0; i < workload_.n; ++i) {
+    for (int j = 0; j < workload_.n; ++j) {
+      max_diff = std::max(max_diff, std::abs(gp(i, j) - workload_.gram(i, j)));
+    }
+  }
+  const double gmax = workload_.gram.MaxAbs();
+  residual_ = gmax > 0 ? max_diff / gmax : max_diff;
+}
+
+double FactorizationAnalysis::DataVariance(const Vector& x) const {
+  WFM_CHECK_EQ(static_cast<int>(x.size()), workload_.n);
+  return Dot(x, phi_);
+}
+
+double FactorizationAnalysis::WorstCaseVariance(double num_users) const {
+  double max_phi = 0.0;
+  for (double v : phi_) max_phi = std::max(max_phi, v);
+  return num_users * max_phi;
+}
+
+double FactorizationAnalysis::AverageCaseVariance(double num_users) const {
+  return num_users / workload_.n * Sum(phi_);
+}
+
+double FactorizationAnalysis::SampleComplexity(double alpha) const {
+  WFM_CHECK_GT(alpha, 0.0);
+  double max_phi = 0.0;
+  for (double v : phi_) max_phi = std::max(max_phi, v);
+  return max_phi / (static_cast<double>(workload_.p) * alpha);
+}
+
+double FactorizationAnalysis::SampleComplexityOnData(const Vector& x,
+                                                     double alpha) const {
+  WFM_CHECK_GT(alpha, 0.0);
+  const double total = Sum(x);
+  WFM_CHECK_GT(total, 0.0);
+  // Thm 3.4 variance on the normalized data vector x/N.
+  const double mean_phi = DataVariance(x) / total;
+  return mean_phi / (static_cast<double>(workload_.p) * alpha);
+}
+
+Matrix FactorizationAnalysis::OptimalV(const Matrix& w_explicit) const {
+  WFM_CHECK_EQ(w_explicit.cols(), workload_.n);
+  return Multiply(w_explicit, b_);
+}
+
+Vector FactorizationAnalysis::EstimateDataVector(
+    const Vector& response_histogram) const {
+  WFM_CHECK_EQ(static_cast<int>(response_histogram.size()), q_.rows());
+  return MultiplyVec(b_, response_histogram);
+}
+
+}  // namespace wfm

@@ -1,0 +1,101 @@
+// Analysis of a workload factorization mechanism M_{V,Q} (Definition 3.2).
+//
+// Given a strategy matrix Q and a workload W (through its Gram matrix), this
+// module computes the optimal reconstruction of Theorem 3.10,
+//
+//   V = W (Qᵀ D_Q⁻¹ Q)† Qᵀ D_Q⁻¹  =:  W B,
+//
+// and every error quantity in the paper: exact data-dependent variance
+// (Theorem 3.4), worst-case and average-case variance (Corollaries 3.5/3.6),
+// the optimization objective L(Q) (Theorem 3.11) and sample complexity
+// (Corollary 5.4). Everything is expressed through G = WᵀW and the n x m
+// factor B so that tall workloads (AllRange: p = n(n+1)/2) are never
+// materialized:
+//
+//   per-user unit variance  phi_u = sum_o q_ou * c_o - ||V q_u||²
+//   with c_o = ||V e_o||² = [Bᵀ G B]_oo  and ||V q_u||² = (B q_u)ᵀ G (B q_u).
+
+#ifndef WFM_CORE_FACTORIZATION_H_
+#define WFM_CORE_FACTORIZATION_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "workload/workload.h"
+
+namespace wfm {
+
+/// Cached workload quantities consumed by the factorization math.
+struct WorkloadStats {
+  int n = 0;               ///< Domain size.
+  std::int64_t p = 0;      ///< Number of queries.
+  Matrix gram;             ///< G = WᵀW.
+  double frob_sq = 0.0;    ///< ||W||_F².
+  std::string name;
+
+  static WorkloadStats From(const Workload& w);
+};
+
+class FactorizationAnalysis {
+ public:
+  /// Builds the analysis. `q` must be column-stochastic and non-negative;
+  /// rows with zero mass are tolerated (treated as unused outputs).
+  FactorizationAnalysis(Matrix q, const WorkloadStats& workload);
+
+  int n() const { return workload_.n; }
+  int m() const { return q_.rows(); }
+  const Matrix& q() const { return q_; }
+  const WorkloadStats& workload() const { return workload_; }
+
+  /// Optimization objective L(Q) = tr[(Qᵀ D⁻¹ Q)† G] (Theorem 3.11).
+  double Objective() const { return objective_; }
+
+  /// Per-user variance contribution phi_u for one user of type u
+  /// (Theorem 3.4 with x = e_u).
+  const Vector& PerUserVariance() const { return phi_; }
+
+  /// Exact total variance on a data vector (Theorem 3.4).
+  double DataVariance(const Vector& x) const;
+
+  /// Worst-case variance for N users (Corollary 3.5).
+  double WorstCaseVariance(double num_users) const;
+
+  /// Average-case variance for N users (Corollary 3.6).
+  double AverageCaseVariance(double num_users) const;
+
+  /// Samples to reach normalized variance alpha in the worst case
+  /// (Corollary 5.4 with p workload queries).
+  double SampleComplexity(double alpha) const;
+
+  /// Samples to reach normalized variance alpha on a concrete dataset
+  /// (Section 6.4: worst case replaced with the Thm 3.4 expression on the
+  /// normalized data vector).
+  double SampleComplexityOnData(const Vector& x, double alpha) const;
+
+  /// Reconstruction factor B (n x m): V = W B, and the unbiased data-vector
+  /// estimate from a response histogram y is x_hat = B y.
+  const Matrix& ReconstructionB() const { return b_; }
+
+  /// Explicit V = W B for workloads small enough to materialize.
+  Matrix OptimalV(const Matrix& w_explicit) const;
+
+  /// Unbiased estimate of the data vector from the response histogram.
+  Vector EstimateDataVector(const Vector& response_histogram) const;
+
+  /// Relative residual of the factorization constraint W = (WB)Q, measured
+  /// Gram-side as ||G B Q - G||_max / ||G||_max. Large values mean W is not
+  /// in the row space of Q and the mechanism is biased.
+  double FactorizationResidual() const { return residual_; }
+
+ private:
+  Matrix q_;
+  WorkloadStats workload_;
+  Matrix b_;          // n x m.
+  Vector phi_;        // Per-user unit variance.
+  double objective_ = 0.0;
+  double residual_ = 0.0;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_CORE_FACTORIZATION_H_

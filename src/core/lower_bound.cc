@@ -1,0 +1,32 @@
+#include "core/lower_bound.h"
+
+#include <cmath>
+
+#include "linalg/symmetric_eigen.h"
+
+namespace wfm {
+
+double ObjectiveLowerBound(const Matrix& gram, double eps) {
+  const Vector sv = SingularValuesFromGram(gram);
+  const double nuclear = Sum(sv);
+  return nuclear * nuclear / std::exp(eps);
+}
+
+double WorstCaseVarianceLowerBound(const Matrix& gram, double frob_sq,
+                                   double eps, double num_users) {
+  const int n = gram.rows();
+  const Vector sv = SingularValuesFromGram(gram);
+  const double nuclear = Sum(sv);
+  return num_users / n * (nuclear * nuclear / std::exp(eps) - frob_sq);
+}
+
+double SampleComplexityLowerBound(const Matrix& gram, double frob_sq,
+                                  double eps, std::int64_t p, double alpha) {
+  // Cor 5.4 links worst-case variance L_worst = N * max_u phi_u to the
+  // samples needed: N >= max_u phi_u / (p alpha). Cor 5.7 lower-bounds
+  // N * max_u phi_u; dividing through by N gives the bound on max_u phi_u.
+  const double per_user = WorstCaseVarianceLowerBound(gram, frob_sq, eps, 1.0);
+  return per_user / (static_cast<double>(p) * alpha);
+}
+
+}  // namespace wfm

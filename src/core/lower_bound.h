@@ -1,0 +1,31 @@
+// Theorem 5.6 / Corollary 5.7: spectral lower bounds on the error of any
+// workload factorization mechanism, computable from the singular values of W
+// (equivalently the eigenvalues of the Gram matrix).
+
+#ifndef WFM_CORE_LOWER_BOUND_H_
+#define WFM_CORE_LOWER_BOUND_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+
+namespace wfm {
+
+/// Theorem 5.6: (λ₁ + ... + λ_n)² / e^ε <= L(Q) for every ε-LDP strategy Q,
+/// where λ_i are the singular values of W.
+double ObjectiveLowerBound(const Matrix& gram, double eps);
+
+/// Corollary 5.7: lower bound on worst-case variance for N users,
+///   N/(n e^ε) (Σλ)² − (N/n)‖W‖_F².
+double WorstCaseVarianceLowerBound(const Matrix& gram, double frob_sq,
+                                   double eps, double num_users);
+
+/// Lower bound on the sample complexity at normalized variance alpha (the
+/// Cor 5.4 / Cor 5.7 combination used in Example 5.8), for a workload with
+/// p queries. May be non-positive for easy workloads at large ε.
+double SampleComplexityLowerBound(const Matrix& gram, double frob_sq,
+                                  double eps, std::int64_t p, double alpha);
+
+}  // namespace wfm
+
+#endif  // WFM_CORE_LOWER_BOUND_H_

@@ -1,0 +1,107 @@
+#include "core/objective.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/cholesky.h"
+#include "linalg/pseudo_inverse.h"
+
+namespace wfm {
+namespace {
+
+struct Prepared {
+  Vector dinv;   // 1/d with 0 for zero-mass rows.
+  Matrix a;      // Qᵀ D⁻¹ Q.
+};
+
+Prepared Prepare(const Matrix& q) {
+  Prepared p;
+  const Vector d = q.RowSums();
+  p.dinv.resize(d.size());
+  for (std::size_t o = 0; o < d.size(); ++o) {
+    p.dinv[o] = d[o] > 1e-300 ? 1.0 / d[o] : 0.0;
+  }
+  Matrix dq = q;
+  ScaleRows(dq, p.dinv);
+  p.a = MultiplyATB(q, dq);
+  return p;
+}
+
+/// On the pseudo-inverse path A is rank deficient; the objective is finite
+/// only if range(G) ⊆ range(A) (equivalently W = W Q†Q holds). Otherwise the
+/// strategy cannot answer part of the workload at all: the true objective is
+/// +infinity, and reporting the truncated trace instead would reward the
+/// optimizer for diving into the rank-deficient boundary (the paper relies
+/// on the objective blowing up there).
+bool RangeCovered(const Matrix& a, const Matrix& x_pinv_g, const Matrix& gram) {
+  const Matrix ax = Multiply(a, x_pinv_g);
+  const double scale = std::max(1.0, gram.MaxAbs());
+  return (ax - gram).MaxAbs() <= 1e-6 * scale;
+}
+
+}  // namespace
+
+ObjectiveEvaluation EvalObjectiveAndGradient(const Matrix& q, const Matrix& gram) {
+  WFM_CHECK_EQ(q.cols(), gram.rows());
+  const int m = q.rows();
+  const int n = q.cols();
+  const Prepared prep = Prepare(q);
+
+  ObjectiveEvaluation out;
+
+  // X = A† G and S = A† G A†. On the Cholesky path two triangular solves; on
+  // the fallback path two products with the spectral pseudo-inverse.
+  Matrix x_mat, s_mat;
+  Cholesky chol;
+  if (chol.Factorize(prep.a)) {
+    x_mat = chol.Solve(gram);                 // A⁻¹ G.
+    s_mat = chol.Solve(x_mat.Transpose());    // A⁻¹ (GA⁻¹) = A⁻¹GA⁻¹.
+    out.used_cholesky = true;
+  } else {
+    const Matrix pinv = SymmetricPseudoInverse(prep.a);
+    x_mat = Multiply(pinv, gram);
+    out.used_cholesky = false;
+    if (!RangeCovered(prep.a, x_mat, gram)) {
+      out.value = std::numeric_limits<double>::infinity();
+      out.gradient = Matrix(m, n);
+      return out;
+    }
+    s_mat = Multiply(x_mat, pinv);            // A†G A†.
+  }
+  out.value = x_mat.Trace();
+
+  // QS (m x n) drives both gradient terms.
+  const Matrix qs = Multiply(q, s_mat);
+  out.gradient = Matrix(m, n);
+  for (int o = 0; o < m; ++o) {
+    const double* qs_row = qs.RowPtr(o);
+    const double* q_row = q.RowPtr(o);
+    double* g_row = out.gradient.RowPtr(o);
+    const double dinv_o = prep.dinv[o];
+    // h_o = (QS · Q)_o / d_o² — the row-wise inner product.
+    double h = 0.0;
+    for (int u = 0; u < n; ++u) h += qs_row[u] * q_row[u];
+    h *= dinv_o * dinv_o;
+    for (int u = 0; u < n; ++u) {
+      g_row[u] = -2.0 * dinv_o * qs_row[u] + h;
+    }
+  }
+  return out;
+}
+
+double EvalObjective(const Matrix& q, const Matrix& gram) {
+  WFM_CHECK_EQ(q.cols(), gram.rows());
+  const Prepared prep = Prepare(q);
+  Cholesky chol;
+  if (chol.Factorize(prep.a)) {
+    return chol.Solve(gram).Trace();
+  }
+  const Matrix pinv = SymmetricPseudoInverse(prep.a);
+  const Matrix x_mat = Multiply(pinv, gram);
+  if (!RangeCovered(prep.a, x_mat, gram)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return x_mat.Trace();
+}
+
+}  // namespace wfm

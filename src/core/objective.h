@@ -1,0 +1,34 @@
+// Optimization objective L(Q) = tr[(Qᵀ D_Q⁻¹ Q)† (WᵀW)] (Theorem 3.11) and
+// its analytic gradient — the per-iteration hot path of Algorithm 2.
+//
+// Derivation (DESIGN.md §6): with d = Q1, D = Diag(d), A = Qᵀ D⁻¹ Q,
+// G = WᵀW and S = A⁻¹ G A⁻¹,
+//
+//   ∇_Q L = -2 D⁻¹ Q S + h 1ᵀ,   h_o = [Q S Qᵀ]_oo / d_o².
+//
+// The positive-definite path costs one Cholesky factorization plus O(n²m)
+// products per evaluation — the O(n²m + n³) the paper reports. A spectral
+// pseudo-inverse fallback handles (rare) rank deficiency.
+
+#ifndef WFM_CORE_OBJECTIVE_H_
+#define WFM_CORE_OBJECTIVE_H_
+
+#include "linalg/matrix.h"
+
+namespace wfm {
+
+struct ObjectiveEvaluation {
+  double value = 0.0;
+  Matrix gradient;          ///< m x n, same shape as Q.
+  bool used_cholesky = true;
+};
+
+/// Value + gradient. `gram` is the workload Gram matrix G = WᵀW.
+ObjectiveEvaluation EvalObjectiveAndGradient(const Matrix& q, const Matrix& gram);
+
+/// Value only (cheaper: skips S and the gradient products).
+double EvalObjective(const Matrix& q, const Matrix& gram);
+
+}  // namespace wfm
+
+#endif  // WFM_CORE_OBJECTIVE_H_

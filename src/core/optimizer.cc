@@ -1,0 +1,286 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/timer.h"
+#include "core/objective.h"
+
+namespace wfm {
+namespace {
+
+/// ∇_z L via the chain rule through q_u = clip(r_u + λ_u, z, e^ε z) at the
+/// recorded clipping pattern (DESIGN.md §6). For column u with free set F:
+///   ∂q_ou/∂z_o   = s_o                  (o clipped; s_o = 1 lower, e^ε upper)
+///   ∂λ_u /∂z_o   = -s_o / |F|           (o clipped)
+///   ∂q_o'u/∂z_o  = ∂λ_u/∂z_o            (o' free)
+/// so (∇_z)_o = Σ_u s_o [o clipped] (g_ou - mean_{o'∈F} g_o'u).
+Vector BackpropZGradient(const Matrix& q_grad, const ProjectionResult& proj,
+                         double eps) {
+  const int m = q_grad.rows();
+  const int n = q_grad.cols();
+  const double scale_up = std::exp(eps);
+  Vector gz(m, 0.0);
+
+  for (int u = 0; u < n; ++u) {
+    double free_sum = 0.0;
+    int free_count = 0;
+    for (int o = 0; o < m; ++o) {
+      if (proj.state(o, u) == ClipState::kFree) {
+        free_sum += q_grad(o, u);
+        ++free_count;
+      }
+    }
+    const double free_mean = free_count > 0 ? free_sum / free_count : 0.0;
+    for (int o = 0; o < m; ++o) {
+      const ClipState st = proj.state(o, u);
+      if (st == ClipState::kFree) continue;
+      const double s = st == ClipState::kAtLower ? 1.0 : scale_up;
+      gz[o] += s * (q_grad(o, u) - free_mean);
+    }
+  }
+  return gz;
+}
+
+/// Keeps z inside the projection's feasibility region
+/// Σz <= 1 <= e^ε Σz with a small margin (DESIGN.md §6).
+void RepairZFeasibility(Vector& z, double eps, int m) {
+  for (double& v : z) v = std::min(std::max(v, 0.0), 1.0);
+  const double kLowMargin = 0.98;   // Σz must stay below this.
+  const double kHighMargin = 1.02;  // e^ε Σz must stay above this.
+  double s = Sum(z);
+  if (s > kLowMargin) {
+    const double f = kLowMargin / s;
+    for (double& v : z) v *= f;
+    s = kLowMargin;
+  }
+  if (std::exp(eps) * s < kHighMargin) {
+    if (s <= 0.0) {
+      // Degenerate: reset to the canonical initialization.
+      const double init = (1.0 + std::exp(-eps)) / (2.0 * m);
+      z.assign(m, init);
+      return;
+    }
+    const double f = kHighMargin / (std::exp(eps) * s);
+    for (double& v : z) v = std::min(v * f, 1.0);
+    if (std::exp(eps) * Sum(z) < 1.0) {
+      const double init = (1.0 + std::exp(-eps)) / (2.0 * m);
+      z.assign(m, init);
+    }
+  }
+}
+
+struct RunResult {
+  Matrix q;
+  Vector z;
+  double objective;
+  double initial_objective;
+  std::vector<double> history;
+  int cholesky_failures = 0;
+};
+
+/// One full PGD run. Starts from `initial` (strategy + z) if provided,
+/// otherwise from a fresh random initialization with m rows.
+struct InitialPoint {
+  Matrix q;
+  Vector z;
+};
+
+RunResult RunOnce(const Matrix& gram, double eps, const OptimizerConfig& config,
+                  int m, double step, int iterations, Rng& rng,
+                  bool record_history, const InitialPoint* initial = nullptr) {
+  const int n = gram.rows();
+  RunResult run;
+  Vector z;
+  ProjectionResult proj;
+  if (initial != nullptr) {
+    z = initial->z;
+    m = initial->q.rows();
+    // Re-projecting the seed records its clipping pattern for ∇_z.
+    proj = ProjectOntoLdpPolytope(initial->q, z, eps);
+  } else {
+    proj = RandomInitialStrategy(m, n, eps, rng, &z);
+  }
+
+  ObjectiveEvaluation eval = EvalObjectiveAndGradient(proj.q, gram);
+  run.initial_objective = eval.value;
+  run.q = proj.q;
+  run.z = z;
+  run.objective = eval.value;
+
+  const double alpha_ratio = 1.0 / (n * std::exp(eps));  // α = β/(n e^ε).
+  double beta = step;
+
+  for (int t = 0; t < iterations; ++t) {
+    if (!eval.used_cholesky) ++run.cholesky_failures;
+
+    // z step with backprop through the previous projection.
+    const Vector gz = BackpropZGradient(eval.gradient, proj, eps);
+    for (int o = 0; o < m; ++o) z[o] -= beta * alpha_ratio * gz[o];
+    RepairZFeasibility(z, eps, m);
+
+    // Q step + projection.
+    Matrix r = proj.q;
+    for (int o = 0; o < m; ++o) {
+      double* rrow = r.RowPtr(o);
+      const double* grow = eval.gradient.RowPtr(o);
+      for (int u = 0; u < n; ++u) rrow[u] -= beta * grow[u];
+    }
+    proj = ProjectOntoLdpPolytope(r, z, eps);
+
+    eval = EvalObjectiveAndGradient(proj.q, gram);
+    if (!std::isfinite(eval.value)) {
+      // Step too aggressive: halve and restart from the best iterate.
+      beta *= 0.5;
+      proj.q = run.q;
+      std::fill(proj.pattern.begin(), proj.pattern.end(), ClipState::kFree);
+      eval = EvalObjectiveAndGradient(proj.q, gram);
+      continue;
+    }
+    if (eval.value < run.objective) {
+      run.objective = eval.value;
+      run.q = proj.q;
+      run.z = z;
+    }
+    if (record_history) run.history.push_back(eval.value);
+    beta *= config.step_decay;
+  }
+  return run;
+}
+
+}  // namespace
+
+ProjectionResult RandomInitialStrategy(int m, int n, double eps, Rng& rng,
+                                       Vector* z_out) {
+  WFM_CHECK_GT(m, 0);
+  WFM_CHECK_GT(n, 0);
+  Matrix r(m, n);
+  for (int o = 0; o < m; ++o) {
+    double* row = r.RowPtr(o);
+    for (int u = 0; u < n; ++u) row[u] = rng.NextDouble();
+  }
+  // Paper: z = (1+e^{-ε})/(8n) with m = 4n; equivalently (1+e^{-ε})/(2m),
+  // which keeps Σz = (1+e^{-ε})/2 ∈ [1/2, 1] for any m.
+  Vector z(m, (1.0 + std::exp(-eps)) / (2.0 * m));
+  ProjectionResult proj = ProjectOntoLdpPolytope(r, z, eps);
+  if (z_out != nullptr) *z_out = std::move(z);
+  return proj;
+}
+
+OptimizerResult OptimizeStrategy(const Matrix& gram, double eps,
+                                 const OptimizerConfig& config) {
+  WFM_CHECK_EQ(gram.rows(), gram.cols());
+  WFM_CHECK_GT(eps, 0.0);
+  const int n = gram.rows();
+  const int m = config.strategy_rows > 0 ? config.strategy_rows : 4 * n;
+  WFM_CHECK_GE(m, n) << "strategy must have at least n rows to span the workload";
+
+  Rng rng(config.seed);
+
+  // Normalize step candidates by the RMS gradient magnitude at a fresh
+  // initialization so the candidates are problem-scale free.
+  double grad_rms = 1.0;
+  {
+    Rng probe = rng.Fork();
+    ProjectionResult proj = RandomInitialStrategy(m, n, eps, probe, nullptr);
+    ObjectiveEvaluation eval = EvalObjectiveAndGradient(proj.q, gram);
+    grad_rms = std::sqrt(eval.gradient.FrobeniusNormSq() /
+                         (static_cast<double>(m) * n));
+    if (!(grad_rms > 0.0) || !std::isfinite(grad_rms)) grad_rms = 1.0;
+  }
+
+  double step = config.step_size;
+  if (step <= 0.0) {
+    double best_obj = std::numeric_limits<double>::infinity();
+    Rng search_rng = rng.Fork();
+    for (double candidate : config.step_candidates) {
+      Rng trial_rng = search_rng;  // Same seed for all candidates.
+      const double beta = candidate / grad_rms;
+      RunResult run = RunOnce(gram, eps, config, m, beta,
+                              config.step_search_iterations, trial_rng,
+                              /*record_history=*/false);
+      if (config.verbose) {
+        std::printf("  [step search] candidate %.1e -> objective %.6g\n",
+                    candidate, run.objective);
+      }
+      if (std::isfinite(run.objective) && run.objective < best_obj) {
+        best_obj = run.objective;
+        step = beta;
+      }
+    }
+    if (step <= 0.0) {
+      // Every candidate hit a degenerate initialization (possible at tiny m);
+      // fall back to the most conservative candidate.
+      step = config.step_candidates.front() / grad_rms;
+    }
+  }
+
+  OptimizerResult out;
+  out.step_size_used = step;
+  out.objective = std::numeric_limits<double>::infinity();
+  auto consider = [&](RunResult run, const char* label, int index) {
+    if (config.verbose) {
+      std::printf("  [%s %d] objective %.6g (initial %.6g)\n", label, index,
+                  run.objective, run.initial_objective);
+    }
+    if (run.objective < out.objective) {
+      out.objective = run.objective;
+      out.q = std::move(run.q);
+      out.z = std::move(run.z);
+      out.initial_objective = run.initial_objective;
+      out.history = std::move(run.history);
+      out.cholesky_failures = run.cholesky_failures;
+    }
+  };
+
+  WFM_CHECK(config.restarts > 0 || !config.seed_strategies.empty())
+      << "need at least one random restart or seed strategy";
+  for (int restart = 0; restart < config.restarts; ++restart) {
+    Rng run_rng = rng.Fork();
+    consider(RunOnce(gram, eps, config, m, step, config.iterations, run_rng,
+                     /*record_history=*/true),
+             "restart", restart);
+  }
+
+  // Warm-started runs from caller-provided seed strategies (Section 4's
+  // "initialize with an existing mechanism" option). For a valid ε-LDP seed,
+  // z = row minima automatically satisfies both projection feasibility
+  // conditions: sum_o min_u Q_ou <= sum_o Q_ou = 1 and
+  // e^ε sum_o z_o >= sum_o Q_ou = 1.
+  for (std::size_t i = 0; i < config.seed_strategies.size(); ++i) {
+    const Matrix& seed_q = config.seed_strategies[i];
+    WFM_CHECK_EQ(seed_q.cols(), n) << "seed strategy domain mismatch";
+    InitialPoint init;
+    init.q = seed_q;
+    init.z.resize(seed_q.rows());
+    for (int o = 0; o < seed_q.rows(); ++o) {
+      double lo = seed_q(o, 0);
+      for (int u = 1; u < n; ++u) lo = std::min(lo, seed_q(o, u));
+      init.z[o] = std::max(0.0, lo);
+    }
+    Rng run_rng = rng.Fork();
+    consider(RunOnce(gram, eps, config, m, step, config.iterations, run_rng,
+                     /*record_history=*/true, &init),
+             "seed", static_cast<int>(i));
+  }
+  return out;
+}
+
+double TimeOneIteration(const Matrix& gram, double eps, int m, Rng& rng) {
+  const int n = gram.rows();
+  Vector z;
+  ProjectionResult proj = RandomInitialStrategy(m, n, eps, rng, &z);
+  Stopwatch timer;
+  ObjectiveEvaluation eval = EvalObjectiveAndGradient(proj.q, gram);
+  Matrix r = proj.q;
+  r -= eval.gradient;  // Unit step; magnitude is irrelevant for timing.
+  ProjectionResult next = ProjectOntoLdpPolytope(r, z, eps);
+  // Touch the output so the work cannot be elided.
+  volatile double sink = next.q(0, 0) + eval.value;
+  (void)sink;
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace wfm

@@ -1,0 +1,81 @@
+// Algorithm 2: projected gradient descent over (Q, z) for Problem 3.12.
+//
+//   α = β / (n e^ε)
+//   repeat T times:
+//     z ← clip(z − α ∇_z L(Q), 0, 1)      (+ feasibility repair, DESIGN.md §6)
+//     Q ← Π_{z,ε}(Q − β ∇_Q L(Q))
+//
+// ∇_z L is obtained by back-propagating ∇_Q L through the clipping pattern
+// of the most recent projection. Initialization follows the paper: a random
+// U[0,1] matrix with m = 4n rows projected onto the constraint set, and
+// z = (1+e^{−ε})/(2m) · 1. The step size is found with a short hyper-
+// parameter search (the paper does the same), and the best-objective iterate
+// is returned — no privacy budget is consumed by any of this because the
+// objective is evaluated analytically.
+
+#ifndef WFM_CORE_OPTIMIZER_H_
+#define WFM_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/projection.h"
+#include "linalg/matrix.h"
+#include "linalg/rng.h"
+
+namespace wfm {
+
+struct OptimizerConfig {
+  /// Number of strategy rows m; 0 means the paper's default m = 4n.
+  int strategy_rows = 0;
+  /// Gradient iterations for the main run.
+  int iterations = 400;
+  /// Relative step-size multiplier candidates for the search phase; the
+  /// effective step is candidate / (RMS of the initial gradient).
+  std::vector<double> step_candidates = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2};
+  /// Iterations per candidate in the search phase.
+  int step_search_iterations = 40;
+  /// Fixed step size; nonzero skips the search phase.
+  double step_size = 0.0;
+  /// Multiplicative per-iteration step decay (1 = constant).
+  double step_decay = 1.0;
+  /// Independent random restarts; the best strategy wins. May be 0 when
+  /// seed_strategies is non-empty (warm-start-only runs).
+  int restarts = 1;
+  /// Additional warm-start strategies (e.g. the Table 1 baselines). Each
+  /// seed gets its own PGD run starting from the seed with z set to its row
+  /// minima; because the best-so-far iterate is tracked, the result is never
+  /// worse (in objective) than the best seed. This is the initialization
+  /// option the paper discusses in Section 4; OptimizedMechanism fills it
+  /// with the standard baselines by default.
+  std::vector<Matrix> seed_strategies;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct OptimizerResult {
+  Matrix q;                     ///< Best strategy found (feasible).
+  Vector z;                     ///< Final row lower bounds.
+  double objective = 0.0;       ///< L(Q) of the best strategy.
+  double initial_objective = 0.0;
+  std::vector<double> history;  ///< Objective after each iteration (last restart).
+  double step_size_used = 0.0;
+  int cholesky_failures = 0;    ///< Iterations that needed the pinv fallback.
+};
+
+/// Runs Algorithm 2 on the workload Gram matrix. `eps` is the privacy budget.
+OptimizerResult OptimizeStrategy(const Matrix& gram, double eps,
+                                 const OptimizerConfig& config = {});
+
+/// Draws the paper's random initialization: Q = Π_{z,ε}(U[0,1]^{m x n}) with
+/// z = (1+e^{−ε})/(2m)·1. Exposed for tests and the Figure 3c bench.
+ProjectionResult RandomInitialStrategy(int m, int n, double eps, Rng& rng,
+                                       Vector* z_out);
+
+/// One objective+gradient evaluation plus one projection at the given shape,
+/// used by the Figure 3c scalability bench to time a single iteration.
+double TimeOneIteration(const Matrix& gram, double eps, int m, Rng& rng);
+
+}  // namespace wfm
+
+#endif  // WFM_CORE_OPTIMIZER_H_

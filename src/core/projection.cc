@@ -1,0 +1,175 @@
+#include "core/projection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wfm {
+namespace {
+
+struct Breakpoint {
+  double lambda;
+  int index;
+  bool activate;  // true: entry leaves its lower bound; false: reaches upper.
+};
+
+/// Finds λ for one column. `r` is the column of R, bounds are [z, ub].
+/// Returns λ such that Σ clip(r + λ, z, ub) = 1 (within float tolerance).
+double SolveLambda(const double* r, const Vector& z, const Vector& ub,
+                   std::vector<Breakpoint>& scratch) {
+  const int m = static_cast<int>(z.size());
+  scratch.clear();
+  scratch.reserve(2 * m);
+  for (int o = 0; o < m; ++o) {
+    scratch.push_back({z[o] - r[o], o, true});
+    scratch.push_back({ub[o] - r[o], o, false});
+  }
+  std::sort(scratch.begin(), scratch.end(),
+            [](const Breakpoint& a, const Breakpoint& b) {
+              if (a.lambda != b.lambda) return a.lambda < b.lambda;
+              // Activate before deactivate so zero-width intervals
+              // (z_o == ub_o) pass through harmlessly.
+              return a.activate && !b.activate;
+            });
+
+  // f(λ) = base + free_r_sum + free_count * λ, starting with every entry at
+  // its lower bound.
+  double base = 0.0;
+  for (int o = 0; o < m; ++o) base += z[o];
+  double free_r_sum = 0.0;
+  int free_count = 0;
+
+  double prev_lambda = -std::numeric_limits<double>::infinity();
+  for (const Breakpoint& bp : scratch) {
+    // Try to solve inside the segment [prev_lambda, bp.lambda).
+    if (free_count > 0 && bp.lambda > prev_lambda) {
+      const double lambda = (1.0 - base - free_r_sum) / free_count;
+      if (lambda >= prev_lambda - 1e-12 && lambda <= bp.lambda + 1e-12) {
+        return lambda;
+      }
+    } else if (free_count == 0) {
+      // Flat segment; if f already equals 1 any λ here works.
+      if (std::abs(base - 1.0) <= 1e-12) return bp.lambda;
+    }
+    // Apply the event.
+    if (bp.activate) {
+      base -= z[bp.index];
+      free_r_sum += r[bp.index];
+      ++free_count;
+    } else {
+      base += ub[bp.index];
+      free_r_sum -= r[bp.index];
+      --free_count;
+    }
+    prev_lambda = bp.lambda;
+  }
+  // Past the last breakpoint every entry sits at its upper bound; the
+  // equation is solvable only if Σ ub >= 1, which feasibility guarantees.
+  // Return the final lambda (everything clipped high).
+  return prev_lambda;
+}
+
+/// Σ_o clip(r_o + λ, z_o, ub_o).
+double ClippedSum(const double* r, const Vector& z, const Vector& ub,
+                  double lambda) {
+  double s = 0.0;
+  for (std::size_t o = 0; o < z.size(); ++o) {
+    s += std::min(std::max(r[o] + lambda, z[o]), ub[o]);
+  }
+  return s;
+}
+
+/// Robust wrapper: runs the O(m log m) sweep, then verifies the column sum
+/// and polishes with bisection if round-off pushed it off target. The sweep
+/// is exact in exact arithmetic; bisection only fires on pathological float
+/// cancellation.
+double SolveLambdaRobust(const double* r, const Vector& z, const Vector& ub,
+                         std::vector<Breakpoint>& scratch) {
+  double lambda = SolveLambda(r, z, ub, scratch);
+  double f = ClippedSum(r, z, ub, lambda);
+  if (std::abs(f - 1.0) <= 1e-9) return lambda;
+
+  // Bracket the root: f is nondecreasing in lambda.
+  double lo = lambda, hi = lambda;
+  double step = 1.0;
+  while (ClippedSum(r, z, ub, lo) > 1.0 && step < 1e18) {
+    lo -= step;
+    step *= 2.0;
+  }
+  step = 1.0;
+  while (ClippedSum(r, z, ub, hi) < 1.0 && step < 1e18) {
+    hi += step;
+    step *= 2.0;
+  }
+  for (int it = 0; it < 200 && hi - lo > 1e-15 * std::max(1.0, std::abs(hi));
+       ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (ClippedSum(r, z, ub, mid) < 1.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+bool ProjectionFeasible(const Vector& z, double eps, double tol) {
+  double sum = 0.0;
+  for (double v : z) {
+    if (v < -tol) return false;
+    sum += v;
+  }
+  return sum <= 1.0 + tol && std::exp(eps) * sum >= 1.0 - tol;
+}
+
+ProjectionResult ProjectOntoLdpPolytope(const Matrix& r, const Vector& z,
+                                        double eps) {
+  const int m = r.rows();
+  const int n = r.cols();
+  WFM_CHECK_EQ(static_cast<int>(z.size()), m);
+  WFM_CHECK(ProjectionFeasible(z, eps))
+      << "infeasible z: sum =" << Sum(z) << ", e^eps*sum =" << std::exp(eps) * Sum(z);
+
+  const double scale = std::exp(eps);
+  Vector ub(m);
+  for (int o = 0; o < m; ++o) ub[o] = scale * std::max(z[o], 0.0);
+  Vector zlo(m);
+  for (int o = 0; o < m; ++o) zlo[o] = std::max(z[o], 0.0);
+
+  ProjectionResult out;
+  out.q = Matrix(m, n);
+  out.pattern.assign(static_cast<std::size_t>(m) * n, ClipState::kFree);
+
+  // Work column-by-column on a transposed copy for contiguous access.
+  const Matrix rt = r.Transpose();  // n x m.
+  std::vector<Breakpoint> scratch;
+  for (int u = 0; u < n; ++u) {
+    const double* col = rt.RowPtr(u);
+    const double lambda = SolveLambdaRobust(col, zlo, ub, scratch);
+    for (int o = 0; o < m; ++o) {
+      const double raw = col[o] + lambda;
+      double val = raw;
+      ClipState state = ClipState::kFree;
+      if (raw <= zlo[o]) {
+        val = zlo[o];
+        state = ClipState::kAtLower;
+      } else if (raw >= ub[o]) {
+        val = ub[o];
+        state = ClipState::kAtUpper;
+      }
+      out.q(o, u) = val;
+      out.pattern[static_cast<std::size_t>(o) * n + u] = state;
+    }
+  }
+  return out;
+}
+
+Vector ProjectColumn(const Vector& r, const Vector& z, double eps) {
+  ProjectionResult res =
+      ProjectOntoLdpPolytope(Matrix::RowVector(r).Transpose(), z, eps);
+  return res.q.Col(0);
+}
+
+}  // namespace wfm

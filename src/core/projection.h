@@ -1,0 +1,58 @@
+// Algorithm 1: Euclidean projection onto the bounded probability simplex
+// (Problem 4.1). Given an arbitrary matrix R, a row lower-bound vector z and
+// privacy budget ε, each column u is mapped to
+//
+//   q_u = clip(r_u + λ_u 1, z, e^ε z)
+//
+// with the scalar λ_u chosen so that 1ᵀ q_u = 1. The map t ↦ Σ_o clip(r_o +
+// t, z_o, e^ε z_o) is piecewise linear and non-decreasing, so λ_u is found
+// exactly with one sort of the 2m clip breakpoints per column — O(m log m),
+// as in the paper.
+//
+// The projection also records which entries ended at their lower/upper
+// bounds; the optimizer back-propagates ∇_Q L through this clipping pattern
+// to obtain ∇_z L (Algorithm 2).
+
+#ifndef WFM_CORE_PROJECTION_H_
+#define WFM_CORE_PROJECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace wfm {
+
+enum class ClipState : std::uint8_t {
+  kFree = 0,
+  kAtLower = 1,
+  kAtUpper = 2,
+};
+
+struct ProjectionResult {
+  Matrix q;
+  /// Row-major m x n pattern aligned with q.
+  std::vector<ClipState> pattern;
+
+  ClipState state(int o, int u) const {
+    return pattern[static_cast<std::size_t>(o) * q.cols() + u];
+  }
+};
+
+/// Feasibility of the column constraint set {q : z <= q <= e^ε z, 1ᵀq = 1}:
+/// requires Σ z <= 1 <= e^ε Σ z.
+bool ProjectionFeasible(const Vector& z, double eps, double tol = 1e-9);
+
+/// Projects every column of `r` onto the bounded simplex. CHECK-fails if the
+/// constraint set is empty (see ProjectionFeasible); the optimizer maintains
+/// feasibility of z between iterations.
+ProjectionResult ProjectOntoLdpPolytope(const Matrix& r, const Vector& z,
+                                        double eps);
+
+/// Single-column variant used by tests: returns clip(r + λ, z, e^ε z) with
+/// 1ᵀ result = 1.
+Vector ProjectColumn(const Vector& r, const Vector& z, double eps);
+
+}  // namespace wfm
+
+#endif  // WFM_CORE_PROJECTION_H_

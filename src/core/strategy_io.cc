@@ -1,0 +1,64 @@
+#include "core/strategy_io.h"
+
+#include <fstream>
+
+#include "core/strategy.h"
+#include "linalg/matrix_io.h"
+
+namespace wfm {
+namespace {
+
+constexpr char kHeader[] = "WFMSTRAT01";
+
+}  // namespace
+
+Status SaveStrategy(const std::string& path, const SavedStrategy& strategy) {
+  const StrategyValidation v =
+      ValidateStrategy(strategy.q, strategy.epsilon, /*tol=*/1e-6);
+  WFM_CHECK(v.valid) << "refusing to persist an invalid strategy:" << v.ToString();
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out << kHeader << '\n'
+      << strategy.epsilon << '\n'
+      << strategy.workload_name << '\n';
+  out.close();
+  return SaveMatrixBinary(path + ".q", strategy.q);
+}
+
+StatusOr<SavedStrategy> LoadStrategy(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::string header;
+  SavedStrategy strategy;
+  if (!std::getline(in, header) || header != kHeader) {
+    return Status::InvalidArgument("bad strategy header in " + path);
+  }
+  std::string eps_line;
+  if (!std::getline(in, eps_line)) {
+    return Status::InvalidArgument("missing epsilon in " + path);
+  }
+  try {
+    strategy.epsilon = std::stod(eps_line);
+  } catch (...) {
+    return Status::InvalidArgument("malformed epsilon in " + path);
+  }
+  if (!std::getline(in, strategy.workload_name)) {
+    return Status::InvalidArgument("missing workload name in " + path);
+  }
+
+  StatusOr<Matrix> q = LoadMatrixBinary(path + ".q");
+  if (!q.ok()) return q.status();
+  strategy.q = std::move(q).value();
+
+  const StrategyValidation v =
+      ValidateStrategy(strategy.q, strategy.epsilon, /*tol=*/1e-6);
+  if (!v.valid) {
+    return Status::InvalidArgument("file does not contain a valid " +
+                                   std::to_string(strategy.epsilon) +
+                                   "-LDP strategy: " + v.ToString());
+  }
+  return strategy;
+}
+
+}  // namespace wfm

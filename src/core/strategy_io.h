@@ -1,0 +1,37 @@
+// Strategy persistence for the offline/online deployment split.
+//
+// Strategy optimization is a one-time offline cost (paper §6.6): the server
+// optimizes Q for its workload, persists it, and ships it to clients; the
+// online path only loads the file and samples responses. The file carries
+// the strategy matrix, the privacy budget it was optimized for, and the
+// target workload name; loading re-validates the ε-LDP constraints so a
+// corrupted or tampered file cannot silently weaken the privacy guarantee.
+
+#ifndef WFM_CORE_STRATEGY_IO_H_
+#define WFM_CORE_STRATEGY_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace wfm {
+
+struct SavedStrategy {
+  Matrix q;
+  double epsilon = 0.0;
+  std::string workload_name;
+};
+
+/// Writes the strategy plus metadata. CHECK-fails if `strategy.q` does not
+/// satisfy Proposition 2.6 at `strategy.epsilon` (never persist an invalid
+/// mechanism).
+Status SaveStrategy(const std::string& path, const SavedStrategy& strategy);
+
+/// Loads and re-validates. Returns InvalidArgument if the file's matrix is
+/// not a valid ε-LDP strategy for the recorded budget.
+StatusOr<SavedStrategy> LoadStrategy(const std::string& path);
+
+}  // namespace wfm
+
+#endif  // WFM_CORE_STRATEGY_IO_H_

@@ -1,0 +1,23 @@
+#include "estimation/estimator.h"
+
+namespace wfm {
+
+WorkloadEstimate EstimateWorkloadAnswers(const FactorizationAnalysis& analysis,
+                                         const Workload& workload,
+                                         const Vector& response_histogram,
+                                         EstimatorKind kind) {
+  WFM_CHECK_EQ(workload.domain_size(), analysis.n());
+  WorkloadEstimate out;
+  switch (kind) {
+    case EstimatorKind::kUnbiased:
+      out.data_vector = analysis.EstimateDataVector(response_histogram);
+      break;
+    case EstimatorKind::kWnnls:
+      out.data_vector = WnnlsEstimate(analysis, response_histogram).x;
+      break;
+  }
+  out.query_answers = workload.Apply(out.data_vector);
+  return out;
+}
+
+}  // namespace wfm

@@ -1,0 +1,32 @@
+// End-to-end estimation pipeline: response histogram -> data-vector estimate
+// -> workload answers. Bundles the unbiased path (V y = W (B y)) and the
+// consistent WNNLS path behind one call used by the examples and Figure 4.
+
+#ifndef WFM_ESTIMATION_ESTIMATOR_H_
+#define WFM_ESTIMATION_ESTIMATOR_H_
+
+#include "core/factorization.h"
+#include "estimation/wnnls.h"
+#include "workload/workload.h"
+
+namespace wfm {
+
+enum class EstimatorKind {
+  kUnbiased,   ///< x_hat = B y; estimates may be negative/inconsistent.
+  kWnnls,      ///< Appendix A: non-negative least squares post-processing.
+};
+
+struct WorkloadEstimate {
+  Vector data_vector;      ///< Estimated x_hat.
+  Vector query_answers;    ///< W x_hat.
+};
+
+/// Produces workload answers from an aggregated response histogram.
+WorkloadEstimate EstimateWorkloadAnswers(const FactorizationAnalysis& analysis,
+                                         const Workload& workload,
+                                         const Vector& response_histogram,
+                                         EstimatorKind kind);
+
+}  // namespace wfm
+
+#endif  // WFM_ESTIMATION_ESTIMATOR_H_

@@ -1,0 +1,131 @@
+#include "estimation/wnnls.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wfm {
+namespace {
+
+/// Largest eigenvalue of a PSD matrix by power iteration (Lipschitz constant
+/// of the gradient is 2 lambda_max(G)).
+double LargestEigenvalue(const Matrix& g, int iterations = 100) {
+  const int n = g.rows();
+  Vector v(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  double lambda = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    Vector gv = MultiplyVec(g, v);
+    const double norm = std::sqrt(NormSq(gv));
+    if (norm <= 0.0) return 0.0;
+    for (int i = 0; i < n; ++i) v[i] = gv[i] / norm;
+    lambda = norm;
+  }
+  return lambda;
+}
+
+double Objective(const Matrix& g, const Vector& r, const Vector& x) {
+  const Vector gx = MultiplyVec(g, x);
+  return Dot(x, gx) - 2.0 * Dot(r, x);
+}
+
+/// max_i violation of the KKT conditions for min_{x>=0} f(x):
+/// grad_i >= -tol when x_i == 0 and |grad_i| <= tol when x_i > 0.
+double KktResidual(const Vector& x, const Vector& grad) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0) {
+      worst = std::max(worst, std::abs(grad[i]));
+    } else {
+      worst = std::max(worst, std::max(0.0, -grad[i]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+WnnlsResult SolveWnnlsFromGram(const Matrix& gram, const Vector& rhs,
+                               const WnnlsOptions& options,
+                               const Vector* warm_start) {
+  const int n = gram.rows();
+  WFM_CHECK_EQ(gram.cols(), n);
+  WFM_CHECK_EQ(static_cast<int>(rhs.size()), n);
+
+  const double lip = 2.0 * LargestEigenvalue(gram);
+  WnnlsResult result;
+  if (lip <= 0.0) {
+    // G = 0: any non-negative x is optimal.
+    result.x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+  const double step = 1.0 / lip;
+
+  Vector x(n, 0.0);
+  if (warm_start != nullptr) {
+    WFM_CHECK_EQ(warm_start->size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) x[i] = std::max(0.0, (*warm_start)[i]);
+  }
+  Vector momentum = x;  // FISTA extrapolation point.
+  double t_prev = 1.0;
+
+  // Tolerance scaled to the problem: gradient entries are O(||r||_inf).
+  const double tol = options.tolerance * std::max(1.0, MaxAbsVec(rhs));
+
+  Vector x_prev = x;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // Gradient step at the extrapolated point.
+    Vector grad = MultiplyVec(gram, momentum);
+    for (int i = 0; i < n; ++i) grad[i] = 2.0 * (grad[i] - rhs[i]);
+    Vector x_next(n);
+    for (int i = 0; i < n; ++i) {
+      x_next[i] = std::max(0.0, momentum[i] - step * grad[i]);
+    }
+
+    // Adaptive restart (O'Donoghue & Candès): drop momentum when it points
+    // against the descent direction.
+    double restart_test = 0.0;
+    for (int i = 0; i < n; ++i) {
+      restart_test += (momentum[i] - x_next[i]) * (x_next[i] - x[i]);
+    }
+    double t_next;
+    if (restart_test > 0.0) {
+      t_next = 1.0;
+      momentum = x_next;
+    } else {
+      t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t_prev * t_prev));
+      const double gamma = (t_prev - 1.0) / t_next;
+      momentum.resize(n);
+      for (int i = 0; i < n; ++i) {
+        momentum[i] = x_next[i] + gamma * (x_next[i] - x[i]);
+      }
+    }
+    x_prev = x;
+    x = x_next;
+    t_prev = t_next;
+    result.iterations = it + 1;
+
+    // Check KKT at x every few iterations (gradient at x, not momentum).
+    if ((it & 15) == 0 || it + 1 == options.max_iterations) {
+      Vector gx = MultiplyVec(gram, x);
+      for (int i = 0; i < n; ++i) gx[i] = 2.0 * (gx[i] - rhs[i]);
+      result.kkt_residual = KktResidual(x, gx);
+      if (result.kkt_residual <= tol) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  result.x = x;
+  result.objective = Objective(gram, rhs, x);
+  return result;
+}
+
+WnnlsResult WnnlsEstimate(const FactorizationAnalysis& analysis,
+                          const Vector& response_histogram,
+                          const WnnlsOptions& options) {
+  const Vector unbiased = analysis.EstimateDataVector(response_histogram);
+  const Vector rhs = MultiplyVec(analysis.workload().gram, unbiased);
+  return SolveWnnlsFromGram(analysis.workload().gram, rhs, options, &unbiased);
+}
+
+}  // namespace wfm

@@ -1,0 +1,53 @@
+// Workload non-negative least squares (WNNLS; Remark 1 / Appendix A /
+// Section 6.7): post-process the unbiased estimate V y into consistent
+// workload answers by solving
+//
+//   x_hat = argmin_{x >= 0} || W x - V y ||²
+//
+// and answering W x_hat. The quadratic depends on W only through the Gram
+// matrix: f(x) = xᵀ G x - 2 rᵀ x + const with r = Wᵀ(V y) = G (B y), so the
+// solver is Gram-based like everything else.
+//
+// The paper uses scipy's L-BFGS-B here; we implement FISTA (accelerated
+// projected gradient with adaptive restart) with the KKT conditions
+//   x >= 0,  g = 2(Gx - r) >= 0 (componentwise, up to tol),  x ∘ g = 0
+// as the convergence certificate. Both are first-order methods for the same
+// strongly convex problem and converge to the same unique-on-range solution.
+
+#ifndef WFM_ESTIMATION_WNNLS_H_
+#define WFM_ESTIMATION_WNNLS_H_
+
+#include "core/factorization.h"
+#include "linalg/matrix.h"
+
+namespace wfm {
+
+struct WnnlsOptions {
+  int max_iterations = 3000;
+  /// KKT tolerance relative to the gradient scale.
+  double tolerance = 1e-8;
+};
+
+struct WnnlsResult {
+  Vector x;               ///< Non-negative estimate of the data vector.
+  int iterations = 0;
+  bool converged = false;
+  double objective = 0.0;  ///< xᵀGx - 2rᵀx at the solution.
+  double kkt_residual = 0.0;
+};
+
+/// Solves min_{x>=0} xᵀ G x - 2 rᵀ x. `warm_start` (optional) seeds the
+/// iteration, e.g. with the clipped unbiased estimate.
+WnnlsResult SolveWnnlsFromGram(const Matrix& gram, const Vector& rhs,
+                               const WnnlsOptions& options = {},
+                               const Vector* warm_start = nullptr);
+
+/// Convenience: consistent data-vector estimate from a response histogram,
+/// r = G (B y), warm-started at clip(B y, 0, inf).
+WnnlsResult WnnlsEstimate(const FactorizationAnalysis& analysis,
+                          const Vector& response_histogram,
+                          const WnnlsOptions& options = {});
+
+}  // namespace wfm
+
+#endif  // WFM_ESTIMATION_WNNLS_H_

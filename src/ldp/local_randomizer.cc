@@ -1,0 +1,17 @@
+#include "ldp/local_randomizer.h"
+
+namespace wfm {
+
+LocalRandomizer::LocalRandomizer(const Matrix& q) : num_outputs_(q.rows()) {
+  samplers_.reserve(q.cols());
+  for (int u = 0; u < q.cols(); ++u) {
+    samplers_.emplace_back(q.Col(u));
+  }
+}
+
+int LocalRandomizer::Respond(int user_type, Rng& rng) const {
+  WFM_CHECK(user_type >= 0 && user_type < num_types());
+  return samplers_[user_type].Sample(rng);
+}
+
+}  // namespace wfm

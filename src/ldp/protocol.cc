@@ -1,0 +1,48 @@
+#include "ldp/protocol.h"
+
+#include <cmath>
+
+#include "linalg/samplers.h"
+
+namespace wfm {
+
+ResponseAggregator::ResponseAggregator(int num_outputs)
+    : histogram_(num_outputs, 0.0) {
+  WFM_CHECK_GT(num_outputs, 0);
+}
+
+void ResponseAggregator::Add(int response) {
+  WFM_CHECK(response >= 0 && response < static_cast<int>(histogram_.size()));
+  histogram_[response] += 1.0;
+  ++count_;
+}
+
+Vector SimulateResponseHistogram(const Matrix& q, const Vector& x, Rng& rng) {
+  WFM_CHECK_EQ(q.cols(), static_cast<int>(x.size()));
+  Vector y(q.rows(), 0.0);
+  for (int u = 0; u < q.cols(); ++u) {
+    const std::int64_t count = std::llround(x[u]);
+    WFM_CHECK_GE(count, 0) << "data vector entries must be non-negative counts";
+    if (count == 0) continue;
+    const std::vector<std::int64_t> draws =
+        SampleMultinomial(rng, count, q.Col(u));
+    for (int o = 0; o < q.rows(); ++o) y[o] += static_cast<double>(draws[o]);
+  }
+  return y;
+}
+
+Vector SimulateResponseHistogramPerUser(const Matrix& q, const Vector& x,
+                                        Rng& rng) {
+  const LocalRandomizer randomizer(q);
+  ResponseAggregator aggregator(q.rows());
+  for (int u = 0; u < q.cols(); ++u) {
+    const std::int64_t count = std::llround(x[u]);
+    WFM_CHECK_GE(count, 0);
+    for (std::int64_t j = 0; j < count; ++j) {
+      aggregator.Add(randomizer.Respond(u, rng));
+    }
+  }
+  return aggregator.histogram();
+}
+
+}  // namespace wfm

@@ -1,0 +1,52 @@
+// Server-side aggregation and end-to-end protocol simulation.
+//
+// A deployment looks like:
+//   1. the analyst optimizes (or picks) a strategy Q offline;
+//   2. each user runs LocalRandomizer::Respond on their type;
+//   3. the server aggregates responses into the histogram y (this file);
+//   4. the server reconstructs: x_hat = B y (unbiased, Theorem 3.10) or the
+//      WNNLS consistent estimate (Appendix A), then answers W x_hat.
+//
+// For experiments, SimulateResponseHistogram draws the aggregate directly:
+// users of one type are exchangeable, so their response counts are a
+// multinomial draw — equivalent in distribution to looping over users, but
+// O(n * m) instead of O(N).
+
+#ifndef WFM_LDP_PROTOCOL_H_
+#define WFM_LDP_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "core/factorization.h"
+#include "ldp/local_randomizer.h"
+#include "linalg/matrix.h"
+#include "linalg/rng.h"
+
+namespace wfm {
+
+/// Streaming collector for randomized responses.
+class ResponseAggregator {
+ public:
+  explicit ResponseAggregator(int num_outputs);
+
+  void Add(int response);
+  const Vector& histogram() const { return histogram_; }
+  std::int64_t num_responses() const { return count_; }
+
+ private:
+  Vector histogram_;
+  std::int64_t count_ = 0;
+};
+
+/// Draws the response histogram y = M_Q(x) exactly, one multinomial per user
+/// type. Entries of x must be non-negative integers (counts).
+Vector SimulateResponseHistogram(const Matrix& q, const Vector& x, Rng& rng);
+
+/// Reference implementation that loops over individual users through
+/// LocalRandomizer; distributionally identical to SimulateResponseHistogram
+/// (used in tests and examples).
+Vector SimulateResponseHistogramPerUser(const Matrix& q, const Vector& x, Rng& rng);
+
+}  // namespace wfm
+
+#endif  // WFM_LDP_PROTOCOL_H_

@@ -1,0 +1,103 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace wfm {
+
+bool Cholesky::Factorize(const Matrix& a, double rel_tol) {
+  WFM_CHECK_EQ(a.rows(), a.cols());
+  const int n = a.rows();
+  l_ = a;
+  ok_ = false;
+
+  double max_diag = 0.0;
+  for (int i = 0; i < n; ++i) max_diag = std::max(max_diag, std::abs(a(i, i)));
+  const double tol = std::max(rel_tol * max_diag, 0.0);
+
+  for (int j = 0; j < n; ++j) {
+    double* lj = l_.RowPtr(j);
+    double d = lj[j];
+    for (int k = 0; k < j; ++k) d -= lj[k] * lj[k];
+    if (!(d > tol)) return false;  // Also rejects NaN.
+    const double ljj = std::sqrt(d);
+    lj[j] = ljj;
+    const double inv = 1.0 / ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double* li = l_.RowPtr(i);
+      double s = li[j];
+      for (int k = 0; k < j; ++k) s -= li[k] * lj[k];
+      li[j] = s * inv;
+    }
+  }
+  // Zero the strict upper triangle so lower() is a clean factor.
+  for (int i = 0; i < n; ++i) {
+    double* li = l_.RowPtr(i);
+    for (int j = i + 1; j < n; ++j) li[j] = 0.0;
+  }
+  ok_ = true;
+  return true;
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  WFM_CHECK(ok_);
+  const int n = l_.rows();
+  WFM_CHECK_EQ(static_cast<int>(b.size()), n);
+  Vector y(b);
+  // Forward: L y = b.
+  for (int i = 0; i < n; ++i) {
+    const double* li = l_.RowPtr(i);
+    double s = y[i];
+    for (int k = 0; k < i; ++k) s -= li[k] * y[k];
+    y[i] = s / li[i];
+  }
+  // Backward: Lᵀ x = y.
+  for (int i = n - 1; i >= 0; --i) {
+    double s = y[i];
+    for (int k = i + 1; k < n; ++k) s -= l_(k, i) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  return y;
+}
+
+Matrix Cholesky::Solve(const Matrix& b) const {
+  WFM_CHECK(ok_);
+  const int n = l_.rows();
+  WFM_CHECK_EQ(b.rows(), n);
+  const int k_cols = b.cols();
+  Matrix x(b);
+  // Forward substitution on all columns simultaneously (row-major friendly).
+  for (int i = 0; i < n; ++i) {
+    const double* li = l_.RowPtr(i);
+    double* xi = x.RowPtr(i);
+    for (int k = 0; k < i; ++k) {
+      const double lik = li[k];
+      if (lik == 0.0) continue;
+      const double* xk = x.RowPtr(k);
+      for (int c = 0; c < k_cols; ++c) xi[c] -= lik * xk[c];
+    }
+    const double inv = 1.0 / li[i];
+    for (int c = 0; c < k_cols; ++c) xi[c] *= inv;
+  }
+  // Backward substitution.
+  for (int i = n - 1; i >= 0; --i) {
+    double* xi = x.RowPtr(i);
+    for (int k = i + 1; k < n; ++k) {
+      const double lki = l_(k, i);
+      if (lki == 0.0) continue;
+      const double* xk = x.RowPtr(k);
+      for (int c = 0; c < k_cols; ++c) xi[c] -= lki * xk[c];
+    }
+    const double inv = 1.0 / l_(i, i);
+    for (int c = 0; c < k_cols; ++c) xi[c] *= inv;
+  }
+  return x;
+}
+
+double Cholesky::LogDet() const {
+  WFM_CHECK(ok_);
+  double s = 0.0;
+  for (int i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace wfm

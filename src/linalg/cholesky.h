@@ -1,0 +1,41 @@
+// Cholesky (LLᵀ) factorization of symmetric positive definite matrices.
+//
+// This is the hot path of the strategy optimizer: the Gram-like matrix
+// A = Qᵀ D_Q⁻¹ Q stays positive definite on the optimizer's trajectory
+// (see DESIGN.md §6), so L(Q) = tr[A⁻¹ G] and its gradient are computed with
+// one factorization and triangular solves per iteration. Callers fall back
+// to the eigenvalue pseudo-inverse when Factorize reports failure.
+
+#ifndef WFM_LINALG_CHOLESKY_H_
+#define WFM_LINALG_CHOLESKY_H_
+
+#include "linalg/matrix.h"
+
+namespace wfm {
+
+class Cholesky {
+ public:
+  /// Attempts to factor the symmetric matrix `a` as L Lᵀ. Returns false if a
+  /// pivot drops below `rel_tol` times the largest diagonal entry (the matrix
+  /// is numerically semi-definite or indefinite); the object is then unusable.
+  bool Factorize(const Matrix& a, double rel_tol = 1e-12);
+
+  bool ok() const { return ok_; }
+  const Matrix& lower() const { return l_; }
+
+  /// Solves A x = b.
+  Vector Solve(const Vector& b) const;
+  /// Solves A X = B column-wise (B is n x k).
+  Matrix Solve(const Matrix& b) const;
+
+  /// log(det(A)) from the factor diagonals (used in tests/diagnostics).
+  double LogDet() const;
+
+ private:
+  Matrix l_;
+  bool ok_ = false;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_LINALG_CHOLESKY_H_

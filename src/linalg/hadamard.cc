@@ -1,0 +1,41 @@
+#include "linalg/hadamard.h"
+
+namespace wfm {
+
+int NextPowerOfTwo(int x) {
+  WFM_CHECK_GE(x, 1);
+  int p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+Matrix HadamardMatrix(int k) {
+  WFM_CHECK_GT(k, 0);
+  WFM_CHECK((k & (k - 1)) == 0) << "Hadamard size must be a power of two, got" << k;
+  Matrix h(k, k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      h(i, j) = HadamardEntry(static_cast<std::uint32_t>(i),
+                              static_cast<std::uint32_t>(j));
+    }
+  }
+  return h;
+}
+
+void FastWalshHadamardTransform(Vector& data) {
+  const std::size_t n = data.size();
+  WFM_CHECK(n > 0 && (n & (n - 1)) == 0)
+      << "FWHT size must be a power of two, got" << n;
+  for (std::size_t len = 1; len < n; len <<= 1) {
+    for (std::size_t base = 0; base < n; base += len << 1) {
+      for (std::size_t i = base; i < base + len; ++i) {
+        const double a = data[i];
+        const double b = data[i + len];
+        data[i] = a + b;
+        data[i + len] = a - b;
+      }
+    }
+  }
+}
+
+}  // namespace wfm

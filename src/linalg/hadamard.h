@@ -1,0 +1,39 @@
+// Walsh-Hadamard utilities.
+//
+// The Hadamard response baseline (Table 1) and the Fourier mechanism
+// (Cormode et al.) index characters of the binary cube: the (i, j) entry of
+// the K x K Hadamard matrix (Sylvester order, K a power of two) is
+// (-1)^{popcount(i & j)}.
+
+#ifndef WFM_LINALG_HADAMARD_H_
+#define WFM_LINALG_HADAMARD_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+
+namespace wfm {
+
+/// Smallest power of two >= x (x >= 1).
+int NextPowerOfTwo(int x);
+
+/// True if (i, j) entry of the Sylvester Hadamard matrix is +1.
+inline bool HadamardEntryPositive(std::uint32_t i, std::uint32_t j) {
+  return (__builtin_popcount(i & j) & 1) == 0;
+}
+
+/// +1 / -1 entry of the Sylvester Hadamard matrix.
+inline double HadamardEntry(std::uint32_t i, std::uint32_t j) {
+  return HadamardEntryPositive(i, j) ? 1.0 : -1.0;
+}
+
+/// Dense K x K Hadamard matrix (tests and small-n baselines).
+Matrix HadamardMatrix(int k);
+
+/// In-place unnormalized fast Walsh-Hadamard transform; data.size() must be a
+/// power of two. Applying twice multiplies by the size.
+void FastWalshHadamardTransform(Vector& data);
+
+}  // namespace wfm
+
+#endif  // WFM_LINALG_HADAMARD_H_

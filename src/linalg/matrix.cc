@@ -1,0 +1,384 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace wfm {
+namespace {
+
+/// Work size (output cells x inner length) above which the product kernels
+/// split across threads. Small products stay single-threaded: thread startup
+/// costs more than the multiply.
+constexpr double kParallelFlopThreshold = 4e6;
+
+/// Runs fn(begin, end) over [0, total) split across hardware threads.
+template <typename Fn>
+void ParallelFor(int total, double flops, Fn fn) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw <= 1 || flops < kParallelFlopThreshold || total < 2) {
+    fn(0, total);
+    return;
+  }
+  const int num_threads = static_cast<int>(std::min<unsigned>(hw, total));
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  const int chunk = (total + num_threads - 1) / num_threads;
+  for (int t = 1; t < num_threads; ++t) {
+    const int begin = t * chunk;
+    const int end = std::min(total, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back(fn, begin, end);
+  }
+  fn(0, std::min(total, chunk));
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = static_cast<int>(rows.size());
+  cols_ = rows_ == 0 ? 0 : static_cast<int>(rows.begin()->size());
+  data_.reserve(static_cast<std::size_t>(rows_) * cols_);
+  for (const auto& row : rows) {
+    WFM_CHECK_EQ(static_cast<int>(row.size()), cols_) << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& d) {
+  const int n = static_cast<int>(d.size());
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::RowVector(const Vector& v) {
+  Matrix m(1, static_cast<int>(v.size()));
+  std::copy(v.begin(), v.end(), m.RowPtr(0));
+  return m;
+}
+
+Vector Matrix::Row(int r) const {
+  WFM_CHECK(r >= 0 && r < rows_);
+  return Vector(RowPtr(r), RowPtr(r) + cols_);
+}
+
+Vector Matrix::Col(int c) const {
+  WFM_CHECK(c >= 0 && c < cols_);
+  Vector v(rows_);
+  for (int r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::SetRow(int r, const Vector& v) {
+  WFM_CHECK(r >= 0 && r < rows_);
+  WFM_CHECK_EQ(static_cast<int>(v.size()), cols_);
+  std::copy(v.begin(), v.end(), RowPtr(r));
+}
+
+void Matrix::SetCol(int c, const Vector& v) {
+  WFM_CHECK(c >= 0 && c < cols_);
+  WFM_CHECK_EQ(static_cast<int>(v.size()), rows_);
+  for (int r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  // Blocked transpose for cache friendliness on large matrices.
+  constexpr int kBlock = 32;
+  for (int rb = 0; rb < rows_; rb += kBlock) {
+    const int rmax = std::min(rb + kBlock, rows_);
+    for (int cb = 0; cb < cols_; cb += kBlock) {
+      const int cmax = std::min(cb + kBlock, cols_);
+      for (int r = rb; r < rmax; ++r) {
+        for (int c = cb; c < cmax; ++c) {
+          t(c, r) = (*this)(r, c);
+        }
+      }
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::RowSlice(int begin, int end) const {
+  WFM_CHECK(0 <= begin && begin <= end && end <= rows_);
+  Matrix out(end - begin, cols_);
+  std::copy(RowPtr(begin), RowPtr(begin) + static_cast<std::size_t>(end - begin) * cols_,
+            out.data());
+  return out;
+}
+
+Vector Matrix::RowSums() const {
+  Vector sums(rows_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double s = 0.0;
+    for (int c = 0; c < cols_; ++c) s += row[c];
+    sums[r] = s;
+  }
+  return sums;
+}
+
+Vector Matrix::ColSums() const {
+  Vector sums(cols_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    for (int c = 0; c < cols_; ++c) sums[c] += row[c];
+  }
+  return sums;
+}
+
+Vector Matrix::DiagonalVector() const {
+  const int n = std::min(rows_, cols_);
+  Vector d(n);
+  for (int i = 0; i < n; ++i) d[i] = (*this)(i, i);
+  return d;
+}
+
+double Matrix::Trace() const {
+  double t = 0.0;
+  const int n = std::min(rows_, cols_);
+  for (int i = 0; i < n; ++i) t += (*this)(i, i);
+  return t;
+}
+
+double Matrix::FrobeniusNormSq() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+bool Matrix::ApproxEquals(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  WFM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  WFM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " matrix\n";
+  const int r_show = std::min(rows_, max_rows);
+  const int c_show = std::min(cols_, max_cols);
+  for (int r = 0; r < r_show; ++r) {
+    os << "  [";
+    for (int c = 0; c < c_show; ++c) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%10.4g", (*this)(r, c));
+      os << buf << (c + 1 < c_show ? " " : "");
+    }
+    os << (c_show < cols_ ? " ...]\n" : "]\n");
+  }
+  if (r_show < rows_) os << "  ...\n";
+  return os.str();
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+Matrix operator*(Matrix a, double s) { return a *= s; }
+Matrix operator*(double s, Matrix a) { return a *= s; }
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  WFM_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  const int n = b.cols();
+  // i-k-j loop order: streams rows of B and C, vectorizes the inner loop.
+  // Output rows are independent, so they partition across threads.
+  const double flops = static_cast<double>(a.rows()) * a.cols() * n;
+  ParallelFor(a.rows(), flops, [&](int row_begin, int row_end) {
+    for (int i = row_begin; i < row_end; ++i) {
+      double* crow = c.RowPtr(i);
+      const double* arow = a.RowPtr(i);
+      for (int k = 0; k < a.cols(); ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        const double* brow = b.RowPtr(k);
+        for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  });
+  return c;
+}
+
+Matrix MultiplyATB(const Matrix& a, const Matrix& b) {
+  WFM_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.cols(), b.cols());
+  const int n = b.cols();
+  // For each shared row k, C += a_kᵀ b_k (rank-1 update); streams all inputs.
+  // Threads partition the *output rows* (columns of A) so no two threads
+  // write the same cell; each still streams the full A and B once.
+  const double flops = static_cast<double>(a.rows()) * a.cols() * n;
+  ParallelFor(a.cols(), flops, [&](int out_begin, int out_end) {
+    for (int k = 0; k < a.rows(); ++k) {
+      const double* arow = a.RowPtr(k);
+      const double* brow = b.RowPtr(k);
+      for (int i = out_begin; i < out_end; ++i) {
+        const double aki = arow[i];
+        if (aki == 0.0) continue;
+        double* crow = c.RowPtr(i);
+        for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
+      }
+    }
+  });
+  return c;
+}
+
+Matrix MultiplyABT(const Matrix& a, const Matrix& b) {
+  WFM_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), b.rows());
+  const int k_len = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const double* brow = b.RowPtr(j);
+      double s = 0.0;
+      for (int k = 0; k < k_len; ++k) s += arow[k] * brow[k];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+Vector MultiplyVec(const Matrix& a, const Vector& x) {
+  WFM_CHECK_EQ(a.cols(), static_cast<int>(x.size()));
+  Vector y(a.rows(), 0.0);
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    double s = 0.0;
+    for (int j = 0; j < a.cols(); ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Vector MultiplyTVec(const Matrix& a, const Vector& x) {
+  WFM_CHECK_EQ(a.rows(), static_cast<int>(x.size()));
+  Vector y(a.cols(), 0.0);
+  for (int i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* row = a.RowPtr(i);
+    for (int j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
+  }
+  return y;
+}
+
+void ScaleRows(Matrix& a, const Vector& s) {
+  WFM_CHECK_EQ(a.rows(), static_cast<int>(s.size()));
+  for (int r = 0; r < a.rows(); ++r) {
+    double* row = a.RowPtr(r);
+    const double f = s[r];
+    for (int c = 0; c < a.cols(); ++c) row[c] *= f;
+  }
+}
+
+void ScaleCols(Matrix& a, const Vector& s) {
+  WFM_CHECK_EQ(a.cols(), static_cast<int>(s.size()));
+  for (int r = 0; r < a.rows(); ++r) {
+    double* row = a.RowPtr(r);
+    for (int c = 0; c < a.cols(); ++c) row[c] *= s[c];
+  }
+}
+
+double TraceOfProduct(const Matrix& a, const Matrix& b) {
+  WFM_CHECK_EQ(a.cols(), b.rows());
+  WFM_CHECK_EQ(a.rows(), b.cols());
+  double t = 0.0;
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    for (int k = 0; k < a.cols(); ++k) t += arow[k] * b(k, i);
+  }
+  return t;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  WFM_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double NormSq(const Vector& a) { return Dot(a, a); }
+
+double Sum(const Vector& a) {
+  double s = 0.0;
+  for (double v : a) s += v;
+  return s;
+}
+
+double MaxAbsVec(const Vector& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void Axpy(double alpha, const Vector& x, Vector& y) {
+  WFM_CHECK_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+Vector ScaledVector(const Vector& a, double s) {
+  Vector out(a);
+  for (double& v : out) v *= s;
+  return out;
+}
+
+Vector ClipVector(const Vector& v, const Vector& lo, const Vector& hi) {
+  WFM_CHECK(v.size() == lo.size() && v.size() == hi.size());
+  Vector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = std::min(std::max(v[i], lo[i]), hi[i]);
+  }
+  return out;
+}
+
+Vector ClipVectorScalar(const Vector& v, double lo, double hi) {
+  Vector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = std::min(std::max(v[i], lo), hi);
+  }
+  return out;
+}
+
+}  // namespace wfm

@@ -1,0 +1,141 @@
+// Dense row-major matrix of doubles plus the product kernels used by the
+// factorization mechanism.
+//
+// This is the numerical substrate of the repository (no external linear
+// algebra library is used). Dimensions use `int`; all matrices in this
+// problem are at most a few thousand on a side (the paper's largest
+// experiment is n = 4096, m = 4n).
+
+#ifndef WFM_LINALG_MATRIX_H_
+#define WFM_LINALG_MATRIX_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wfm {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a zero-initialized rows x cols matrix.
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, 0.0) {
+    WFM_CHECK_GE(rows, 0);
+    WFM_CHECK_GE(cols, 0);
+  }
+
+  /// Creates a matrix from nested initializer lists (test convenience):
+  ///   Matrix m{{1, 2}, {3, 4}};
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix Identity(int n);
+  static Matrix Diagonal(const Vector& d);
+  /// Single-row matrix view of a vector.
+  static Matrix RowVector(const Vector& v);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(int r, int c) {
+    WFM_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    WFM_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  double* RowPtr(int r) { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+  const double* RowPtr(int r) const {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  Vector Row(int r) const;
+  Vector Col(int c) const;
+  void SetRow(int r, const Vector& v);
+  void SetCol(int c, const Vector& v);
+
+  Matrix Transpose() const;
+
+  /// Extracts rows [begin, end).
+  Matrix RowSlice(int begin, int end) const;
+
+  Vector RowSums() const;
+  Vector ColSums() const;
+  Vector DiagonalVector() const;
+
+  double Trace() const;
+  double FrobeniusNormSq() const;
+  /// max_{r,c} |a_rc|.
+  double MaxAbs() const;
+  double Sum() const;
+
+  /// True if every entry of (*this - other) has absolute value <= tol.
+  bool ApproxEquals(const Matrix& other, double tol) const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  /// Human-readable rendering for error messages and debugging.
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, double s);
+Matrix operator*(double s, Matrix a);
+
+/// C = A * B.
+Matrix Multiply(const Matrix& a, const Matrix& b);
+/// C = Aᵀ * B without materializing Aᵀ (streaming-friendly kernel).
+Matrix MultiplyATB(const Matrix& a, const Matrix& b);
+/// C = A * Bᵀ without materializing Bᵀ.
+Matrix MultiplyABT(const Matrix& a, const Matrix& b);
+
+/// y = A x.
+Vector MultiplyVec(const Matrix& a, const Vector& x);
+/// y = Aᵀ x.
+Vector MultiplyTVec(const Matrix& a, const Vector& x);
+
+/// Scales row r of `a` by s[r] in place (equivalent to Diag(s) * A).
+void ScaleRows(Matrix& a, const Vector& s);
+/// Scales column c of `a` by s[c] in place (equivalent to A * Diag(s)).
+void ScaleCols(Matrix& a, const Vector& s);
+
+/// tr(A * B) computed without forming the product; requires
+/// a.rows()==b.cols() and a.cols()==b.rows().
+double TraceOfProduct(const Matrix& a, const Matrix& b);
+
+// ---- Vector helpers -------------------------------------------------------
+
+double Dot(const Vector& a, const Vector& b);
+double NormSq(const Vector& a);
+double Sum(const Vector& a);
+double MaxAbsVec(const Vector& a);
+/// y += alpha * x.
+void Axpy(double alpha, const Vector& x, Vector& y);
+Vector ScaledVector(const Vector& a, double s);
+/// Elementwise clip of v to [lo[i], hi[i]].
+Vector ClipVector(const Vector& v, const Vector& lo, const Vector& hi);
+/// Elementwise clip of v to the scalar range [lo, hi].
+Vector ClipVectorScalar(const Vector& v, double lo, double hi);
+
+}  // namespace wfm
+
+#endif  // WFM_LINALG_MATRIX_H_

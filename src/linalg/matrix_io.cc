@@ -1,0 +1,96 @@
+#include "linalg/matrix_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace wfm {
+namespace {
+
+constexpr char kMagic[8] = {'W', 'F', 'M', 'M', 'A', 'T', '0', '1'};
+
+}  // namespace
+
+Status SaveMatrixBinary(const std::string& path, const Matrix& m) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::int64_t rows = m.rows();
+  const std::int64_t cols = m.cols();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(double)));
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<Matrix> LoadMatrixBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  std::int64_t rows = 0, cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in || rows < 0 || cols < 0 || rows > (1 << 24) || cols > (1 << 24)) {
+    return Status::InvalidArgument("bad dimensions in " + path);
+  }
+  Matrix m(static_cast<int>(rows), static_cast<int>(cols));
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  if (!in) return Status::InvalidArgument("truncated matrix in " + path);
+  return m;
+}
+
+Status SaveMatrixCsv(const std::string& path, const Matrix& m) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out.precision(17);
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      out << m(r, c);
+      if (c + 1 < m.cols()) out << ',';
+    }
+    out << '\n';
+  }
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<Matrix> LoadMatrixCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        row.push_back(std::stod(cell));
+      } catch (...) {
+        return Status::InvalidArgument("malformed cell '" + cell + "' in " + path);
+      }
+    }
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      return Status::InvalidArgument("ragged rows in " + path);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return Status::InvalidArgument("empty matrix in " + path);
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows.front().size()));
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+}  // namespace wfm

@@ -1,0 +1,25 @@
+// Matrix (de)serialization.
+//
+// Binary format (little-endian host order):
+//   8-byte magic "WFMMAT01", int64 rows, int64 cols, rows*cols doubles.
+// CSV format: one row per line, comma-separated, for interop/debugging.
+
+#ifndef WFM_LINALG_MATRIX_IO_H_
+#define WFM_LINALG_MATRIX_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace wfm {
+
+Status SaveMatrixBinary(const std::string& path, const Matrix& m);
+StatusOr<Matrix> LoadMatrixBinary(const std::string& path);
+
+Status SaveMatrixCsv(const std::string& path, const Matrix& m);
+StatusOr<Matrix> LoadMatrixCsv(const std::string& path);
+
+}  // namespace wfm
+
+#endif  // WFM_LINALG_MATRIX_IO_H_

@@ -1,0 +1,48 @@
+// Discrete distribution samplers used by the LDP runtime.
+//
+// * AliasSampler — O(1) sampling from a fixed categorical distribution
+//   (Vose's method); one table per strategy-matrix column turns a user's
+//   randomized response into a single table lookup.
+// * SampleBinomial — exact binomial sampling: inversion for small mean,
+//   Hormann's BTRS transformed-rejection for large mean.
+// * SampleMultinomial — chained conditional binomials; lets the simulator
+//   draw the full response histogram of x_u users of one type at once
+//   instead of looping over users.
+
+#ifndef WFM_LINALG_SAMPLERS_H_
+#define WFM_LINALG_SAMPLERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/rng.h"
+
+namespace wfm {
+
+class AliasSampler {
+ public:
+  /// Builds the alias table for the given non-negative weights (need not be
+  /// normalized; their sum must be positive).
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Samples an index in [0, weights.size()) proportional to its weight.
+  int Sample(Rng& rng) const;
+
+  int size() const { return static_cast<int>(prob_.size()); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<int> alias_;
+};
+
+/// Draws from Binomial(n, p) exactly. n >= 0, p in [0, 1].
+std::int64_t SampleBinomial(Rng& rng, std::int64_t n, double p);
+
+/// Draws counts (c_1, ..., c_k) ~ Multinomial(n; probs). `probs` must be
+/// non-negative and is normalized internally.
+std::vector<std::int64_t> SampleMultinomial(Rng& rng, std::int64_t n,
+                                            const std::vector<double>& probs);
+
+}  // namespace wfm
+
+#endif  // WFM_LINALG_SAMPLERS_H_

@@ -1,0 +1,46 @@
+#include "mechanisms/fourier.h"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "linalg/hadamard.h"
+
+namespace wfm {
+
+FourierMechanism::FourierMechanism(int n, double eps, int max_weight)
+    : StrategyMechanism(BuildStrategy(n, eps, max_weight), n, eps),
+      max_weight_(max_weight) {}
+
+Matrix FourierMechanism::BuildStrategy(int n, double eps, int max_weight) {
+  WFM_CHECK(n > 0 && (n & (n - 1)) == 0)
+      << "Fourier mechanism needs a power-of-two domain, got n =" << n;
+  const int k = std::countr_zero(static_cast<unsigned>(n));
+  if (max_weight < 0) max_weight = k;
+
+  std::vector<int> coeffs;
+  for (int s = 0; s < n; ++s) {
+    if (std::popcount(static_cast<unsigned>(s)) <= max_weight) coeffs.push_back(s);
+  }
+  const int num_coeffs = static_cast<int>(coeffs.size());
+  WFM_CHECK_GT(num_coeffs, 0);
+
+  const double e = std::exp(eps);
+  const double p_match = e / (e + 1.0);
+  const double p_mismatch = 1.0 / (e + 1.0);
+
+  // Two rows per coefficient: reported sign +1 (row 2i) and -1 (row 2i+1).
+  Matrix q(2 * num_coeffs, n);
+  for (int i = 0; i < num_coeffs; ++i) {
+    const int s = coeffs[i];
+    for (int u = 0; u < n; ++u) {
+      const bool positive = HadamardEntryPositive(static_cast<std::uint32_t>(s),
+                                                  static_cast<std::uint32_t>(u));
+      q(2 * i, u) = (positive ? p_match : p_mismatch) / num_coeffs;
+      q(2 * i + 1, u) = (positive ? p_mismatch : p_match) / num_coeffs;
+    }
+  }
+  return q;
+}
+
+}  // namespace wfm

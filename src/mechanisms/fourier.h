@@ -1,0 +1,41 @@
+// Fourier mechanism for marginal release under LDP (Cormode, Kulkarni,
+// Srivastava, ref [12]).
+//
+// Over the binary cube {0,1}^k (n = 2^k), every marginal is a linear
+// function of the Fourier (Walsh-Hadamard character) coefficients of the
+// data vector. Each user samples a coefficient index s from a set S (by
+// default all n characters, so the same Q serves every workload as in the
+// paper's Section 6.1), evaluates chi_s(u) = (-1)^{popcount(s & u)} and
+// reports the sign through binary randomized response:
+//
+//   Q[(s, b)][u] = (1/|S|) * e^ε/(e^ε+1)  if chi_s(u) = b, else (1/|S|)/(e^ε+1).
+//
+// A weight-limited coefficient set (|s| <= w) concentrates the privacy
+// budget on the characters a low-order marginal workload actually needs; the
+// ablation bench compares the two choices.
+
+#ifndef WFM_MECHANISMS_FOURIER_H_
+#define WFM_MECHANISMS_FOURIER_H_
+
+#include "mechanisms/mechanism.h"
+
+namespace wfm {
+
+class FourierMechanism final : public StrategyMechanism {
+ public:
+  /// n must be a power of two. max_weight = -1 uses all n coefficients.
+  FourierMechanism(int n, double eps, int max_weight = -1);
+
+  std::string Name() const override { return "Fourier"; }
+
+  static Matrix BuildStrategy(int n, double eps, int max_weight);
+
+  int max_weight() const { return max_weight_; }
+
+ private:
+  int max_weight_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_MECHANISMS_FOURIER_H_

@@ -1,0 +1,32 @@
+#include "mechanisms/hadamard_response.h"
+
+#include <cmath>
+
+#include "linalg/hadamard.h"
+
+namespace wfm {
+
+HadamardResponseMechanism::HadamardResponseMechanism(int n, double eps)
+    : StrategyMechanism(BuildStrategy(n, eps), n, eps) {}
+
+int HadamardResponseMechanism::OutputSize(int n) { return NextPowerOfTwo(n + 1); }
+
+Matrix HadamardResponseMechanism::BuildStrategy(int n, double eps) {
+  WFM_CHECK_GT(n, 0);
+  const int k = OutputSize(n);
+  const double e = std::exp(eps);
+  const double norm = 1.0 / (0.5 * k * (e + 1.0));
+  Matrix q(k, n);
+  for (int o = 0; o < k; ++o) {
+    for (int u = 0; u < n; ++u) {
+      // Column u+1 skips the all-ones first Hadamard column, which would
+      // carry no information.
+      const bool positive = HadamardEntryPositive(static_cast<std::uint32_t>(o),
+                                                  static_cast<std::uint32_t>(u + 1));
+      q(o, u) = (positive ? e : 1.0) * norm;
+    }
+  }
+  return q;
+}
+
+}  // namespace wfm

@@ -1,0 +1,28 @@
+// Hadamard response (Acharya, Sun, Zhang; Table 1): user u is assigned
+// column u+1 of the K x K Sylvester Hadamard matrix, K = 2^ceil(log2(n+1)),
+// and reports output o with probability proportional to e^ε when
+// H[o][u+1] = +1 and 1 otherwise. Each non-first Hadamard column is balanced
+// (K/2 entries of each sign), so the normalizer is (K/2)(e^ε + 1).
+
+#ifndef WFM_MECHANISMS_HADAMARD_RESPONSE_H_
+#define WFM_MECHANISMS_HADAMARD_RESPONSE_H_
+
+#include "mechanisms/mechanism.h"
+
+namespace wfm {
+
+class HadamardResponseMechanism final : public StrategyMechanism {
+ public:
+  HadamardResponseMechanism(int n, double eps);
+
+  std::string Name() const override { return "Hadamard"; }
+
+  static Matrix BuildStrategy(int n, double eps);
+
+  /// Output range size K = 2^ceil(log2(n+1)).
+  static int OutputSize(int n);
+};
+
+}  // namespace wfm
+
+#endif  // WFM_MECHANISMS_HADAMARD_RESPONSE_H_

@@ -1,0 +1,55 @@
+#include "mechanisms/hierarchical.h"
+
+#include <cmath>
+#include <vector>
+
+namespace wfm {
+namespace {
+
+/// Number of cells per level, root (1 cell) excluded, leaves included.
+/// Cell width at level l (1-based from the root) is ceil-division so
+/// non-power-of-fanout domains are handled.
+std::vector<int> LevelCellCounts(int n, int fanout) {
+  std::vector<int> counts;
+  int cells = 1;
+  while (cells < n) {
+    cells = std::min(n, cells * fanout);
+    counts.push_back(cells);
+  }
+  if (counts.empty()) counts.push_back(1);  // n == 1.
+  return counts;
+}
+
+}  // namespace
+
+HierarchicalMechanism::HierarchicalMechanism(int n, double eps, int fanout)
+    : StrategyMechanism(BuildStrategy(n, eps, fanout), n, eps), fanout_(fanout) {}
+
+Matrix HierarchicalMechanism::BuildStrategy(int n, double eps, int fanout) {
+  WFM_CHECK_GT(n, 0);
+  WFM_CHECK_GE(fanout, 2);
+  const double e = std::exp(eps);
+  const std::vector<int> levels = LevelCellCounts(n, fanout);
+  const int num_levels = static_cast<int>(levels.size());
+
+  int total_rows = 0;
+  for (int c : levels) total_rows += c;
+
+  Matrix q(total_rows, n);
+  int row0 = 0;
+  for (int cells : levels) {
+    // Cell of type u at this level: floor(u * cells / n) distributes domain
+    // elements as evenly as possible across cells.
+    const double level_norm = 1.0 / (num_levels * (e + cells - 1.0));
+    for (int u = 0; u < n; ++u) {
+      const int cell_u = static_cast<int>((static_cast<std::int64_t>(u) * cells) / n);
+      for (int c = 0; c < cells; ++c) {
+        q(row0 + c, u) = (c == cell_u ? e : 1.0) * level_norm;
+      }
+    }
+    row0 += cells;
+  }
+  return q;
+}
+
+}  // namespace wfm

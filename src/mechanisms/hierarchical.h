@@ -1,0 +1,41 @@
+// Hierarchical mechanism for range queries under LDP (Cormode, Kulkarni,
+// Srivastava, refs [13, 42]).
+//
+// The domain [0, n) is covered by a tree of fanout B: level l partitions the
+// domain into cells of width B^(depth-l). Each user is (conceptually)
+// assigned a uniformly random level and runs randomized response over that
+// level's cells on the cell containing their type. As a strategy matrix this
+// stacks one block per level, each scaled by 1/(number of levels):
+//
+//   Q[(l,c)][u] = (1/L) * RR_{n_l}(c | cell_l(u))
+//
+// Rows within a level have ratio exactly e^ε and rows across levels are
+// uniformly scaled, so the stacked matrix is ε-LDP. Range queries then
+// decompose into O(B log n) cells, which is what makes this the strongest
+// baseline on Prefix in the paper's Figure 1.
+
+#ifndef WFM_MECHANISMS_HIERARCHICAL_H_
+#define WFM_MECHANISMS_HIERARCHICAL_H_
+
+#include "mechanisms/mechanism.h"
+
+namespace wfm {
+
+class HierarchicalMechanism final : public StrategyMechanism {
+ public:
+  /// fanout >= 2; the paper's references use small constants (we default 4).
+  HierarchicalMechanism(int n, double eps, int fanout = 4);
+
+  std::string Name() const override { return "Hierarchical"; }
+
+  static Matrix BuildStrategy(int n, double eps, int fanout);
+
+  int fanout() const { return fanout_; }
+
+ private:
+  int fanout_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_MECHANISMS_HIERARCHICAL_H_

@@ -1,0 +1,63 @@
+#include "mechanisms/mechanism.h"
+
+#include <algorithm>
+
+#include "core/strategy.h"
+
+namespace wfm {
+
+double ErrorProfile::WorstUnitVariance() const {
+  double m = 0.0;
+  for (double v : phi) m = std::max(m, v);
+  return m;
+}
+
+double ErrorProfile::AverageUnitVariance() const {
+  WFM_CHECK(!phi.empty());
+  return Sum(phi) / static_cast<double>(phi.size());
+}
+
+double ErrorProfile::DataVariance(const Vector& x) const {
+  return Dot(x, phi);
+}
+
+double ErrorProfile::SampleComplexity(double alpha) const {
+  WFM_CHECK_GT(alpha, 0.0);
+  WFM_CHECK_GT(num_queries, 0);
+  return WorstUnitVariance() / (static_cast<double>(num_queries) * alpha);
+}
+
+double ErrorProfile::SampleComplexityOnData(const Vector& x, double alpha) const {
+  WFM_CHECK_GT(alpha, 0.0);
+  const double total = Sum(x);
+  WFM_CHECK_GT(total, 0.0);
+  return DataVariance(x) / (total * static_cast<double>(num_queries) * alpha);
+}
+
+StrategyMechanism::StrategyMechanism(Matrix q, int n, double eps)
+    : q_(std::move(q)), n_(n), eps_(eps) {
+  WFM_CHECK_EQ(q_.cols(), n);
+  const StrategyValidation v = ValidateStrategy(q_, eps, /*tol=*/1e-6);
+  WFM_CHECK(v.valid) << "invalid strategy matrix:" << v.ToString();
+}
+
+ErrorProfile StrategyMechanism::Analyze(const WorkloadStats& workload) const {
+  FactorizationAnalysis fa(q_, workload);
+  // A strategy whose row space misses part of the workload cannot produce
+  // unbiased answers (Definition 3.2 requires W = VQ); its variance profile
+  // would be meaningless.
+  WFM_CHECK(fa.FactorizationResidual() < 1e-5)
+      << Name() << "cannot represent workload" << workload.name
+      << "(residual" << fa.FactorizationResidual() << ")";
+  ErrorProfile profile;
+  profile.phi = fa.PerUserVariance();
+  profile.num_queries = workload.p;
+  return profile;
+}
+
+FactorizationAnalysis StrategyMechanism::AnalyzeFactorization(
+    const WorkloadStats& workload) const {
+  return FactorizationAnalysis(q_, workload);
+}
+
+}  // namespace wfm

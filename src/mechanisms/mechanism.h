@@ -1,0 +1,85 @@
+// Common interface for ε-LDP mechanisms that answer linear query workloads.
+//
+// Every mechanism exposes an ErrorProfile against a workload: the per-user
+// unit variance phi_u (Theorem 3.4 with x = e_u), from which worst-case /
+// average-case variance, data-dependent variance and the paper's sample
+// complexity metric (Corollary 5.4) all follow. Strategy-matrix mechanisms
+// (Proposition 2.6) get their profile from FactorizationAnalysis with the
+// optimal reconstruction V of Theorem 3.10 — exactly how the paper evaluates
+// baselines on workloads they were not designed for (Section 6.1 runs the
+// same Q on every workload and re-derives V per workload). Additive-noise
+// mechanisms (the distributed Matrix Mechanism) compute their profile in
+// closed form.
+
+#ifndef WFM_MECHANISMS_MECHANISM_H_
+#define WFM_MECHANISMS_MECHANISM_H_
+
+#include <memory>
+#include <string>
+
+#include "core/factorization.h"
+#include "linalg/matrix.h"
+
+namespace wfm {
+
+/// Per-user variance profile of a mechanism on a fixed workload.
+struct ErrorProfile {
+  /// phi[u] = total workload variance contributed by one user of type u.
+  Vector phi;
+  /// Number of workload queries p (normalizes the sample complexity).
+  std::int64_t num_queries = 0;
+
+  /// max_u phi_u: worst-case variance per user (Corollary 3.5 / N).
+  double WorstUnitVariance() const;
+  /// (1/n) sum_u phi_u: average-case variance per user (Corollary 3.6 / N).
+  double AverageUnitVariance() const;
+  /// Exact total variance on a dataset x (Theorem 3.4).
+  double DataVariance(const Vector& x) const;
+  /// Corollary 5.4: samples to reach normalized variance alpha (worst case).
+  double SampleComplexity(double alpha) const;
+  /// Section 6.4: sample complexity with the worst case replaced by the
+  /// data-dependent variance of the normalized histogram x / sum(x).
+  double SampleComplexityOnData(const Vector& x, double alpha) const;
+};
+
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  /// Display name as used in the paper's figures.
+  virtual std::string Name() const = 0;
+
+  /// Domain size this instance was built for.
+  virtual int domain_size() const = 0;
+
+  /// Privacy budget this instance was built for.
+  virtual double epsilon() const = 0;
+
+  /// Error analysis against a workload (consumes no privacy budget).
+  virtual ErrorProfile Analyze(const WorkloadStats& workload) const = 0;
+};
+
+/// A mechanism fully described by a strategy matrix Q (Proposition 2.6).
+/// Reconstruction uses the closed-form optimal V of Theorem 3.10.
+class StrategyMechanism : public Mechanism {
+ public:
+  StrategyMechanism(Matrix q, int n, double eps);
+
+  int domain_size() const override { return n_; }
+  double epsilon() const override { return eps_; }
+  const Matrix& strategy() const { return q_; }
+
+  ErrorProfile Analyze(const WorkloadStats& workload) const override;
+
+  /// Full factorization analysis (reconstruction matrix, residuals, ...).
+  FactorizationAnalysis AnalyzeFactorization(const WorkloadStats& workload) const;
+
+ private:
+  Matrix q_;
+  int n_;
+  double eps_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_MECHANISMS_MECHANISM_H_

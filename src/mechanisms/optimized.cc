@@ -1,0 +1,44 @@
+#include "mechanisms/optimized.h"
+
+#include "mechanisms/fourier.h"
+#include "mechanisms/hadamard_response.h"
+#include "mechanisms/hierarchical.h"
+#include "mechanisms/randomized_response.h"
+
+namespace wfm {
+namespace {
+
+/// Random restarts explore, baseline seeds guarantee: warm-starting from the
+/// Table 1 strategies means the optimized mechanism is never worse (in
+/// objective) than any of them, the initialization option the paper
+/// discusses in Section 4. Callers that want pure random initialization
+/// (e.g. the Figure 3b reproduction) call OptimizeStrategy directly.
+OptimizerConfig WithDefaultSeeds(OptimizerConfig config, int n, double eps) {
+  if (!config.seed_strategies.empty()) return config;
+  config.seed_strategies.push_back(
+      RandomizedResponseMechanism::BuildStrategy(n, eps));
+  config.seed_strategies.push_back(HadamardResponseMechanism::BuildStrategy(n, eps));
+  config.seed_strategies.push_back(
+      HierarchicalMechanism::BuildStrategy(n, eps, /*fanout=*/4));
+  if ((n & (n - 1)) == 0) {
+    config.seed_strategies.push_back(
+        FourierMechanism::BuildStrategy(n, eps, /*max_weight=*/-1));
+  }
+  return config;
+}
+
+}  // namespace
+
+OptimizedMechanism::OptimizedMechanism(const WorkloadStats& target, double eps,
+                                       const OptimizerConfig& config)
+    : OptimizedMechanism(
+          OptimizeStrategy(target.gram, eps, WithDefaultSeeds(config, target.n, eps)),
+          target, eps) {}
+
+OptimizedMechanism::OptimizedMechanism(OptimizerResult result,
+                                       const WorkloadStats& target, double eps)
+    : StrategyMechanism(result.q, target.n, eps),
+      result_(std::move(result)),
+      target_name_(target.name) {}
+
+}  // namespace wfm

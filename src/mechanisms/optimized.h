@@ -1,0 +1,41 @@
+// The paper's contribution packaged as a Mechanism: run Algorithm 2 on a
+// target workload and wrap the optimized strategy matrix.
+//
+// Strategy optimization consumes no privacy budget (the objective is a
+// closed-form function of Q), happens once offline, and the resulting Q can
+// then be analyzed against — or deployed for — any workload, exactly like
+// the fixed baselines.
+
+#ifndef WFM_MECHANISMS_OPTIMIZED_H_
+#define WFM_MECHANISMS_OPTIMIZED_H_
+
+#include "core/optimizer.h"
+#include "mechanisms/mechanism.h"
+
+namespace wfm {
+
+class OptimizedMechanism final : public StrategyMechanism {
+ public:
+  /// Optimizes a strategy for `target` at privacy budget eps.
+  OptimizedMechanism(const WorkloadStats& target, double eps,
+                     const OptimizerConfig& config = {});
+
+  std::string Name() const override { return "Optimized"; }
+
+  /// Optimization diagnostics (objective trajectory, step size, ...).
+  const OptimizerResult& optimizer_result() const { return result_; }
+
+  /// Workload the strategy was tuned for.
+  const std::string& target_workload() const { return target_name_; }
+
+ private:
+  OptimizedMechanism(OptimizerResult result, const WorkloadStats& target,
+                     double eps);
+
+  OptimizerResult result_;
+  std::string target_name_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_MECHANISMS_OPTIMIZED_H_

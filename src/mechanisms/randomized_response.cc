@@ -1,0 +1,35 @@
+#include "mechanisms/randomized_response.h"
+
+#include <cmath>
+
+namespace wfm {
+
+RandomizedResponseMechanism::RandomizedResponseMechanism(int n, double eps)
+    : StrategyMechanism(BuildStrategy(n, eps), n, eps) {}
+
+Matrix RandomizedResponseMechanism::BuildStrategy(int n, double eps) {
+  WFM_CHECK_GT(n, 0);
+  const double e = std::exp(eps);
+  const double norm = 1.0 / (e + n - 1.0);
+  Matrix q(n, n);
+  for (int o = 0; o < n; ++o) {
+    for (int u = 0; u < n; ++u) {
+      q(o, u) = (o == u ? e : 1.0) * norm;
+    }
+  }
+  return q;
+}
+
+double RandomizedResponseMechanism::HistogramVarianceClosedForm(int n, double eps,
+                                                                double num_users) {
+  const double em1 = std::exp(eps) - 1.0;
+  return num_users * (n - 1.0) * (n / (em1 * em1) + 2.0 / em1);
+}
+
+double RandomizedResponseMechanism::HistogramSampleComplexityClosedForm(
+    int n, double eps, double alpha) {
+  const double em1 = std::exp(eps) - 1.0;
+  return (n - 1.0) / (alpha * n) * (n / (em1 * em1) + 2.0 / em1);
+}
+
+}  // namespace wfm

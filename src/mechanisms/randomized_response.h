@@ -1,0 +1,35 @@
+// Randomized Response (Warner 1965; Example 2.7): report the true type with
+// probability proportional to e^ε and any other type with probability
+// proportional to 1. The strategy matrix is n x n with e^ε on the diagonal,
+// normalized per column.
+
+#ifndef WFM_MECHANISMS_RANDOMIZED_RESPONSE_H_
+#define WFM_MECHANISMS_RANDOMIZED_RESPONSE_H_
+
+#include "mechanisms/mechanism.h"
+
+namespace wfm {
+
+class RandomizedResponseMechanism final : public StrategyMechanism {
+ public:
+  RandomizedResponseMechanism(int n, double eps);
+
+  std::string Name() const override { return "Randomized Response"; }
+
+  /// Example 2.7 strategy matrix.
+  static Matrix BuildStrategy(int n, double eps);
+
+  /// Example 3.7: closed-form worst-case (= average-case) variance on the
+  /// Histogram workload for N users:
+  ///   N (n-1) [ n/(e^ε-1)² + 2/(e^ε-1) ].
+  static double HistogramVarianceClosedForm(int n, double eps, double num_users);
+
+  /// Example 5.5: closed-form sample complexity on the Histogram workload:
+  ///   (n-1)/(α n) [ n/(e^ε-1)² + 2/(e^ε-1) ].
+  static double HistogramSampleComplexityClosedForm(int n, double eps,
+                                                    double alpha);
+};
+
+}  // namespace wfm
+
+#endif  // WFM_MECHANISMS_RANDOMIZED_RESPONSE_H_

@@ -1,0 +1,44 @@
+#include "mechanisms/registry.h"
+
+#include "mechanisms/fourier.h"
+#include "mechanisms/hadamard_response.h"
+#include "mechanisms/hierarchical.h"
+#include "mechanisms/matrix_mechanism.h"
+#include "mechanisms/randomized_response.h"
+
+namespace wfm {
+
+std::vector<std::string> StandardBaselineNames() {
+  return {"Randomized Response",  "Hadamard",
+          "Hierarchical",         "Fourier",
+          "Matrix Mechanism (L1)", "Matrix Mechanism (L2)"};
+}
+
+std::unique_ptr<Mechanism> CreateBaseline(const std::string& name, int n,
+                                          double eps) {
+  if (name == "Randomized Response") {
+    return std::make_unique<RandomizedResponseMechanism>(n, eps);
+  }
+  if (name == "Hadamard") {
+    return std::make_unique<HadamardResponseMechanism>(n, eps);
+  }
+  if (name == "Hierarchical") {
+    return std::make_unique<HierarchicalMechanism>(n, eps);
+  }
+  if (name == "Fourier") {
+    if ((n & (n - 1)) != 0) return nullptr;  // Needs a power-of-two domain.
+    return std::make_unique<FourierMechanism>(n, eps);
+  }
+  if (name == "Matrix Mechanism (L1)") {
+    return std::make_unique<MatrixMechanism>(n, eps,
+                                             MatrixMechanism::NoiseType::kLaplaceL1);
+  }
+  if (name == "Matrix Mechanism (L2)") {
+    return std::make_unique<MatrixMechanism>(n, eps,
+                                             MatrixMechanism::NoiseType::kGaussianL2);
+  }
+  WFM_CHECK(false) << "unknown mechanism" << name;
+  return nullptr;
+}
+
+}  // namespace wfm

@@ -1,0 +1,29 @@
+// Factory over the paper's six fixed competitors (Section 6.1). The
+// Optimized mechanism is constructed separately because it takes the target
+// workload as input.
+
+#ifndef WFM_MECHANISMS_REGISTRY_H_
+#define WFM_MECHANISMS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mechanisms/mechanism.h"
+
+namespace wfm {
+
+/// Figure 1 legend order: "Randomized Response", "Hadamard", "Hierarchical",
+/// "Fourier", "Matrix Mechanism (L1)", "Matrix Mechanism (L2)".
+std::vector<std::string> StandardBaselineNames();
+
+/// Creates a baseline by its display name. The Fourier mechanism requires a
+/// power-of-two domain; callers on other domains should skip it (returns
+/// nullptr in that case, mirroring the paper, which only evaluates
+/// power-of-two domains).
+std::unique_ptr<Mechanism> CreateBaseline(const std::string& name, int n,
+                                          double eps);
+
+}  // namespace wfm
+
+#endif  // WFM_MECHANISMS_REGISTRY_H_

@@ -1,0 +1,100 @@
+#include "mechanisms/subset_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/factorization.h"
+#include "workload/marginals.h"
+
+namespace wfm {
+namespace {
+
+constexpr double kMaxRowsForAnalysis = 200000.0;
+
+}  // namespace
+
+SubsetSelectionMechanism::SubsetSelectionMechanism(int n, double eps, int d)
+    : n_(n), eps_(eps), d_(d) {
+  WFM_CHECK_GT(n, 0);
+  WFM_CHECK_GT(eps, 0.0);
+  if (d_ <= 0) {
+    d_ = std::max(1, static_cast<int>(std::lround(n / (std::exp(eps) + 1.0))));
+  }
+  WFM_CHECK_LE(d_, n);
+}
+
+bool SubsetSelectionMechanism::SupportsAnalysis() const {
+  return BinomialCoefficient(n_, d_) <= kMaxRowsForAnalysis;
+}
+
+ErrorProfile SubsetSelectionMechanism::Analyze(const WorkloadStats& workload) const {
+  WFM_CHECK(SupportsAnalysis())
+      << "subset selection strategy has C(" << n_ << "," << d_
+      << ") rows; too large to analyze (the paper excludes it for this reason)";
+  FactorizationAnalysis fa(BuildExplicitStrategy(n_, eps_, d_), workload);
+  ErrorProfile profile;
+  profile.phi = fa.PerUserVariance();
+  profile.num_queries = workload.p;
+  return profile;
+}
+
+double SubsetSelectionMechanism::TrueInclusionProbability() const {
+  const double e = std::exp(eps_);
+  return d_ * e / (d_ * e + n_ - d_);
+}
+
+std::vector<int> SubsetSelectionMechanism::SampleReport(int u, Rng& rng) const {
+  WFM_CHECK(u >= 0 && u < n_);
+  // Conditioned on whether u is included, the report is a uniform subset of
+  // the remaining elements (all subsets on each side share one probability).
+  const bool include_true = rng.Bernoulli(TrueInclusionProbability());
+  const int others_needed = include_true ? d_ - 1 : d_;
+
+  // Partial Fisher-Yates over the n-1 other elements.
+  std::vector<int> pool;
+  pool.reserve(n_ - 1);
+  for (int i = 0; i < n_; ++i) {
+    if (i != u) pool.push_back(i);
+  }
+  std::vector<int> subset;
+  subset.reserve(d_);
+  if (include_true) subset.push_back(u);
+  for (int j = 0; j < others_needed; ++j) {
+    const int pick = j + rng.UniformInt(static_cast<int>(pool.size()) - j);
+    std::swap(pool[j], pool[pick]);
+    subset.push_back(pool[j]);
+  }
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+Matrix SubsetSelectionMechanism::BuildExplicitStrategy(int n, double eps, int d) {
+  const double num_subsets = BinomialCoefficient(n, d);
+  WFM_CHECK_LE(num_subsets, kMaxRowsForAnalysis) << "too many subsets";
+  const int m = static_cast<int>(num_subsets);
+  const double e = std::exp(eps);
+  // Per-column normalizer: C(n-1, d-1) e^ε + C(n-1, d).
+  const double norm =
+      1.0 / (BinomialCoefficient(n - 1, d - 1) * e + BinomialCoefficient(n - 1, d));
+
+  Matrix q(m, n);
+  // Enumerate subsets in lexicographic order.
+  std::vector<int> subset(d);
+  for (int i = 0; i < d; ++i) subset[i] = i;
+  for (int row = 0; row < m; ++row) {
+    std::vector<bool> member(n, false);
+    for (int v : subset) member[v] = true;
+    for (int u = 0; u < n; ++u) {
+      q(row, u) = (member[u] ? e : 1.0) * norm;
+    }
+    // Advance to the next lexicographic subset.
+    int i = d - 1;
+    while (i >= 0 && subset[i] == n - d + i) --i;
+    if (i < 0) break;
+    ++subset[i];
+    for (int j = i + 1; j < d; ++j) subset[j] = subset[j - 1] + 1;
+  }
+  return q;
+}
+
+}  // namespace wfm

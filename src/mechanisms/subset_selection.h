@@ -1,0 +1,57 @@
+// Subset Selection (Ye & Barg; Table 1): the output is a size-d subset of
+// the domain; subsets containing the true type have probability proportional
+// to e^ε, others proportional to 1. The information-theoretically optimal
+// subset size is d ≈ n/(e^ε + 1).
+//
+// The strategy matrix has C(n, d) rows, so — like the paper — we only
+// materialize it for analysis at small n. Sampling a report, however, takes
+// O(n) space at any size: flip whether the true type is included (the
+// marginal inclusion probability of the true type), then draw the remaining
+// elements uniformly.
+
+#ifndef WFM_MECHANISMS_SUBSET_SELECTION_H_
+#define WFM_MECHANISMS_SUBSET_SELECTION_H_
+
+#include <vector>
+
+#include "linalg/rng.h"
+#include "mechanisms/mechanism.h"
+
+namespace wfm {
+
+class SubsetSelectionMechanism final : public Mechanism {
+ public:
+  /// d = 0 picks the recommended max(1, round(n / (e^ε + 1))).
+  SubsetSelectionMechanism(int n, double eps, int d = 0);
+
+  std::string Name() const override { return "Subset Selection"; }
+  int domain_size() const override { return n_; }
+  double epsilon() const override { return eps_; }
+
+  int subset_size() const { return d_; }
+
+  /// Analysis materializes the C(n, d) x n strategy; requires
+  /// SupportsAnalysis(). The paper excludes this mechanism from figures for
+  /// the same exponential-size reason.
+  bool SupportsAnalysis() const;
+  ErrorProfile Analyze(const WorkloadStats& workload) const override;
+
+  /// Marginal probability that the report includes the true type:
+  ///   d e^ε / (d e^ε + n - d).
+  double TrueInclusionProbability() const;
+
+  /// Samples a report (subset as a sorted index list) in O(n) time/space.
+  std::vector<int> SampleReport(int u, Rng& rng) const;
+
+  /// Explicit strategy matrix over all C(n, d) subsets (small n only).
+  static Matrix BuildExplicitStrategy(int n, double eps, int d);
+
+ private:
+  int n_;
+  double eps_;
+  int d_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_MECHANISMS_SUBSET_SELECTION_H_

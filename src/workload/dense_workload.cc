@@ -1,0 +1,79 @@
+#include "workload/dense_workload.h"
+
+namespace wfm {
+
+DenseWorkload::DenseWorkload(Matrix w, std::string name)
+    : w_(std::move(w)), name_(std::move(name)) {
+  WFM_CHECK_GT(w_.rows(), 0);
+  WFM_CHECK_GT(w_.cols(), 0);
+}
+
+Matrix DenseWorkload::Gram() const { return MultiplyATB(w_, w_); }
+
+StackedWorkload::StackedWorkload(std::vector<std::shared_ptr<const Workload>> parts,
+                                 std::vector<double> weights, std::string name)
+    : parts_(std::move(parts)), weights_(std::move(weights)), name_(std::move(name)) {
+  WFM_CHECK(!parts_.empty());
+  WFM_CHECK_EQ(parts_.size(), weights_.size());
+  n_ = parts_[0]->domain_size();
+  for (const auto& p : parts_) {
+    WFM_CHECK_EQ(p->domain_size(), n_) << "stacked workloads must share a domain";
+  }
+  for (double w : weights_) WFM_CHECK_GT(w, 0.0);
+}
+
+std::int64_t StackedWorkload::num_queries() const {
+  std::int64_t p = 0;
+  for (const auto& part : parts_) p += part->num_queries();
+  return p;
+}
+
+Matrix StackedWorkload::Gram() const {
+  // Gram of a stack is the weighted sum of Grams: (cW)ᵀ(cW) = c² WᵀW.
+  Matrix g(n_, n_);
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    Matrix gi = parts_[i]->Gram();
+    gi *= weights_[i] * weights_[i];
+    g += gi;
+  }
+  return g;
+}
+
+double StackedWorkload::FrobeniusNormSq() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    s += weights_[i] * weights_[i] * parts_[i]->FrobeniusNormSq();
+  }
+  return s;
+}
+
+bool StackedWorkload::HasExplicitMatrix() const {
+  for (const auto& p : parts_) {
+    if (!p->HasExplicitMatrix()) return false;
+  }
+  return true;
+}
+
+Matrix StackedWorkload::ExplicitMatrix() const {
+  Matrix w(static_cast<int>(num_queries()), n_);
+  int row = 0;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    const Matrix wi = parts_[i]->ExplicitMatrix();
+    for (int r = 0; r < wi.rows(); ++r, ++row) {
+      for (int c = 0; c < n_; ++c) w(row, c) = weights_[i] * wi(r, c);
+    }
+  }
+  return w;
+}
+
+Vector StackedWorkload::Apply(const Vector& x) const {
+  Vector out;
+  out.reserve(static_cast<std::size_t>(num_queries()));
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    Vector yi = parts_[i]->Apply(x);
+    for (double v : yi) out.push_back(weights_[i] * v);
+  }
+  return out;
+}
+
+}  // namespace wfm

@@ -1,0 +1,59 @@
+// Arbitrary user-provided workloads held as an explicit dense matrix, plus a
+// weighted stack combinator. The paper places no restriction on W (it may
+// repeat queries or contain linearly dependent rows); these classes are the
+// escape hatch for analyst-defined query sets.
+
+#ifndef WFM_WORKLOAD_DENSE_WORKLOAD_H_
+#define WFM_WORKLOAD_DENSE_WORKLOAD_H_
+
+#include <memory>
+
+#include "workload/workload.h"
+
+namespace wfm {
+
+class DenseWorkload final : public Workload {
+ public:
+  DenseWorkload(Matrix w, std::string name = "Custom");
+
+  std::string Name() const override { return name_; }
+  int domain_size() const override { return w_.cols(); }
+  std::int64_t num_queries() const override { return w_.rows(); }
+  Matrix Gram() const override;
+  double FrobeniusNormSq() const override { return w_.FrobeniusNormSq(); }
+  Matrix ExplicitMatrix() const override { return w_; }
+  Vector Apply(const Vector& x) const override { return MultiplyVec(w_, x); }
+
+ private:
+  Matrix w_;
+  std::string name_;
+};
+
+/// Vertically stacks workloads with per-workload importance weights: the
+/// stacked matrix is [c_1 W_1; c_2 W_2; ...]. Scaling a sub-workload by c
+/// multiplies its contribution to total squared error by c^2, which is how an
+/// analyst expresses relative importance (Section 2.1).
+class StackedWorkload final : public Workload {
+ public:
+  StackedWorkload(std::vector<std::shared_ptr<const Workload>> parts,
+                  std::vector<double> weights, std::string name = "Stacked");
+
+  std::string Name() const override { return name_; }
+  int domain_size() const override { return n_; }
+  std::int64_t num_queries() const override;
+  Matrix Gram() const override;
+  double FrobeniusNormSq() const override;
+  bool HasExplicitMatrix() const override;
+  Matrix ExplicitMatrix() const override;
+  Vector Apply(const Vector& x) const override;
+
+ private:
+  std::vector<std::shared_ptr<const Workload>> parts_;
+  std::vector<double> weights_;
+  std::string name_;
+  int n_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_WORKLOAD_DENSE_WORKLOAD_H_

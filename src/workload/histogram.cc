@@ -1,0 +1,10 @@
+#include "workload/histogram.h"
+
+namespace wfm {
+
+Vector HistogramWorkload::Apply(const Vector& x) const {
+  WFM_CHECK_EQ(static_cast<int>(x.size()), n_);
+  return x;
+}
+
+}  // namespace wfm

@@ -1,0 +1,28 @@
+// The Histogram workload: W = I_n (one point query per user type).
+
+#ifndef WFM_WORKLOAD_HISTOGRAM_H_
+#define WFM_WORKLOAD_HISTOGRAM_H_
+
+#include "workload/workload.h"
+
+namespace wfm {
+
+class HistogramWorkload final : public Workload {
+ public:
+  explicit HistogramWorkload(int n) : n_(n) { WFM_CHECK_GT(n, 0); }
+
+  std::string Name() const override { return "Histogram"; }
+  int domain_size() const override { return n_; }
+  std::int64_t num_queries() const override { return n_; }
+  Matrix Gram() const override { return Matrix::Identity(n_); }
+  double FrobeniusNormSq() const override { return n_; }
+  Matrix ExplicitMatrix() const override { return Matrix::Identity(n_); }
+  Vector Apply(const Vector& x) const override;
+
+ private:
+  int n_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_WORKLOAD_HISTOGRAM_H_

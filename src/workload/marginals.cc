@@ -1,0 +1,172 @@
+#include "workload/marginals.h"
+
+#include <bit>
+#include <cmath>
+
+#include "linalg/hadamard.h"
+
+namespace wfm {
+namespace {
+
+int Log2Exact(int n) {
+  WFM_CHECK(n > 0 && (n & (n - 1)) == 0)
+      << "marginal workloads need a power-of-two domain, got n =" << n;
+  return std::countr_zero(static_cast<unsigned>(n));
+}
+
+int Agreement(int u, int v, int k) {
+  return k - std::popcount(static_cast<unsigned>(u ^ v));
+}
+
+/// Emits the rows of the marginal on attribute subset `s` into `w` starting
+/// at `row`: one row per assignment t of the attributes in s, selecting all u
+/// with u & s == t. Returns the next free row.
+int EmitMarginalRows(int s, int n, Matrix& w, int row) {
+  // Enumerate the sub-cube of assignments t over the bits of s.
+  int t = 0;
+  do {
+    for (int u = 0; u < n; ++u) {
+      if ((u & s) == t) w(row, u) = 1.0;
+    }
+    ++row;
+    t = (t - s) & s;  // Next subset of the bitmask s.
+  } while (t != 0);
+  return row;
+}
+
+}  // namespace
+
+double BinomialCoefficient(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  k = std::min(k, n - k);
+  double c = 1.0;
+  for (int i = 0; i < k; ++i) {
+    c = c * (n - i) / (i + 1);
+  }
+  return c;
+}
+
+// ---- AllMarginals ---------------------------------------------------------
+
+AllMarginalsWorkload::AllMarginalsWorkload(int n) : n_(n), k_(Log2Exact(n)) {}
+
+std::int64_t AllMarginalsWorkload::num_queries() const {
+  std::int64_t p = 1;
+  for (int i = 0; i < k_; ++i) p *= 3;
+  return p;
+}
+
+Matrix AllMarginalsWorkload::Gram() const {
+  Matrix g(n_, n_);
+  // G depends only on the agreement count; precompute 2^a.
+  Vector pow2(k_ + 1);
+  for (int a = 0; a <= k_; ++a) pow2[a] = std::ldexp(1.0, a);
+  for (int u = 0; u < n_; ++u) {
+    for (int v = 0; v < n_; ++v) {
+      g(u, v) = pow2[Agreement(u, v, k_)];
+    }
+  }
+  return g;
+}
+
+double AllMarginalsWorkload::FrobeniusNormSq() const {
+  // Each of the 2^k marginals has total mass 2^k ones.
+  return std::ldexp(1.0, 2 * k_);
+}
+
+Matrix AllMarginalsWorkload::ExplicitMatrix() const {
+  WFM_CHECK(HasExplicitMatrix());
+  Matrix w(static_cast<int>(num_queries()), n_);
+  int row = 0;
+  for (int s = 0; s < n_; ++s) row = EmitMarginalRows(s, n_, w, row);
+  WFM_CHECK_EQ(row, static_cast<int>(num_queries()));
+  return w;
+}
+
+Vector AllMarginalsWorkload::Apply(const Vector& x) const {
+  WFM_CHECK_EQ(static_cast<int>(x.size()), n_);
+  Vector out;
+  out.reserve(static_cast<std::size_t>(num_queries()));
+  for (int s = 0; s < n_; ++s) {
+    int t = 0;
+    do {
+      double acc = 0.0;
+      for (int u = 0; u < n_; ++u) {
+        if ((u & s) == t) acc += x[u];
+      }
+      out.push_back(acc);
+      t = (t - s) & s;
+    } while (t != 0);
+  }
+  return out;
+}
+
+// ---- KWayMarginals --------------------------------------------------------
+
+KWayMarginalsWorkload::KWayMarginalsWorkload(int n, int way)
+    : n_(n), k_(Log2Exact(n)), way_(way) {
+  WFM_CHECK(way >= 1 && way <= k_)
+      << "way must be in [1, log2(n)], got" << way << "for n =" << n;
+}
+
+std::string KWayMarginalsWorkload::Name() const {
+  return std::to_string(way_) + "WayMarginals";
+}
+
+std::int64_t KWayMarginalsWorkload::num_queries() const {
+  return static_cast<std::int64_t>(BinomialCoefficient(k_, way_)) *
+         (std::int64_t{1} << way_);
+}
+
+Matrix KWayMarginalsWorkload::Gram() const {
+  Matrix g(n_, n_);
+  Vector choose(k_ + 1);
+  for (int a = 0; a <= k_; ++a) choose[a] = BinomialCoefficient(a, way_);
+  for (int u = 0; u < n_; ++u) {
+    for (int v = 0; v < n_; ++v) {
+      g(u, v) = choose[Agreement(u, v, k_)];
+    }
+  }
+  return g;
+}
+
+double KWayMarginalsWorkload::FrobeniusNormSq() const {
+  return BinomialCoefficient(k_, way_) * n_;
+}
+
+bool KWayMarginalsWorkload::HasExplicitMatrix() const {
+  return num_queries() * n_ <= (std::int64_t{1} << 24);
+}
+
+Matrix KWayMarginalsWorkload::ExplicitMatrix() const {
+  WFM_CHECK(HasExplicitMatrix());
+  Matrix w(static_cast<int>(num_queries()), n_);
+  int row = 0;
+  for (int s = 0; s < n_; ++s) {
+    if (std::popcount(static_cast<unsigned>(s)) != way_) continue;
+    row = EmitMarginalRows(s, n_, w, row);
+  }
+  WFM_CHECK_EQ(row, static_cast<int>(num_queries()));
+  return w;
+}
+
+Vector KWayMarginalsWorkload::Apply(const Vector& x) const {
+  WFM_CHECK_EQ(static_cast<int>(x.size()), n_);
+  Vector out;
+  out.reserve(static_cast<std::size_t>(num_queries()));
+  for (int s = 0; s < n_; ++s) {
+    if (std::popcount(static_cast<unsigned>(s)) != way_) continue;
+    int t = 0;
+    do {
+      double acc = 0.0;
+      for (int u = 0; u < n_; ++u) {
+        if ((u & s) == t) acc += x[u];
+      }
+      out.push_back(acc);
+      t = (t - s) & s;
+    } while (t != 0);
+  }
+  return out;
+}
+
+}  // namespace wfm

@@ -1,0 +1,74 @@
+// Marginal workloads over the binary cube {0,1}^k (n = 2^k), following
+// Cormode et al. "Marginal release under local differential privacy"
+// (ref [12]) and the paper's Section 6.1.
+//
+// A marginal on attribute subset S has one query per assignment t of S,
+// counting users u with u_S = t. AllMarginals takes every subset S of the k
+// attributes (p = 3^k queries); KWayMarginals takes all subsets of exactly
+// `way` attributes (the paper's "3-Way Marginals" uses way = 3).
+//
+// Gram closed forms (agreement a(u,v) = k - hamming(u XOR v)):
+//   AllMarginals:  G[u][v] = sum_S 1{u_S = v_S} = 2^{a(u,v)}
+//   KWayMarginals: G[u][v] = C(a(u,v), way)
+
+#ifndef WFM_WORKLOAD_MARGINALS_H_
+#define WFM_WORKLOAD_MARGINALS_H_
+
+#include "workload/workload.h"
+
+namespace wfm {
+
+/// C(n, k) as a double (0 when k < 0 or k > n). Shared by marginal and
+/// parity Gram computations.
+double BinomialCoefficient(int n, int k);
+
+class AllMarginalsWorkload final : public Workload {
+ public:
+  explicit AllMarginalsWorkload(int n);
+
+  std::string Name() const override { return "AllMarginals"; }
+  int domain_size() const override { return n_; }
+  /// p = sum_S 2^|S| = 3^k.
+  std::int64_t num_queries() const override;
+  Matrix Gram() const override;
+  /// tr(G) = n * 2^k = 4^k (each diagonal entry of G is 2^k).
+  double FrobeniusNormSq() const override;
+  bool HasExplicitMatrix() const override { return k_ <= 10; }
+  Matrix ExplicitMatrix() const override;
+  Vector Apply(const Vector& x) const override;
+
+  int num_attributes() const { return k_; }
+
+ private:
+  int n_;
+  int k_;
+};
+
+class KWayMarginalsWorkload final : public Workload {
+ public:
+  /// All marginals on exactly `way` of the k = log2(n) binary attributes.
+  KWayMarginalsWorkload(int n, int way);
+
+  std::string Name() const override;
+  int domain_size() const override { return n_; }
+  /// p = C(k, way) * 2^way.
+  std::int64_t num_queries() const override;
+  Matrix Gram() const override;
+  /// tr(G) = n * C(k, way).
+  double FrobeniusNormSq() const override;
+  bool HasExplicitMatrix() const override;
+  Matrix ExplicitMatrix() const override;
+  Vector Apply(const Vector& x) const override;
+
+  int num_attributes() const { return k_; }
+  int way() const { return way_; }
+
+ private:
+  int n_;
+  int k_;
+  int way_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_WORKLOAD_MARGINALS_H_

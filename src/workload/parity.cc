@@ -1,0 +1,108 @@
+#include "workload/parity.h"
+
+#include <bit>
+
+#include "linalg/hadamard.h"
+#include "workload/marginals.h"
+
+namespace wfm {
+namespace {
+
+int Log2Exact(int n) {
+  WFM_CHECK(n > 0 && (n & (n - 1)) == 0)
+      << "parity workloads need a power-of-two domain, got n =" << n;
+  return std::countr_zero(static_cast<unsigned>(n));
+}
+
+/// Krawtchouk polynomial K_j(d; k): the Hadamard character sum over subsets
+/// of size j at Hamming distance d.
+double Krawtchouk(int j, int d, int k) {
+  double sum = 0.0;
+  for (int i = 0; i <= j; ++i) {
+    const double term = BinomialCoefficient(d, i) * BinomialCoefficient(k - d, j - i);
+    sum += (i % 2 == 0 ? term : -term);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ParityWorkload::ParityWorkload(int n, int max_weight)
+    : n_(n), k_(Log2Exact(n)), max_weight_(max_weight < 0 ? k_ : max_weight) {
+  WFM_CHECK_LE(max_weight_, k_);
+}
+
+std::string ParityWorkload::Name() const {
+  if (full()) return "Parity";
+  return "Parity<=" + std::to_string(max_weight_);
+}
+
+std::int64_t ParityWorkload::num_queries() const {
+  if (full()) return n_;
+  std::int64_t p = 0;
+  for (int j = 0; j <= max_weight_; ++j) {
+    p += static_cast<std::int64_t>(BinomialCoefficient(k_, j));
+  }
+  return p;
+}
+
+Matrix ParityWorkload::Gram() const {
+  if (full()) {
+    Matrix g = Matrix::Identity(n_);
+    g *= static_cast<double>(n_);
+    return g;
+  }
+  // G[u][v] depends only on d = hamming(u ^ v).
+  Vector by_distance(k_ + 1, 0.0);
+  for (int d = 0; d <= k_; ++d) {
+    double s = 0.0;
+    for (int j = 0; j <= max_weight_; ++j) s += Krawtchouk(j, d, k_);
+    by_distance[d] = s;
+  }
+  Matrix g(n_, n_);
+  for (int u = 0; u < n_; ++u) {
+    for (int v = 0; v < n_; ++v) {
+      g(u, v) = by_distance[std::popcount(static_cast<unsigned>(u ^ v))];
+    }
+  }
+  return g;
+}
+
+double ParityWorkload::FrobeniusNormSq() const {
+  // Every parity row has n entries of magnitude 1.
+  return static_cast<double>(num_queries()) * n_;
+}
+
+Matrix ParityWorkload::ExplicitMatrix() const {
+  WFM_CHECK(HasExplicitMatrix());
+  Matrix w(static_cast<int>(num_queries()), n_);
+  int row = 0;
+  for (int s = 0; s < n_; ++s) {
+    if (std::popcount(static_cast<unsigned>(s)) > max_weight_) continue;
+    for (int u = 0; u < n_; ++u) {
+      w(row, u) = HadamardEntry(static_cast<std::uint32_t>(s),
+                                static_cast<std::uint32_t>(u));
+    }
+    ++row;
+  }
+  WFM_CHECK_EQ(row, static_cast<int>(num_queries()));
+  return w;
+}
+
+Vector ParityWorkload::Apply(const Vector& x) const {
+  WFM_CHECK_EQ(static_cast<int>(x.size()), n_);
+  // The Walsh-Hadamard transform computes all 2^k character sums at once.
+  Vector transformed(x);
+  FastWalshHadamardTransform(transformed);
+  if (full()) return transformed;
+  Vector out;
+  out.reserve(static_cast<std::size_t>(num_queries()));
+  for (int s = 0; s < n_; ++s) {
+    if (std::popcount(static_cast<unsigned>(s)) <= max_weight_) {
+      out.push_back(transformed[s]);
+    }
+  }
+  return out;
+}
+
+}  // namespace wfm

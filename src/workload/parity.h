@@ -1,0 +1,46 @@
+// The Parity workload over the binary cube {0,1}^k (n = 2^k), following
+// Gaboardi et al. (ref [19]): query chi_S(u) = (-1)^{popcount(S & u)} for
+// attribute subsets S.
+//
+// With all 2^k parities (the default) the rows are the Walsh-Hadamard
+// characters, so G = WᵀW = n I — every singular value is sqrt(n), which is
+// what makes Parity the hardest workload in the paper's Figure 1 (the SVD
+// lower bound of Theorem 5.6 scales with (sum of singular values)^2).
+//
+// A maximum weight w restricts to |S| <= w; the Gram is then a function of
+// the Hamming distance d via Krawtchouk polynomials: G[u][v] = sum_{j<=w}
+// K_j(d) with K_j(d) = sum_i (-1)^i C(d,i) C(k-d, j-i).
+
+#ifndef WFM_WORKLOAD_PARITY_H_
+#define WFM_WORKLOAD_PARITY_H_
+
+#include "workload/workload.h"
+
+namespace wfm {
+
+class ParityWorkload final : public Workload {
+ public:
+  /// max_weight = -1 (default) means all 2^k parities.
+  explicit ParityWorkload(int n, int max_weight = -1);
+
+  std::string Name() const override;
+  int domain_size() const override { return n_; }
+  std::int64_t num_queries() const override;
+  Matrix Gram() const override;
+  double FrobeniusNormSq() const override;
+  bool HasExplicitMatrix() const override { return k_ <= 10; }
+  Matrix ExplicitMatrix() const override;
+  /// Full-parity answers are the Walsh-Hadamard transform of x (O(n log n)).
+  Vector Apply(const Vector& x) const override;
+
+  bool full() const { return max_weight_ >= k_; }
+
+ private:
+  int n_;
+  int k_;
+  int max_weight_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_WORKLOAD_PARITY_H_

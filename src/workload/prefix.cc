@@ -1,0 +1,36 @@
+#include "workload/prefix.h"
+
+#include <algorithm>
+
+namespace wfm {
+
+Matrix PrefixWorkload::Gram() const {
+  Matrix g(n_, n_);
+  for (int u = 0; u < n_; ++u) {
+    for (int v = 0; v < n_; ++v) {
+      g(u, v) = static_cast<double>(n_ - std::max(u, v));
+    }
+  }
+  return g;
+}
+
+Matrix PrefixWorkload::ExplicitMatrix() const {
+  Matrix w(n_, n_);
+  for (int i = 0; i < n_; ++i) {
+    for (int u = 0; u <= i; ++u) w(i, u) = 1.0;
+  }
+  return w;
+}
+
+Vector PrefixWorkload::Apply(const Vector& x) const {
+  WFM_CHECK_EQ(static_cast<int>(x.size()), n_);
+  Vector out(n_);
+  double acc = 0.0;
+  for (int i = 0; i < n_; ++i) {
+    acc += x[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace wfm

@@ -1,0 +1,37 @@
+// The Prefix workload (Example 2.4): query i counts users with type <= i,
+// i.e. W is the lower-triangular all-ones matrix. Answers form the
+// unnormalized empirical CDF.
+
+#ifndef WFM_WORKLOAD_PREFIX_H_
+#define WFM_WORKLOAD_PREFIX_H_
+
+#include "workload/workload.h"
+
+namespace wfm {
+
+class PrefixWorkload final : public Workload {
+ public:
+  explicit PrefixWorkload(int n) : n_(n) { WFM_CHECK_GT(n, 0); }
+
+  std::string Name() const override { return "Prefix"; }
+  int domain_size() const override { return n_; }
+  std::int64_t num_queries() const override { return n_; }
+
+  /// G[u][v] = #{ i : i >= max(u,v) } = n - max(u,v).
+  Matrix Gram() const override;
+
+  /// ||W||_F^2 = 1 + 2 + ... + n.
+  double FrobeniusNormSq() const override {
+    return 0.5 * static_cast<double>(n_) * (n_ + 1);
+  }
+
+  Matrix ExplicitMatrix() const override;
+  Vector Apply(const Vector& x) const override;  // Prefix sums, O(n).
+
+ private:
+  int n_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_WORKLOAD_PREFIX_H_

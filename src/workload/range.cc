@@ -1,0 +1,56 @@
+#include "workload/range.h"
+
+#include <algorithm>
+
+namespace wfm {
+
+Matrix AllRangeWorkload::Gram() const {
+  Matrix g(n_, n_);
+  for (int u = 0; u < n_; ++u) {
+    for (int v = 0; v < n_; ++v) {
+      const int lo = std::min(u, v);
+      const int hi = std::max(u, v);
+      g(u, v) = static_cast<double>(lo + 1) * static_cast<double>(n_ - hi);
+    }
+  }
+  return g;
+}
+
+double AllRangeWorkload::FrobeniusNormSq() const {
+  double s = 0.0;
+  for (int u = 0; u < n_; ++u) {
+    s += static_cast<double>(u + 1) * static_cast<double>(n_ - u);
+  }
+  return s;
+}
+
+Matrix AllRangeWorkload::ExplicitMatrix() const {
+  WFM_CHECK(HasExplicitMatrix()) << "AllRange explicit matrix too large for n =" << n_;
+  Matrix w(static_cast<int>(num_queries()), n_);
+  int row = 0;
+  for (int a = 0; a < n_; ++a) {
+    for (int b = a; b < n_; ++b) {
+      for (int u = a; u <= b; ++u) w(row, u) = 1.0;
+      ++row;
+    }
+  }
+  WFM_CHECK_EQ(row, static_cast<int>(num_queries()));
+  return w;
+}
+
+Vector AllRangeWorkload::Apply(const Vector& x) const {
+  WFM_CHECK_EQ(static_cast<int>(x.size()), n_);
+  // prefix[i] = x_0 + ... + x_{i-1}.
+  Vector prefix(n_ + 1, 0.0);
+  for (int i = 0; i < n_; ++i) prefix[i + 1] = prefix[i] + x[i];
+  Vector out(num_queries());
+  std::int64_t row = 0;
+  for (int a = 0; a < n_; ++a) {
+    for (int b = a; b < n_; ++b) {
+      out[row++] = prefix[b + 1] - prefix[a];
+    }
+  }
+  return out;
+}
+
+}  // namespace wfm

@@ -1,0 +1,41 @@
+// The AllRange workload: one query per interval [a, b], 0 <= a <= b < n;
+// p = n(n+1)/2 queries. Studied for LDP in Cormode et al. (ref [13]).
+
+#ifndef WFM_WORKLOAD_RANGE_H_
+#define WFM_WORKLOAD_RANGE_H_
+
+#include "workload/workload.h"
+
+namespace wfm {
+
+class AllRangeWorkload final : public Workload {
+ public:
+  explicit AllRangeWorkload(int n) : n_(n) { WFM_CHECK_GT(n, 0); }
+
+  std::string Name() const override { return "AllRange"; }
+  int domain_size() const override { return n_; }
+  std::int64_t num_queries() const override {
+    return static_cast<std::int64_t>(n_) * (n_ + 1) / 2;
+  }
+
+  /// G[u][v] = #{ [a,b] : a <= min(u,v), b >= max(u,v) }
+  ///         = (min(u,v)+1) * (n-max(u,v)).
+  Matrix Gram() const override;
+
+  /// ||W||_F^2 = sum_u (u+1)(n-u)  (diagonal of G).
+  double FrobeniusNormSq() const override;
+
+  /// Explicit form is O(n^3) doubles; refuse above a size guard.
+  bool HasExplicitMatrix() const override { return n_ <= 512; }
+  Matrix ExplicitMatrix() const override;
+
+  /// All range sums via one prefix-sum pass then O(p) lookups.
+  Vector Apply(const Vector& x) const override;
+
+ private:
+  int n_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_WORKLOAD_RANGE_H_

@@ -1,0 +1,63 @@
+#include "workload/sliding_window.h"
+
+#include <algorithm>
+
+namespace wfm {
+
+SlidingWindowWorkload::SlidingWindowWorkload(int n, int width)
+    : n_(n), width_(width) {
+  WFM_CHECK_GT(n, 0);
+  WFM_CHECK(width >= 1 && width <= n)
+      << "window width must be in [1, n], got" << width << "for n =" << n;
+}
+
+std::string SlidingWindowWorkload::Name() const {
+  return "SlidingWindow(w=" + std::to_string(width_) + ")";
+}
+
+int SlidingWindowWorkload::WindowsCovering(int u, int v) const {
+  // Window at offset i covers type t iff i <= t <= i+w-1, i.e.
+  // i in [t-w+1, t]; offsets are further limited to [0, n-w]. The pair
+  // (u, v) is covered by offsets in the intersection of both intervals.
+  const int lo = std::max({u - width_ + 1, v - width_ + 1, 0});
+  const int hi = std::min({u, v, n_ - width_});
+  return std::max(0, hi - lo + 1);
+}
+
+Matrix SlidingWindowWorkload::Gram() const {
+  Matrix g(n_, n_);
+  for (int u = 0; u < n_; ++u) {
+    for (int v = 0; v < n_; ++v) {
+      g(u, v) = WindowsCovering(u, v);
+    }
+  }
+  return g;
+}
+
+double SlidingWindowWorkload::FrobeniusNormSq() const {
+  // tr(G): each type contributes the count of windows covering it.
+  double s = 0.0;
+  for (int u = 0; u < n_; ++u) s += WindowsCovering(u, u);
+  return s;
+}
+
+Matrix SlidingWindowWorkload::ExplicitMatrix() const {
+  Matrix w(static_cast<int>(num_queries()), n_);
+  for (int i = 0; i + width_ <= n_; ++i) {
+    for (int t = i; t < i + width_; ++t) w(i, t) = 1.0;
+  }
+  return w;
+}
+
+Vector SlidingWindowWorkload::Apply(const Vector& x) const {
+  WFM_CHECK_EQ(static_cast<int>(x.size()), n_);
+  Vector prefix(n_ + 1, 0.0);
+  for (int i = 0; i < n_; ++i) prefix[i + 1] = prefix[i] + x[i];
+  Vector out(num_queries());
+  for (int i = 0; i + width_ <= n_; ++i) {
+    out[i] = prefix[i + width_] - prefix[i];
+  }
+  return out;
+}
+
+}  // namespace wfm

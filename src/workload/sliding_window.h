@@ -1,0 +1,45 @@
+// Sliding-window workload: all width-w range queries [i, i+w), one per
+// offset i in [0, n-w]. The fixed-width analytics pattern ("sessions per
+// 7-day window", "errors per 5-minute window") that motivates range-query
+// mechanisms; a natural user-defined workload for the adaptive mechanism
+// beyond the paper's six.
+//
+// Gram closed form: G[u][v] = number of windows containing both u and v
+//   = max(0, min(u, v, n-w) - max(u, v, w-1) + w)  ... expressed below as the
+// overlap of the valid offset intervals for u and v.
+
+#ifndef WFM_WORKLOAD_SLIDING_WINDOW_H_
+#define WFM_WORKLOAD_SLIDING_WINDOW_H_
+
+#include "workload/workload.h"
+
+namespace wfm {
+
+class SlidingWindowWorkload final : public Workload {
+ public:
+  /// 1 <= width <= n.
+  SlidingWindowWorkload(int n, int width);
+
+  std::string Name() const override;
+  int domain_size() const override { return n_; }
+  std::int64_t num_queries() const override { return n_ - width_ + 1; }
+  Matrix Gram() const override;
+  double FrobeniusNormSq() const override;
+  Matrix ExplicitMatrix() const override;
+  /// All window sums via one prefix-sum pass, O(n).
+  Vector Apply(const Vector& x) const override;
+
+  int width() const { return width_; }
+
+ private:
+  /// Number of valid window offsets covering type u: the overlap of
+  /// [u-w+1, u] with [0, n-w].
+  int WindowsCovering(int u, int v) const;
+
+  int n_;
+  int width_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_WORKLOAD_SLIDING_WINDOW_H_

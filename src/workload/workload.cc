@@ -1,0 +1,33 @@
+#include "workload/workload.h"
+
+#include "workload/histogram.h"
+#include "workload/marginals.h"
+#include "workload/parity.h"
+#include "workload/prefix.h"
+#include "workload/range.h"
+
+namespace wfm {
+
+Vector Workload::Apply(const Vector& x) const {
+  WFM_CHECK(HasExplicitMatrix())
+      << Name() << "does not support explicit materialization at n =" << domain_size();
+  return MultiplyVec(ExplicitMatrix(), x);
+}
+
+std::vector<std::string> StandardWorkloadNames() {
+  return {"Histogram", "Prefix", "AllRange", "AllMarginals", "3WayMarginals",
+          "Parity"};
+}
+
+std::unique_ptr<Workload> CreateWorkload(const std::string& name, int n) {
+  if (name == "Histogram") return std::make_unique<HistogramWorkload>(n);
+  if (name == "Prefix") return std::make_unique<PrefixWorkload>(n);
+  if (name == "AllRange") return std::make_unique<AllRangeWorkload>(n);
+  if (name == "AllMarginals") return std::make_unique<AllMarginalsWorkload>(n);
+  if (name == "3WayMarginals") return std::make_unique<KWayMarginalsWorkload>(n, 3);
+  if (name == "Parity") return std::make_unique<ParityWorkload>(n);
+  WFM_CHECK(false) << "unknown workload" << name;
+  return nullptr;
+}
+
+}  // namespace wfm

@@ -1,0 +1,65 @@
+// Workload abstraction: a set of p linear counting queries over a domain of
+// n user types, i.e. a matrix W in R^{p x n} (Section 2.1 of the paper).
+//
+// Workloads are *Gram-first*: the optimization objective (Theorem 3.11), the
+// variance formulas, the SVD lower bound (Theorem 5.6) and WNNLS all depend
+// on W only through its Gram matrix G = WᵀW (n x n) and its squared
+// Frobenius norm. This matters because several evaluation workloads are much
+// taller than the domain — AllRange on n = 512 has p = 131,328 queries — and
+// must never be materialized in the analysis path. Explicit materialization
+// and matrix-free application (W x) are provided where tests and examples
+// need actual query answers.
+
+#ifndef WFM_WORKLOAD_WORKLOAD_H_
+#define WFM_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace wfm {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Domain size n.
+  virtual int domain_size() const = 0;
+
+  /// Number of queries p (rows of W).
+  virtual std::int64_t num_queries() const = 0;
+
+  /// Gram matrix G = WᵀW, computed in closed form where possible.
+  virtual Matrix Gram() const = 0;
+
+  /// ||W||_F^2 = tr(G).
+  virtual double FrobeniusNormSq() const = 0;
+
+  /// True if ExplicitMatrix() is supported at this size.
+  virtual bool HasExplicitMatrix() const { return true; }
+
+  /// The dense p x n matrix W. Only call when p*n is manageable; large
+  /// workloads override HasExplicitMatrix() to advertise limits.
+  virtual Matrix ExplicitMatrix() const = 0;
+
+  /// Query answers W x. Default goes through ExplicitMatrix(); subclasses
+  /// override with matrix-free evaluators (prefix sums, FWHT, ...).
+  virtual Vector Apply(const Vector& x) const;
+};
+
+/// Names accepted by CreateWorkload, in the paper's Figure 1 order.
+std::vector<std::string> StandardWorkloadNames();
+
+/// Factory over the six evaluation workloads of Section 6.1:
+/// "Histogram", "Prefix", "AllRange", "AllMarginals", "3WayMarginals",
+/// "Parity". Marginals/Parity require n to be a power of two (binary cube).
+std::unique_ptr<Workload> CreateWorkload(const std::string& name, int n);
+
+}  // namespace wfm
+
+#endif  // WFM_WORKLOAD_WORKLOAD_H_

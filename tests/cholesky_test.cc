@@ -1,0 +1,115 @@
+// Tests for the Cholesky factorization and triangular solves.
+
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/rng.h"
+
+namespace wfm {
+namespace {
+
+/// Random symmetric positive definite matrix A = B Bᵀ + ridge I.
+Matrix RandomSpd(int n, Rng& rng, double ridge = 0.5) {
+  Matrix b(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) b(r, c) = rng.Uniform(-1.0, 1.0);
+  }
+  Matrix a = MultiplyABT(b, b);
+  for (int i = 0; i < n; ++i) a(i, i) += ridge;
+  return a;
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Rng rng(11);
+  for (int n : {1, 2, 5, 16, 40}) {
+    const Matrix a = RandomSpd(n, rng);
+    Cholesky chol;
+    ASSERT_TRUE(chol.Factorize(a)) << "n = " << n;
+    const Matrix llt = MultiplyABT(chol.lower(), chol.lower());
+    EXPECT_TRUE(llt.ApproxEquals(a, 1e-9)) << "n = " << n;
+  }
+}
+
+TEST(CholeskyTest, LowerTriangularFactor) {
+  Rng rng(12);
+  const Matrix a = RandomSpd(8, rng);
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factorize(a));
+  for (int i = 0; i < 8; ++i) {
+    for (int j = i + 1; j < 8; ++j) EXPECT_EQ(chol.lower()(i, j), 0.0);
+  }
+}
+
+TEST(CholeskyTest, VectorSolveResidual) {
+  Rng rng(13);
+  const Matrix a = RandomSpd(20, rng);
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factorize(a));
+  Vector b(20);
+  for (double& v : b) v = rng.Uniform(-2, 2);
+  const Vector x = chol.Solve(b);
+  const Vector ax = MultiplyVec(a, x);
+  for (int i = 0; i < 20; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+TEST(CholeskyTest, MatrixSolveResidual) {
+  Rng rng(14);
+  const Matrix a = RandomSpd(15, rng);
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factorize(a));
+  Matrix b(15, 7);
+  for (int r = 0; r < 15; ++r) {
+    for (int c = 0; c < 7; ++c) b(r, c) = rng.Uniform(-2, 2);
+  }
+  const Matrix x = chol.Solve(b);
+  EXPECT_TRUE(Multiply(a, x).ApproxEquals(b, 1e-8));
+}
+
+TEST(CholeskyTest, SolveMatchesVectorwise) {
+  Rng rng(15);
+  const Matrix a = RandomSpd(10, rng);
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factorize(a));
+  Matrix b(10, 3);
+  for (int r = 0; r < 10; ++r) {
+    for (int c = 0; c < 3; ++c) b(r, c) = rng.Uniform(-1, 1);
+  }
+  const Matrix x = chol.Solve(b);
+  for (int c = 0; c < 3; ++c) {
+    const Vector xc = chol.Solve(b.Col(c));
+    for (int r = 0; r < 10; ++r) EXPECT_NEAR(x(r, c), xc[r], 1e-12);
+  }
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a{{1, 2}, {2, 1}};  // Eigenvalues 3 and -1.
+  Cholesky chol;
+  EXPECT_FALSE(chol.Factorize(a));
+  EXPECT_FALSE(chol.ok());
+}
+
+TEST(CholeskyTest, RejectsSingular) {
+  Matrix a{{1, 1}, {1, 1}};  // Rank 1.
+  Cholesky chol;
+  EXPECT_FALSE(chol.Factorize(a));
+}
+
+TEST(CholeskyTest, LogDetMatchesKnownValue) {
+  const Matrix a = Matrix::Diagonal({2.0, 3.0, 4.0});
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factorize(a));
+  EXPECT_NEAR(chol.LogDet(), std::log(24.0), 1e-12);
+}
+
+TEST(CholeskyTest, IdentitySolveIsIdentity) {
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factorize(Matrix::Identity(6)));
+  Vector b{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(chol.Solve(b), b);
+}
+
+}  // namespace
+}  // namespace wfm

@@ -1,0 +1,110 @@
+// Tests for flags, status, and the table printer.
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+
+namespace wfm {
+namespace {
+
+std::vector<char*> MakeArgv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return argv;
+}
+
+TEST(FlagParserTest, ParsesEqualsForm) {
+  std::vector<std::string> args{"prog", "--n=64", "--eps=1.5", "--name=abc"};
+  auto argv = MakeArgv(args);
+  FlagParser flags(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flags.GetInt("n", 0), 64);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", 0.0), 1.5);
+  EXPECT_EQ(flags.GetString("name", ""), "abc");
+}
+
+TEST(FlagParserTest, ParsesSpaceForm) {
+  std::vector<std::string> args{"prog", "--n", "32"};
+  auto argv = MakeArgv(args);
+  FlagParser flags(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flags.GetInt("n", 0), 32);
+}
+
+TEST(FlagParserTest, BareBooleanFlag) {
+  std::vector<std::string> args{"prog", "--full", "--verbose"};
+  auto argv = MakeArgv(args);
+  FlagParser flags(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(flags.GetBool("full", false));
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.GetBool("absent", false));
+}
+
+TEST(FlagParserTest, Defaults) {
+  std::vector<std::string> args{"prog"};
+  auto argv = MakeArgv(args);
+  FlagParser flags(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flags.GetInt("n", 7), 7);
+  EXPECT_EQ(flags.GetString("s", "x"), "x");
+  EXPECT_FALSE(flags.Has("n"));
+}
+
+TEST(FlagParserTest, DoubleList) {
+  std::vector<std::string> args{"prog", "--eps=0.5,1,2,4"};
+  auto argv = MakeArgv(args);
+  FlagParser flags(static_cast<int>(argv.size()), argv.data());
+  const auto eps = flags.GetDoubleList("eps", {});
+  ASSERT_EQ(eps.size(), 4u);
+  EXPECT_DOUBLE_EQ(eps[0], 0.5);
+  EXPECT_DOUBLE_EQ(eps[3], 4.0);
+}
+
+TEST(FlagParserTest, IntList) {
+  std::vector<std::string> args{"prog", "--domains=8,16,32"};
+  auto argv = MakeArgv(args);
+  FlagParser flags(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flags.GetIntList("domains", {}), (std::vector<int>{8, 16, 32}));
+}
+
+TEST(FlagParserTest, UnusedFlagsTracked) {
+  std::vector<std::string> args{"prog", "--used=1", "--typo=2"};
+  auto argv = MakeArgv(args);
+  FlagParser flags(static_cast<int>(argv.size()), argv.data());
+  flags.GetInt("used", 0);
+  const auto unused = flags.UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status s = Status::InvalidArgument("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad");
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  StatusOr<int> e(Status::NotFound("missing"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TablePrinterTest, NumFormatting) {
+  EXPECT_EQ(TablePrinter::Num(0.0), "0");
+  EXPECT_EQ(TablePrinter::Num(1.5), "1.5");
+  // Large and tiny values go scientific.
+  EXPECT_NE(TablePrinter::Num(1.23456e9).find("e"), std::string::npos);
+  EXPECT_NE(TablePrinter::Num(1.2e-7).find("e"), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatch) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only one"}), "WFM_CHECK");
+}
+
+}  // namespace
+}  // namespace wfm

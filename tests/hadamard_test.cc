@@ -1,0 +1,96 @@
+// Tests for Hadamard matrices and the fast Walsh-Hadamard transform.
+
+#include "linalg/hadamard.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/rng.h"
+
+namespace wfm {
+namespace {
+
+TEST(HadamardTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1);
+  EXPECT_EQ(NextPowerOfTwo(2), 2);
+  EXPECT_EQ(NextPowerOfTwo(3), 4);
+  EXPECT_EQ(NextPowerOfTwo(17), 32);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024);
+}
+
+TEST(HadamardTest, SylvesterRecursion) {
+  // H_{2K} = [[H, H], [H, -H]].
+  const Matrix h4 = HadamardMatrix(4);
+  const Matrix h8 = HadamardMatrix(8);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(h8(i, j), h4(i, j));
+      EXPECT_EQ(h8(i, j + 4), h4(i, j));
+      EXPECT_EQ(h8(i + 4, j), h4(i, j));
+      EXPECT_EQ(h8(i + 4, j + 4), -h4(i, j));
+    }
+  }
+}
+
+TEST(HadamardTest, RowsOrthogonal) {
+  const int k = 16;
+  const Matrix h = HadamardMatrix(k);
+  const Matrix hht = MultiplyABT(h, h);
+  EXPECT_TRUE(hht.ApproxEquals(Matrix::Identity(k) * static_cast<double>(k), 1e-12));
+}
+
+TEST(HadamardTest, ColumnsBalancedExceptFirst) {
+  const int k = 32;
+  const Matrix h = HadamardMatrix(k);
+  for (int j = 1; j < k; ++j) {
+    double sum = 0.0;
+    for (int i = 0; i < k; ++i) sum += h(i, j);
+    EXPECT_EQ(sum, 0.0) << "column " << j;
+  }
+}
+
+TEST(FwhtTest, MatchesDenseTransform) {
+  Rng rng(51);
+  const int k = 16;
+  Vector x(k);
+  for (double& v : x) v = rng.Uniform(-1, 1);
+  Vector fwht = x;
+  FastWalshHadamardTransform(fwht);
+  const Vector dense = MultiplyVec(HadamardMatrix(k), x);
+  for (int i = 0; i < k; ++i) EXPECT_NEAR(fwht[i], dense[i], 1e-12);
+}
+
+TEST(FwhtTest, InvolutionUpToScale) {
+  Rng rng(52);
+  const int k = 64;
+  Vector x(k);
+  for (double& v : x) v = rng.Uniform(-1, 1);
+  Vector y = x;
+  FastWalshHadamardTransform(y);
+  FastWalshHadamardTransform(y);
+  for (int i = 0; i < k; ++i) EXPECT_NEAR(y[i], k * x[i], 1e-10);
+}
+
+TEST(FwhtTest, ParsevalIdentity) {
+  Rng rng(53);
+  const int k = 128;
+  Vector x(k);
+  for (double& v : x) v = rng.Uniform(-1, 1);
+  Vector y = x;
+  FastWalshHadamardTransform(y);
+  EXPECT_NEAR(NormSq(y), k * NormSq(x), 1e-8);
+}
+
+TEST(FwhtTest, SizeOneIsIdentity) {
+  Vector x{3.5};
+  FastWalshHadamardTransform(x);
+  EXPECT_EQ(x[0], 3.5);
+}
+
+TEST(HadamardDeathTest, RejectsNonPowerOfTwo) {
+  Vector x(3, 1.0);
+  EXPECT_DEATH(FastWalshHadamardTransform(x), "power of two");
+  EXPECT_DEATH(HadamardMatrix(6), "power of two");
+}
+
+}  // namespace
+}  // namespace wfm

@@ -1,0 +1,148 @@
+// Tests for the LDP runtime: local randomizers, aggregation, and the
+// statistical agreement between simulation and the analytic variance
+// formulas (the key Monte-Carlo validation of Theorem 3.4).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/factorization.h"
+#include "ldp/local_randomizer.h"
+#include "ldp/protocol.h"
+#include "linalg/rng.h"
+#include "mechanisms/randomized_response.h"
+#include "workload/histogram.h"
+#include "workload/prefix.h"
+
+namespace wfm {
+namespace {
+
+TEST(LocalRandomizerTest, RespondsAccordingToColumn) {
+  Rng rng(131);
+  const Matrix q = RandomizedResponseMechanism::BuildStrategy(5, 1.0);
+  LocalRandomizer randomizer(q);
+  EXPECT_EQ(randomizer.num_outputs(), 5);
+  EXPECT_EQ(randomizer.num_types(), 5);
+  const int trials = 50000;
+  std::vector<int> counts(5, 0);
+  for (int t = 0; t < trials; ++t) ++counts[randomizer.Respond(2, rng)];
+  for (int o = 0; o < 5; ++o) {
+    const double expect = q(o, 2) * trials;
+    EXPECT_NEAR(counts[o], expect, 5.0 * std::sqrt(expect) + 1.0) << "output " << o;
+  }
+}
+
+TEST(ResponseAggregatorTest, CountsResponses) {
+  ResponseAggregator agg(3);
+  agg.Add(0);
+  agg.Add(2);
+  agg.Add(2);
+  EXPECT_EQ(agg.histogram(), (Vector{1, 0, 2}));
+  EXPECT_EQ(agg.num_responses(), 3);
+}
+
+TEST(ResponseAggregatorDeathTest, RejectsOutOfRange) {
+  ResponseAggregator agg(3);
+  EXPECT_DEATH(agg.Add(3), "WFM_CHECK");
+  EXPECT_DEATH(agg.Add(-1), "WFM_CHECK");
+}
+
+TEST(ProtocolTest, HistogramPreservesUserCount) {
+  Rng rng(132);
+  const Matrix q = RandomizedResponseMechanism::BuildStrategy(6, 1.0);
+  const Vector x{10, 20, 5, 0, 3, 12};
+  const Vector y = SimulateResponseHistogram(q, x, rng);
+  EXPECT_EQ(static_cast<int>(y.size()), 6);
+  EXPECT_NEAR(Sum(y), Sum(x), 1e-9);
+  for (double v : y) EXPECT_GE(v, 0.0);
+}
+
+TEST(ProtocolTest, FastAndPerUserPathsAgreeInDistribution) {
+  // Same mean and comparable spread across repetitions.
+  Rng rng(133);
+  const Matrix q = RandomizedResponseMechanism::BuildStrategy(4, 1.0);
+  const Vector x{50, 30, 10, 10};
+  const int trials = 300;
+  Vector mean_fast(4, 0.0), mean_slow(4, 0.0);
+  for (int t = 0; t < trials; ++t) {
+    const Vector yf = SimulateResponseHistogram(q, x, rng);
+    const Vector ys = SimulateResponseHistogramPerUser(q, x, rng);
+    for (int o = 0; o < 4; ++o) {
+      mean_fast[o] += yf[o] / trials;
+      mean_slow[o] += ys[o] / trials;
+    }
+  }
+  const Vector expected = MultiplyVec(q, x);
+  for (int o = 0; o < 4; ++o) {
+    const double band = 5.0 * std::sqrt(expected[o] / trials + 1.0);
+    EXPECT_NEAR(mean_fast[o], expected[o], band);
+    EXPECT_NEAR(mean_slow[o], expected[o], band);
+  }
+}
+
+TEST(ProtocolTest, UnbiasedWorkloadEstimates) {
+  // E[V y] = W x: the core unbiasedness property of Definition 3.2.
+  Rng rng(134);
+  const int n = 5;
+  const Matrix q = RandomizedResponseMechanism::BuildStrategy(n, 1.0);
+  const PrefixWorkload workload(n);
+  FactorizationAnalysis fa(q, WorkloadStats::From(workload));
+  const Vector x{40, 10, 25, 5, 20};
+  const Vector truth = workload.Apply(x);
+
+  const int trials = 600;
+  Vector mean(n, 0.0);
+  for (int t = 0; t < trials; ++t) {
+    const Vector y = SimulateResponseHistogram(q, x, rng);
+    const Vector answers = workload.Apply(fa.EstimateDataVector(y));
+    for (int i = 0; i < n; ++i) mean[i] += answers[i] / trials;
+  }
+  const double var = fa.DataVariance(x);
+  const double band = 5.0 * std::sqrt(var / trials);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(mean[i], truth[i], band) << "query " << i;
+}
+
+TEST(ProtocolTest, EmpiricalVarianceMatchesTheorem34) {
+  // The Monte-Carlo total squared error must agree with the analytic
+  // data-dependent variance — the strongest end-to-end correctness check of
+  // the variance derivation.
+  Rng rng(135);
+  const int n = 4;
+  const double eps = 1.0;
+  const Matrix q = RandomizedResponseMechanism::BuildStrategy(n, eps);
+  const HistogramWorkload workload(n);
+  FactorizationAnalysis fa(q, WorkloadStats::From(workload));
+  const Vector x{30, 50, 10, 10};
+  const Vector truth = workload.Apply(x);
+  const double analytic = fa.DataVariance(x);
+
+  const int trials = 3000;
+  double total_sq_error = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const Vector y = SimulateResponseHistogram(q, x, rng);
+    const Vector answers = workload.Apply(fa.EstimateDataVector(y));
+    for (int i = 0; i < n; ++i) {
+      const double d = answers[i] - truth[i];
+      total_sq_error += d * d;
+    }
+  }
+  const double empirical = total_sq_error / trials;
+  EXPECT_NEAR(empirical, analytic, 0.1 * analytic);
+}
+
+TEST(ProtocolTest, ZeroUsersOfSomeTypes) {
+  Rng rng(136);
+  const Matrix q = RandomizedResponseMechanism::BuildStrategy(3, 1.0);
+  const Vector x{0, 100, 0};
+  const Vector y = SimulateResponseHistogram(q, x, rng);
+  EXPECT_NEAR(Sum(y), 100, 1e-9);
+}
+
+TEST(ProtocolDeathTest, NegativeCountsRejected) {
+  Rng rng(137);
+  const Matrix q = RandomizedResponseMechanism::BuildStrategy(3, 1.0);
+  EXPECT_DEATH(SimulateResponseHistogram(q, {1, -2, 3}, rng), "non-negative");
+}
+
+}  // namespace
+}  // namespace wfm

@@ -1,0 +1,104 @@
+// Tests for the Theorem 5.6 / Corollary 5.7 spectral lower bounds.
+
+#include "core/lower_bound.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/factorization.h"
+#include "core/objective.h"
+#include "mechanisms/hadamard_response.h"
+#include "mechanisms/hierarchical.h"
+#include "mechanisms/randomized_response.h"
+#include "workload/workload.h"
+
+namespace wfm {
+namespace {
+
+TEST(LowerBoundTest, HistogramClosedForm) {
+  // Histogram: all n singular values are 1, so the bound is n²/e^ε.
+  const int n = 16;
+  for (double eps : {0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(ObjectiveLowerBound(Matrix::Identity(n), eps),
+                n * n / std::exp(eps), 1e-8);
+  }
+}
+
+TEST(LowerBoundTest, ParityBoundIsNTimesHistogram) {
+  // Parity Gram = n I: singular values are sqrt(n), bound = n³/e^ε — the
+  // spectral reason Parity is the paper's hardest workload.
+  const int n = 16;
+  const double eps = 1.0;
+  const auto parity = CreateWorkload("Parity", n);
+  const auto histogram = CreateWorkload("Histogram", n);
+  EXPECT_NEAR(ObjectiveLowerBound(parity->Gram(), eps),
+              n * ObjectiveLowerBound(histogram->Gram(), eps), 1e-6);
+}
+
+TEST(LowerBoundTest, HoldsForBaselineMechanisms) {
+  const int n = 8;
+  for (double eps : {0.5, 1.0, 2.0}) {
+    for (const char* name : {"Histogram", "Prefix", "AllRange", "Parity"}) {
+      const auto w = CreateWorkload(name, n);
+      const Matrix gram = w->Gram();
+      const double bound = ObjectiveLowerBound(gram, eps);
+      const double rr = EvalObjective(
+          RandomizedResponseMechanism::BuildStrategy(n, eps), gram);
+      const double had =
+          EvalObjective(HadamardResponseMechanism::BuildStrategy(n, eps), gram);
+      const double hier =
+          EvalObjective(HierarchicalMechanism::BuildStrategy(n, eps, 4), gram);
+      EXPECT_GE(rr, bound - 1e-6) << name << " RR eps=" << eps;
+      EXPECT_GE(had, bound - 1e-6) << name << " Hadamard eps=" << eps;
+      EXPECT_GE(hier, bound - 1e-6) << name << " Hierarchical eps=" << eps;
+    }
+  }
+}
+
+TEST(LowerBoundTest, WorstCaseVarianceBoundBelowRRVariance) {
+  const int n = 12;
+  const double eps = 1.0, num_users = 500.0;
+  const auto w = CreateWorkload("Histogram", n);
+  const WorkloadStats stats = WorkloadStats::From(*w);
+  const double bound =
+      WorstCaseVarianceLowerBound(stats.gram, stats.frob_sq, eps, num_users);
+  const double rr_var = RandomizedResponseMechanism::HistogramVarianceClosedForm(
+      n, eps, num_users);
+  EXPECT_LE(bound, rr_var);
+  EXPECT_GT(bound, 0.0);
+}
+
+TEST(LowerBoundTest, Example58HistogramSampleComplexity) {
+  // Example 5.8: at least (1/alpha)(1/e^ε - 1/n) samples for Histogram.
+  const int n = 64;
+  const double eps = 1.0, alpha = 0.01;
+  const auto w = CreateWorkload("Histogram", n);
+  const WorkloadStats stats = WorkloadStats::From(*w);
+  const double expected = (1.0 / alpha) * (1.0 / std::exp(eps) - 1.0 / n);
+  EXPECT_NEAR(
+      SampleComplexityLowerBound(stats.gram, stats.frob_sq, eps, stats.p, alpha),
+      expected, 1e-6 * expected);
+}
+
+TEST(LowerBoundTest, WeakDependenceOnDomainForHistogram) {
+  // Example 5.8's bound changes by <4% from n=64 to n=1024.
+  const double eps = 1.0, alpha = 0.01;
+  auto bound_at = [&](int n) {
+    const auto w = CreateWorkload("Histogram", n);
+    const WorkloadStats stats = WorkloadStats::From(*w);
+    return SampleComplexityLowerBound(stats.gram, stats.frob_sq, eps, stats.p,
+                                      alpha);
+  };
+  EXPECT_NEAR(bound_at(64) / bound_at(256), 1.0, 0.04);
+}
+
+TEST(LowerBoundTest, DecreasesWithEpsilon) {
+  const auto w = CreateWorkload("Prefix", 16);
+  const Matrix gram = w->Gram();
+  EXPECT_GT(ObjectiveLowerBound(gram, 0.5), ObjectiveLowerBound(gram, 1.0));
+  EXPECT_GT(ObjectiveLowerBound(gram, 1.0), ObjectiveLowerBound(gram, 2.0));
+}
+
+}  // namespace
+}  // namespace wfm

@@ -1,0 +1,98 @@
+// Tests for matrix serialization (binary and CSV).
+
+#include "linalg/matrix_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "linalg/rng.h"
+
+namespace wfm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Matrix RandomMatrix(int rows, int cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = rng.Uniform(-1e6, 1e6);
+  }
+  return m;
+}
+
+TEST(MatrixIoTest, BinaryRoundTripExact) {
+  Rng rng(201);
+  const Matrix m = RandomMatrix(17, 9, rng);
+  const std::string path = TempPath("m.bin");
+  ASSERT_TRUE(SaveMatrixBinary(path, m).ok());
+  const StatusOr<Matrix> loaded = LoadMatrixBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().ApproxEquals(m, 0.0));  // Bit-exact.
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, CsvRoundTrip) {
+  Rng rng(202);
+  const Matrix m = RandomMatrix(5, 7, rng);
+  const std::string path = TempPath("m.csv");
+  ASSERT_TRUE(SaveMatrixCsv(path, m).ok());
+  const StatusOr<Matrix> loaded = LoadMatrixCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  // 17 significant digits round-trip doubles exactly.
+  EXPECT_TRUE(loaded.value().ApproxEquals(m, 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, BinaryRejectsBadMagic) {
+  const std::string path = TempPath("bad.bin");
+  std::ofstream(path) << "NOTAMATRIXFILE";
+  const StatusOr<Matrix> loaded = LoadMatrixBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, BinaryRejectsTruncation) {
+  Rng rng(203);
+  const Matrix m = RandomMatrix(8, 8, rng);
+  const std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(SaveMatrixBinary(path, m).ok());
+  // Truncate the file to half its size.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary)
+      << contents.substr(0, contents.size() / 2);
+  EXPECT_FALSE(LoadMatrixBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, CsvRejectsRaggedRows) {
+  const std::string path = TempPath("ragged.csv");
+  std::ofstream(path) << "1,2,3\n4,5\n";
+  const StatusOr<Matrix> loaded = LoadMatrixCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, CsvRejectsGarbageCells) {
+  const std::string path = TempPath("garbage.csv");
+  std::ofstream(path) << "1,banana\n";
+  EXPECT_FALSE(LoadMatrixCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, MissingFilesReportNotFound) {
+  EXPECT_EQ(LoadMatrixBinary("/nonexistent/x.bin").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(LoadMatrixCsv("/nonexistent/x.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace wfm

@@ -1,0 +1,209 @@
+// Cross-cutting mechanism tests: every baseline's strategy matrix satisfies
+// Proposition 2.6 over an (n, ε) grid, Table 1 encodings are correct, and
+// mechanisms reproduce their known behaviours.
+
+#include <cctype>
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/strategy.h"
+#include "mechanisms/fourier.h"
+#include "mechanisms/hadamard_response.h"
+#include "mechanisms/hierarchical.h"
+#include "mechanisms/mechanism.h"
+#include "mechanisms/optimized.h"
+#include "mechanisms/randomized_response.h"
+#include "mechanisms/registry.h"
+#include "workload/workload.h"
+
+namespace wfm {
+namespace {
+
+struct GridCase {
+  std::string mechanism;
+  int n;
+  double eps;
+};
+
+class StrategyValidityGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(StrategyValidityGrid, SatisfiesProposition26) {
+  const auto& [name, n, eps] = GetParam();
+  const auto mech = CreateBaseline(name, n, eps);
+  ASSERT_NE(mech, nullptr);
+  const auto* strat = dynamic_cast<const StrategyMechanism*>(mech.get());
+  ASSERT_NE(strat, nullptr) << name << " is not strategy-based";
+  const StrategyValidation v = ValidateStrategy(strat->strategy(), eps, 1e-8);
+  EXPECT_TRUE(v.valid) << name << " n=" << n << " eps=" << eps << ": "
+                       << v.ToString();
+}
+
+std::vector<GridCase> MakeGrid() {
+  std::vector<GridCase> grid;
+  for (const char* name : {"Randomized Response", "Hadamard", "Hierarchical",
+                           "Fourier"}) {
+    for (int n : {4, 8, 16, 32}) {
+      for (double eps : {0.25, 1.0, 4.0}) {
+        grid.push_back({name, n, eps});
+      }
+    }
+  }
+  // Non-power-of-two domains for the mechanisms that support them.
+  for (const char* name : {"Randomized Response", "Hadamard", "Hierarchical"}) {
+    grid.push_back({name, 13, 1.0});
+    grid.push_back({name, 27, 0.5});
+  }
+  return grid;
+}
+
+std::string GridCaseName(const ::testing::TestParamInfo<GridCase>& info) {
+  std::string name = info.param.mechanism + "_n" + std::to_string(info.param.n) +
+                     "_eps" + std::to_string(static_cast<int>(info.param.eps * 100));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, StrategyValidityGrid,
+                         ::testing::ValuesIn(MakeGrid()), GridCaseName);
+
+TEST(RandomizedResponseTest, MatchesExample27Entries) {
+  const int n = 4;
+  const double eps = 1.0;
+  const Matrix q = RandomizedResponseMechanism::BuildStrategy(n, eps);
+  const double e = std::exp(1.0);
+  const double norm = e + n - 1;
+  for (int o = 0; o < n; ++o) {
+    for (int u = 0; u < n; ++u) {
+      EXPECT_NEAR(q(o, u), (o == u ? e : 1.0) / norm, 1e-12);
+    }
+  }
+}
+
+TEST(HadamardTest, OutputSizeIsNextPowerOfTwoAboveN) {
+  EXPECT_EQ(HadamardResponseMechanism::OutputSize(3), 4);
+  EXPECT_EQ(HadamardResponseMechanism::OutputSize(4), 8);
+  EXPECT_EQ(HadamardResponseMechanism::OutputSize(511), 512);
+  EXPECT_EQ(HadamardResponseMechanism::OutputSize(512), 1024);
+}
+
+TEST(HadamardTest, TwoLevelRowProbabilities) {
+  // Every entry is one of exactly two values with ratio e^ε (Table 1).
+  const Matrix q = HadamardResponseMechanism::BuildStrategy(7, 1.5);
+  double lo = 1e9, hi = 0;
+  for (int o = 0; o < q.rows(); ++o) {
+    for (int u = 0; u < q.cols(); ++u) {
+      lo = std::min(lo, q(o, u));
+      hi = std::max(hi, q(o, u));
+    }
+  }
+  EXPECT_NEAR(hi / lo, std::exp(1.5), 1e-9);
+}
+
+TEST(HierarchicalTest, CoversAllLevels) {
+  // n=16 fanout 4: levels of 4 and 16 cells -> 20 rows.
+  const Matrix q = HierarchicalMechanism::BuildStrategy(16, 1.0, 4);
+  EXPECT_EQ(q.rows(), 20);
+  EXPECT_EQ(q.cols(), 16);
+}
+
+TEST(HierarchicalTest, NonPowerOfFanoutDomain) {
+  const Matrix q = HierarchicalMechanism::BuildStrategy(10, 1.0, 4);
+  EXPECT_TRUE(ValidateStrategy(q, 1.0, 1e-9).valid);
+}
+
+TEST(HierarchicalTest, BestBaselineOnPrefixAtModerateEps) {
+  // The paper's Figure 1 finding: Hierarchical is the best fixed baseline on
+  // Prefix (excluding the Optimized mechanism) at moderate ε.
+  const int n = 32;
+  const double eps = 1.0;
+  const auto w = CreateWorkload("Prefix", n);
+  const WorkloadStats stats = WorkloadStats::From(*w);
+  const double hier =
+      CreateBaseline("Hierarchical", n, eps)->Analyze(stats).SampleComplexity(0.01);
+  for (const char* other : {"Randomized Response", "Hadamard"}) {
+    const double sc =
+        CreateBaseline(other, n, eps)->Analyze(stats).SampleComplexity(0.01);
+    EXPECT_LT(hier, sc) << other;
+  }
+}
+
+TEST(FourierTest, RowCountIsTwiceCoefficients) {
+  const Matrix q = FourierMechanism::BuildStrategy(16, 1.0, -1);
+  EXPECT_EQ(q.rows(), 32);
+  const Matrix q2 = FourierMechanism::BuildStrategy(16, 1.0, 1);  // 1 + 4 coeffs.
+  EXPECT_EQ(q2.rows(), 10);
+}
+
+TEST(FourierTest, RequiresPowerOfTwo) {
+  EXPECT_DEATH(FourierMechanism::BuildStrategy(12, 1.0, -1), "power-of-two");
+}
+
+TEST(RegistryTest, CreatesAllBaselines) {
+  for (const auto& name : StandardBaselineNames()) {
+    const auto mech = CreateBaseline(name, 16, 1.0);
+    ASSERT_NE(mech, nullptr) << name;
+    EXPECT_EQ(mech->Name(), name);
+    EXPECT_EQ(mech->domain_size(), 16);
+    EXPECT_DOUBLE_EQ(mech->epsilon(), 1.0);
+  }
+}
+
+TEST(RegistryTest, FourierNullOnNonPowerOfTwo) {
+  EXPECT_EQ(CreateBaseline("Fourier", 12, 1.0), nullptr);
+}
+
+TEST(ErrorProfileTest, SummariesConsistent) {
+  ErrorProfile p;
+  p.phi = {1.0, 3.0, 2.0};
+  p.num_queries = 10;
+  EXPECT_EQ(p.WorstUnitVariance(), 3.0);
+  EXPECT_EQ(p.AverageUnitVariance(), 2.0);
+  EXPECT_EQ(p.DataVariance({1, 1, 1}), 6.0);
+  EXPECT_NEAR(p.SampleComplexity(0.01), 3.0 / 0.1, 1e-12);
+  EXPECT_NEAR(p.SampleComplexityOnData({0, 2, 0}, 0.01), 3.0 / 0.1, 1e-12);
+}
+
+TEST(AllBaselinesTest, ProfilesArePositiveOnAllWorkloads) {
+  const int n = 16;
+  const double eps = 1.0;
+  for (const auto& wname : StandardWorkloadNames()) {
+    const auto w = CreateWorkload(wname, n);
+    const WorkloadStats stats = WorkloadStats::From(*w);
+    for (const auto& mname : StandardBaselineNames()) {
+      const auto mech = CreateBaseline(mname, n, eps);
+      ASSERT_NE(mech, nullptr);
+      const ErrorProfile profile = mech->Analyze(stats);
+      EXPECT_GT(profile.WorstUnitVariance(), 0.0) << mname << " on " << wname;
+      EXPECT_TRUE(std::isfinite(profile.SampleComplexity(0.01)));
+    }
+  }
+}
+
+TEST(OptimizedMechanismTest, NeverWorseThanBaselinesOnTargetWorkload) {
+  // The paper's headline claim, verified at a small scale.
+  const int n = 8;
+  const double eps = 1.0;
+  OptimizerConfig config;
+  config.iterations = 300;
+  config.step_search_iterations = 30;
+  config.seed = 11;
+  for (const char* wname : {"Histogram", "Prefix"}) {
+    const auto w = CreateWorkload(wname, n);
+    const WorkloadStats stats = WorkloadStats::From(*w);
+    const OptimizedMechanism optimized(stats, eps, config);
+    const double opt_sc = optimized.Analyze(stats).SampleComplexity(0.01);
+    for (const auto& mname : StandardBaselineNames()) {
+      const auto mech = CreateBaseline(mname, n, eps);
+      ASSERT_NE(mech, nullptr);
+      const double sc = mech->Analyze(stats).SampleComplexity(0.01);
+      EXPECT_LE(opt_sc, sc * 1.05) << mname << " on " << wname;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wfm

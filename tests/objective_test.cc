@@ -1,0 +1,122 @@
+// Tests for the optimization objective and its analytic gradient — most
+// importantly the central finite-difference check of the hand-derived
+// gradient (the substitute for the paper's autodiff; DESIGN.md §5).
+
+#include "core/objective.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/factorization.h"
+#include "core/projection.h"
+#include "linalg/rng.h"
+#include "workload/workload.h"
+
+namespace wfm {
+namespace {
+
+Matrix RandomStrategy(int m, int n, double eps, Rng& rng) {
+  Matrix r(m, n);
+  for (int o = 0; o < m; ++o) {
+    for (int u = 0; u < n; ++u) r(o, u) = rng.NextDouble();
+  }
+  const Vector z(m, (1.0 + std::exp(-eps)) / (2.0 * m));
+  return ProjectOntoLdpPolytope(r, z, eps).q;
+}
+
+TEST(ObjectiveTest, ValueMatchesFactorizationAnalysis) {
+  Rng rng(81);
+  const int n = 6, m = 24;
+  const Matrix q = RandomStrategy(m, n, 1.0, rng);
+  for (const char* name : {"Histogram", "Prefix", "AllRange"}) {
+    const auto w = CreateWorkload(name, n);
+    const WorkloadStats stats = WorkloadStats::From(*w);
+    FactorizationAnalysis fa(q, stats);
+    EXPECT_NEAR(EvalObjective(q, stats.gram), fa.Objective(),
+                1e-8 * std::max(1.0, fa.Objective()))
+        << name;
+    EXPECT_NEAR(EvalObjectiveAndGradient(q, stats.gram).value, fa.Objective(),
+                1e-8 * std::max(1.0, fa.Objective()))
+        << name;
+  }
+}
+
+class GradientCheck : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GradientCheck, MatchesCentralFiniteDifferences) {
+  Rng rng(82);
+  const int n = 5, m = 20;
+  const Matrix q = RandomStrategy(m, n, 1.0, rng);
+  const auto w = CreateWorkload(GetParam(), n);
+  const Matrix gram = w->Gram();
+
+  const ObjectiveEvaluation eval = EvalObjectiveAndGradient(q, gram);
+  ASSERT_TRUE(std::isfinite(eval.value));
+
+  const double h = 1e-6;
+  // Probe a spread of entries (all m*n would be slow and redundant).
+  for (int o = 0; o < m; o += 3) {
+    for (int u = 0; u < n; u += 2) {
+      Matrix qp = q, qm = q;
+      qp(o, u) += h;
+      qm(o, u) -= h;
+      const double fd = (EvalObjective(qp, gram) - EvalObjective(qm, gram)) / (2 * h);
+      const double an = eval.gradient(o, u);
+      EXPECT_NEAR(an, fd, 1e-4 * std::max(1.0, std::abs(fd)))
+          << GetParam() << " entry (" << o << "," << u << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, GradientCheck,
+                         ::testing::Values("Histogram", "Prefix", "AllRange"));
+
+TEST(ObjectiveTest, UsesCholeskyOnFullRankStrategies) {
+  Rng rng(83);
+  const Matrix q = RandomStrategy(32, 8, 1.0, rng);
+  const Matrix gram = Matrix::Identity(8);
+  EXPECT_TRUE(EvalObjectiveAndGradient(q, gram).used_cholesky);
+}
+
+TEST(ObjectiveTest, PinvFallbackOnRankDeficientStrategy) {
+  // A strategy with two identical user columns makes A rank deficient; the
+  // objective against a workload supported on the strategy's row space is
+  // still finite via the pseudo-inverse.
+  const int n = 4;
+  Matrix q(8, n);
+  Rng rng(84);
+  Matrix base = RandomStrategy(8, n, 1.0, rng);
+  q = base;
+  q.SetCol(3, base.Col(2));  // Duplicate column: rank(A) <= 3.
+  // Workload touching only the identified types: gram restricted.
+  Matrix gram(n, n);
+  gram(0, 0) = 1.0;
+  gram(1, 1) = 1.0;
+  const ObjectiveEvaluation eval = EvalObjectiveAndGradient(q, gram);
+  EXPECT_FALSE(eval.used_cholesky);
+  EXPECT_TRUE(std::isfinite(eval.value));
+  EXPECT_GT(eval.value, 0.0);
+}
+
+TEST(ObjectiveTest, ScalingWorkloadScalesObjective) {
+  Rng rng(85);
+  const Matrix q = RandomStrategy(20, 5, 1.0, rng);
+  const auto w = CreateWorkload("Prefix", 5);
+  const Matrix gram = w->Gram();
+  const double base = EvalObjective(q, gram);
+  Matrix scaled = gram;
+  scaled *= 9.0;  // (3W)ᵀ(3W).
+  EXPECT_NEAR(EvalObjective(q, scaled), 9.0 * base, 1e-8 * base);
+}
+
+TEST(ObjectiveTest, GradientShapeMatchesStrategy) {
+  Rng rng(86);
+  const Matrix q = RandomStrategy(12, 3, 0.7, rng);
+  const auto eval = EvalObjectiveAndGradient(q, Matrix::Identity(3));
+  EXPECT_EQ(eval.gradient.rows(), 12);
+  EXPECT_EQ(eval.gradient.cols(), 3);
+}
+
+}  // namespace
+}  // namespace wfm

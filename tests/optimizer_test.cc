@@ -1,0 +1,146 @@
+// Tests for Algorithm 2 (projected gradient descent strategy optimization).
+
+#include "core/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/factorization.h"
+#include "core/lower_bound.h"
+#include "core/objective.h"
+#include "core/strategy.h"
+#include "mechanisms/randomized_response.h"
+#include "workload/workload.h"
+
+namespace wfm {
+namespace {
+
+OptimizerConfig FastConfig() {
+  OptimizerConfig config;
+  config.iterations = 120;
+  config.step_search_iterations = 25;
+  config.seed = 5;
+  return config;
+}
+
+TEST(OptimizerTest, RandomInitializationIsFeasible) {
+  Rng rng(101);
+  for (double eps : {0.5, 1.0, 3.0}) {
+    Vector z;
+    const ProjectionResult init = RandomInitialStrategy(32, 8, eps, rng, &z);
+    EXPECT_TRUE(ValidateStrategy(init.q, eps, 1e-8).valid) << "eps " << eps;
+    EXPECT_TRUE(ProjectionFeasible(z, eps));
+  }
+}
+
+TEST(OptimizerTest, ImprovesOverInitialization) {
+  const auto w = CreateWorkload("Prefix", 8);
+  const Matrix gram = w->Gram();
+  const OptimizerResult res = OptimizeStrategy(gram, 1.0, FastConfig());
+  EXPECT_LT(res.objective, res.initial_objective);
+}
+
+TEST(OptimizerTest, ResultIsValidStrategy) {
+  const auto w = CreateWorkload("Histogram", 8);
+  for (double eps : {0.5, 2.0}) {
+    const OptimizerResult res = OptimizeStrategy(w->Gram(), eps, FastConfig());
+    EXPECT_TRUE(ValidateStrategy(res.q, eps, 1e-7).valid) << "eps " << eps;
+  }
+}
+
+TEST(OptimizerTest, ObjectiveConsistentWithReportedStrategy) {
+  const auto w = CreateWorkload("Prefix", 6);
+  const OptimizerResult res = OptimizeStrategy(w->Gram(), 1.0, FastConfig());
+  EXPECT_NEAR(EvalObjective(res.q, w->Gram()), res.objective,
+              1e-6 * std::max(1.0, res.objective));
+}
+
+TEST(OptimizerTest, RespectsLowerBound) {
+  for (const char* name : {"Histogram", "Prefix"}) {
+    const auto w = CreateWorkload(name, 8);
+    const double eps = 1.0;
+    const OptimizerResult res = OptimizeStrategy(w->Gram(), eps, FastConfig());
+    EXPECT_GE(res.objective, ObjectiveLowerBound(w->Gram(), eps) - 1e-6) << name;
+  }
+}
+
+TEST(OptimizerTest, BeatsRandomizedResponseOnPrefix) {
+  // Adaptivity must pay off on a structured workload.
+  const int n = 8;
+  const double eps = 1.0;
+  const auto w = CreateWorkload("Prefix", n);
+  const WorkloadStats stats = WorkloadStats::From(*w);
+  const Matrix rr = RandomizedResponseMechanism::BuildStrategy(n, eps);
+  const double rr_objective = EvalObjective(rr, stats.gram);
+
+  OptimizerConfig config = FastConfig();
+  config.iterations = 300;
+  const OptimizerResult res = OptimizeStrategy(stats.gram, eps, config);
+  EXPECT_LT(res.objective, rr_objective);
+}
+
+TEST(OptimizerTest, DeterministicForSeed) {
+  const auto w = CreateWorkload("Histogram", 6);
+  OptimizerConfig config = FastConfig();
+  config.iterations = 40;
+  const OptimizerResult a = OptimizeStrategy(w->Gram(), 1.0, config);
+  const OptimizerResult b = OptimizeStrategy(w->Gram(), 1.0, config);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_TRUE(a.q.ApproxEquals(b.q, 0.0));
+}
+
+TEST(OptimizerTest, CustomStrategyRows) {
+  const auto w = CreateWorkload("Histogram", 6);
+  OptimizerConfig config = FastConfig();
+  config.strategy_rows = 2 * 6;
+  const OptimizerResult res = OptimizeStrategy(w->Gram(), 1.0, config);
+  EXPECT_EQ(res.q.rows(), 12);
+  EXPECT_TRUE(ValidateStrategy(res.q, 1.0, 1e-7).valid);
+}
+
+TEST(OptimizerTest, HistoryIsRecorded) {
+  const auto w = CreateWorkload("Prefix", 5);
+  OptimizerConfig config = FastConfig();
+  config.iterations = 50;
+  const OptimizerResult res = OptimizeStrategy(w->Gram(), 1.0, config);
+  EXPECT_EQ(static_cast<int>(res.history.size()), 50);
+  for (double v : res.history) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(OptimizerTest, MultipleRestartsNeverHurt) {
+  const auto w = CreateWorkload("Prefix", 6);
+  OptimizerConfig one = FastConfig();
+  one.iterations = 60;
+  OptimizerConfig three = one;
+  three.restarts = 3;
+  const double single = OptimizeStrategy(w->Gram(), 1.0, one).objective;
+  const double multi = OptimizeStrategy(w->Gram(), 1.0, three).objective;
+  EXPECT_LE(multi, single + 1e-9);
+}
+
+TEST(OptimizerTest, FixedStepSkipsSearch) {
+  const auto w = CreateWorkload("Histogram", 5);
+  OptimizerConfig config = FastConfig();
+  config.step_size = 1e-3;
+  const OptimizerResult res = OptimizeStrategy(w->Gram(), 1.0, config);
+  EXPECT_EQ(res.step_size_used, 1e-3);
+  EXPECT_TRUE(std::isfinite(res.objective));
+}
+
+TEST(OptimizerTest, TimeOneIterationRunsAndIsPositive) {
+  Rng rng(102);
+  const auto w = CreateWorkload("Histogram", 16);
+  const double secs = TimeOneIteration(w->Gram(), 1.0, 64, rng);
+  EXPECT_GT(secs, 0.0);
+  EXPECT_LT(secs, 10.0);
+}
+
+TEST(OptimizerDeathTest, RejectsTooFewRows) {
+  OptimizerConfig config;
+  config.strategy_rows = 3;
+  EXPECT_DEATH(OptimizeStrategy(Matrix::Identity(8), 1.0, config), "at least n");
+}
+
+}  // namespace
+}  // namespace wfm

@@ -1,0 +1,207 @@
+// Tests for Algorithm 1: projection onto the bounded probability simplex.
+
+#include "core/projection.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/strategy.h"
+#include "linalg/rng.h"
+
+namespace wfm {
+namespace {
+
+Matrix RandomMatrix(int m, int n, Rng& rng, double lo, double hi) {
+  Matrix r(m, n);
+  for (int o = 0; o < m; ++o) {
+    for (int u = 0; u < n; ++u) r(o, u) = rng.Uniform(lo, hi);
+  }
+  return r;
+}
+
+struct ProjCase {
+  int m;
+  int n;
+  double eps;
+};
+
+class ProjectionFeasibilitySweep : public ::testing::TestWithParam<ProjCase> {};
+
+TEST_P(ProjectionFeasibilitySweep, OutputSatisfiesAllConstraints) {
+  const auto [m, n, eps] = GetParam();
+  Rng rng(91 + m * 13 + n);
+  const Matrix r = RandomMatrix(m, n, rng, -1.0, 2.0);
+  const Vector z(m, (1.0 + std::exp(-eps)) / (2.0 * m));
+  const ProjectionResult res = ProjectOntoLdpPolytope(r, z, eps);
+
+  // Column sums exactly one.
+  for (double s : res.q.ColSums()) EXPECT_NEAR(s, 1.0, 1e-9);
+  // Bounds z <= q <= e^eps z.
+  for (int o = 0; o < m; ++o) {
+    for (int u = 0; u < n; ++u) {
+      EXPECT_GE(res.q(o, u), z[o] - 1e-12);
+      EXPECT_LE(res.q(o, u), std::exp(eps) * z[o] + 1e-12);
+    }
+  }
+  // Hence the result is a valid eps-LDP strategy.
+  EXPECT_TRUE(ValidateStrategy(res.q, eps, 1e-8).valid);
+}
+
+TEST_P(ProjectionFeasibilitySweep, PatternConsistentWithValues) {
+  const auto [m, n, eps] = GetParam();
+  Rng rng(191 + m + n);
+  const Matrix r = RandomMatrix(m, n, rng, -0.5, 1.5);
+  const Vector z(m, (1.0 + std::exp(-eps)) / (2.0 * m));
+  const ProjectionResult res = ProjectOntoLdpPolytope(r, z, eps);
+  for (int o = 0; o < m; ++o) {
+    for (int u = 0; u < n; ++u) {
+      switch (res.state(o, u)) {
+        case ClipState::kAtLower:
+          EXPECT_NEAR(res.q(o, u), z[o], 1e-12);
+          break;
+        case ClipState::kAtUpper:
+          EXPECT_NEAR(res.q(o, u), std::exp(eps) * z[o], 1e-12);
+          break;
+        case ClipState::kFree:
+          EXPECT_GT(res.q(o, u), z[o] - 1e-12);
+          EXPECT_LT(res.q(o, u), std::exp(eps) * z[o] + 1e-12);
+          break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ProjectionFeasibilitySweep,
+    ::testing::Values(ProjCase{4, 1, 0.5}, ProjCase{8, 3, 1.0},
+                      ProjCase{16, 4, 2.0}, ProjCase{32, 8, 0.25},
+                      ProjCase{64, 16, 4.0}, ProjCase{20, 5, 0.05}));
+
+TEST(ProjectionTest, IdempotentOnFeasiblePoints) {
+  Rng rng(92);
+  const int m = 12, n = 4;
+  const double eps = 1.0;
+  const Vector z(m, (1.0 + std::exp(-eps)) / (2.0 * m));
+  const Matrix r = RandomMatrix(m, n, rng, 0.0, 1.0);
+  const Matrix q1 = ProjectOntoLdpPolytope(r, z, eps).q;
+  const Matrix q2 = ProjectOntoLdpPolytope(q1, z, eps).q;
+  EXPECT_TRUE(q2.ApproxEquals(q1, 1e-9));
+}
+
+TEST(ProjectionTest, ProjectionIsClosestFeasiblePoint) {
+  // Optimality via random feasible competitors: no feasible point may be
+  // closer to r than the projection (convexity makes this a valid check).
+  Rng rng(93);
+  const int m = 10, n = 1;
+  const double eps = 1.0;
+  const Vector z(m, (1.0 + std::exp(-eps)) / (2.0 * m));
+  const Matrix r = RandomMatrix(m, n, rng, -0.3, 0.6);
+  const Vector proj = ProjectColumn(r.Col(0), z, eps);
+  const double proj_dist = NormSq(proj) - 2 * Dot(proj, r.Col(0)) + NormSq(r.Col(0));
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random feasible column: project a random point (projection of any
+    // point is feasible).
+    const Matrix cand_src = RandomMatrix(m, 1, rng, -1.0, 1.0);
+    const Vector cand = ProjectColumn(cand_src.Col(0), z, eps);
+    const double cand_dist =
+        NormSq(cand) - 2 * Dot(cand, r.Col(0)) + NormSq(r.Col(0));
+    EXPECT_GE(cand_dist, proj_dist - 1e-9);
+  }
+}
+
+TEST(ProjectionTest, KktCharacterization) {
+  // For the projection q of r: free entries share one shift lambda = q-r;
+  // lower-clipped entries have q-r >= lambda; upper-clipped have q-r <= lambda.
+  Rng rng(94);
+  const int m = 20;
+  const double eps = 0.8;
+  const Vector z(m, (1.0 + std::exp(-eps)) / (2.0 * m));
+  const Matrix r = RandomMatrix(m, 1, rng, -0.2, 0.4);
+  const ProjectionResult res = ProjectOntoLdpPolytope(r, z, eps);
+  double lambda = 0.0;
+  bool has_free = false;
+  for (int o = 0; o < m; ++o) {
+    if (res.state(o, 0) == ClipState::kFree) {
+      lambda = res.q(o, 0) - r(o, 0);
+      has_free = true;
+      break;
+    }
+  }
+  if (!has_free) GTEST_SKIP() << "degenerate draw: all entries clipped";
+  for (int o = 0; o < m; ++o) {
+    const double shift = res.q(o, 0) - r(o, 0);
+    switch (res.state(o, 0)) {
+      case ClipState::kFree:
+        EXPECT_NEAR(shift, lambda, 1e-9);
+        break;
+      case ClipState::kAtLower:
+        EXPECT_GE(shift, lambda - 1e-9);
+        break;
+      case ClipState::kAtUpper:
+        EXPECT_LE(shift, lambda + 1e-9);
+        break;
+    }
+  }
+}
+
+TEST(ProjectionTest, HandlesNonuniformZ) {
+  Rng rng(95);
+  const int m = 10;
+  const double eps = 1.0;
+  Vector z(m);
+  for (int o = 0; o < m; ++o) z[o] = rng.Uniform(0.0, 0.15);
+  // Ensure feasibility.
+  double s = Sum(z);
+  if (s > 0.9) {
+    for (double& v : z) v *= 0.9 / s;
+  }
+  if (std::exp(eps) * Sum(z) < 1.1) {
+    for (double& v : z) v += (1.1 / std::exp(eps)) / m;
+  }
+  ASSERT_TRUE(ProjectionFeasible(z, eps));
+  const Matrix r = RandomMatrix(m, 3, rng, -1.0, 1.0);
+  const ProjectionResult res = ProjectOntoLdpPolytope(r, z, eps);
+  for (double col_sum : res.q.ColSums()) EXPECT_NEAR(col_sum, 1.0, 1e-9);
+  for (int o = 0; o < m; ++o) {
+    for (int u = 0; u < 3; ++u) {
+      EXPECT_GE(res.q(o, u), z[o] - 1e-12);
+      EXPECT_LE(res.q(o, u), std::exp(eps) * z[o] + 1e-12);
+    }
+  }
+}
+
+TEST(ProjectionTest, FeasibilityPredicate) {
+  const double eps = 1.0;
+  EXPECT_TRUE(ProjectionFeasible(Vector(10, 0.05), eps));
+  // Sum > 1: infeasible.
+  EXPECT_FALSE(ProjectionFeasible(Vector(10, 0.2), eps));
+  // e^eps * sum < 1: infeasible.
+  EXPECT_FALSE(ProjectionFeasible(Vector(10, 0.001), eps));
+  // Negative entries: infeasible.
+  Vector z(10, 0.05);
+  z[0] = -0.01;
+  EXPECT_FALSE(ProjectionFeasible(z, eps));
+}
+
+TEST(ProjectionDeathTest, InfeasibleZAborts) {
+  const Matrix r(4, 2);
+  EXPECT_DEATH(ProjectOntoLdpPolytope(r, Vector(4, 0.5), 1.0), "infeasible");
+}
+
+TEST(ProjectionTest, AlreadyStochasticColumnsWithLooseBounds) {
+  // With very loose bounds the projection of a stochastic column is itself.
+  const double eps = 8.0;
+  const int m = 4;
+  Vector z(m, 0.01);
+  Matrix r(m, 1);
+  r(0, 0) = 0.4;
+  r(1, 0) = 0.3;
+  r(2, 0) = 0.2;
+  r(3, 0) = 0.1;
+  const ProjectionResult res = ProjectOntoLdpPolytope(r, z, eps);
+  for (int o = 0; o < m; ++o) EXPECT_NEAR(res.q(o, 0), r(o, 0), 1e-9);
+}
+
+}  // namespace
+}  // namespace wfm

@@ -1,0 +1,133 @@
+// Statistical and determinism tests for the RNG.
+
+#include "linalg/rng.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace wfm {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ZeroSeedWorks) {
+  Rng rng(0);
+  // SplitMix64 seeding guarantees a nonzero, well-mixed state.
+  std::uint64_t x = rng.NextUint64();
+  std::uint64_t y = rng.NextUint64();
+  EXPECT_NE(x, y);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMoments) {
+  Rng rng(8);
+  const int trials = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double d = rng.Uniform(2.0, 4.0);
+    sum += d;
+    sq += d * d;
+  }
+  const double mean = sum / trials;
+  const double var = sq / trials - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.01);
+  EXPECT_NEAR(var, 4.0 / 12.0, 0.01);
+}
+
+TEST(RngTest, UniformIntUnbiased) {
+  Rng rng(9);
+  const int n = 7;
+  std::vector<int> counts(n, 0);
+  const int trials = 70000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.UniformInt(n)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), trials / static_cast<double>(n),
+                5.0 * std::sqrt(trials / static_cast<double>(n)));
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(10);
+  const int trials = 200000;
+  double sum = 0.0, sq = 0.0, cube = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double d = rng.Normal();
+    sum += d;
+    sq += d * d;
+    cube += d * d * d;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.02);
+  EXPECT_NEAR(sq / trials, 1.0, 0.02);
+  EXPECT_NEAR(cube / trials, 0.0, 0.05);
+}
+
+TEST(RngTest, LaplaceMoments) {
+  Rng rng(11);
+  const double scale = 1.5;
+  const int trials = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double d = rng.Laplace(scale);
+    sum += d;
+    sq += d * d;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.03);
+  // Var(Laplace(b)) = 2b².
+  EXPECT_NEAR(sq / trials, 2.0 * scale * scale, 0.1);
+}
+
+TEST(RngTest, ExponentialMoments) {
+  Rng rng(12);
+  const double rate = 2.0;
+  const int trials = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double d = rng.Exponential(rate);
+    EXPECT_GE(d, 0.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / trials, 1.0 / rate, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  const double p = 0.3;
+  int ones = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ones += rng.Bernoulli(p);
+  EXPECT_NEAR(ones / static_cast<double>(trials), p, 0.01);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(99);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace wfm

@@ -1,0 +1,145 @@
+// Statistical tests for the alias, binomial and multinomial samplers.
+
+#include "linalg/samplers.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace wfm {
+namespace {
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  Rng rng(21);
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasSampler sampler(weights);
+  std::vector<int> counts(4, 0);
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) ++counts[sampler.Sample(rng)];
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  for (int i = 0; i < 4; ++i) {
+    const double expected = trials * weights[i] / total;
+    EXPECT_NEAR(counts[i], expected, 5.0 * std::sqrt(expected)) << "bin " << i;
+  }
+}
+
+TEST(AliasSamplerTest, HandlesZeroWeights) {
+  Rng rng(22);
+  AliasSampler sampler({0.0, 1.0, 0.0, 2.0});
+  for (int i = 0; i < 10000; ++i) {
+    const int s = sampler.Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasSamplerTest, SingleCategory) {
+  Rng rng(23);
+  AliasSampler sampler({5.0});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.Sample(rng), 0);
+}
+
+TEST(AliasSamplerTest, DegenerateDistribution) {
+  Rng rng(24);
+  AliasSampler sampler({0.0, 0.0, 7.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 2);
+}
+
+TEST(BinomialTest, EdgeCases) {
+  Rng rng(25);
+  EXPECT_EQ(SampleBinomial(rng, 0, 0.5), 0);
+  EXPECT_EQ(SampleBinomial(rng, 10, 0.0), 0);
+  EXPECT_EQ(SampleBinomial(rng, 10, 1.0), 10);
+}
+
+struct BinomialCase {
+  std::int64_t n;
+  double p;
+};
+
+class BinomialMoments : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialMoments, MeanAndVariance) {
+  // Covers the inversion path (np < 10), the BTRS path (np >= 10) and the
+  // reflected p > 0.5 path.
+  Rng rng(26);
+  const auto [n, p] = GetParam();
+  const int trials = 60000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const std::int64_t k = SampleBinomial(rng, n, p);
+    ASSERT_GE(k, 0);
+    ASSERT_LE(k, n);
+    sum += static_cast<double>(k);
+    sq += static_cast<double>(k) * k;
+  }
+  const double mean = sum / trials;
+  const double var = sq / trials - mean * mean;
+  const double expect_mean = n * p;
+  const double expect_var = n * p * (1 - p);
+  // 5-sigma Monte Carlo bands.
+  EXPECT_NEAR(mean, expect_mean, 5.0 * std::sqrt(expect_var / trials) + 1e-9);
+  EXPECT_NEAR(var, expect_var, 0.05 * expect_var + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BinomialMoments,
+    ::testing::Values(BinomialCase{5, 0.3}, BinomialCase{20, 0.1},
+                      BinomialCase{100, 0.02}, BinomialCase{50, 0.5},
+                      BinomialCase{400, 0.25}, BinomialCase{1000, 0.9},
+                      BinomialCase{100000, 0.001}, BinomialCase{100000, 0.37}));
+
+TEST(MultinomialTest, CountsSumToN) {
+  Rng rng(27);
+  const std::vector<double> probs{0.1, 0.2, 0.3, 0.4};
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto counts = SampleMultinomial(rng, 1000, probs);
+    std::int64_t total = 0;
+    for (auto c : counts) {
+      EXPECT_GE(c, 0);
+      total += c;
+    }
+    EXPECT_EQ(total, 1000);
+  }
+}
+
+TEST(MultinomialTest, MarginalMeans) {
+  Rng rng(28);
+  const std::vector<double> probs{0.5, 0.25, 0.25};
+  const std::int64_t n = 10000;
+  const int trials = 2000;
+  std::vector<double> sums(3, 0.0);
+  for (int t = 0; t < trials; ++t) {
+    const auto counts = SampleMultinomial(rng, n, probs);
+    for (int i = 0; i < 3; ++i) sums[i] += static_cast<double>(counts[i]);
+  }
+  for (int i = 0; i < 3; ++i) {
+    const double mean = sums[i] / trials;
+    const double expect = n * probs[i];
+    EXPECT_NEAR(mean, expect, 5.0 * std::sqrt(n * probs[i] * (1 - probs[i]) / trials));
+  }
+}
+
+TEST(MultinomialTest, UnnormalizedWeights) {
+  Rng rng(29);
+  const auto counts = SampleMultinomial(rng, 500, {2.0, 2.0});
+  EXPECT_EQ(counts[0] + counts[1], 500);
+  EXPECT_NEAR(static_cast<double>(counts[0]), 250.0, 60.0);
+}
+
+TEST(MultinomialTest, ZeroProbabilityCategoryGetsNothing) {
+  Rng rng(30);
+  for (int t = 0; t < 50; ++t) {
+    const auto counts = SampleMultinomial(rng, 100, {1.0, 0.0, 1.0});
+    EXPECT_EQ(counts[1], 0);
+  }
+}
+
+TEST(MultinomialTest, AllMassInOneCategory) {
+  Rng rng(31);
+  const auto counts = SampleMultinomial(rng, 42, {0.0, 1.0, 0.0});
+  EXPECT_EQ(counts[1], 42);
+}
+
+}  // namespace
+}  // namespace wfm

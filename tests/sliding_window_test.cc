@@ -1,0 +1,79 @@
+// Tests for the sliding-window workload.
+
+#include "workload/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/rng.h"
+#include "workload/prefix.h"
+
+namespace wfm {
+namespace {
+
+struct WindowCase {
+  int n;
+  int width;
+};
+
+class SlidingWindowSweep : public ::testing::TestWithParam<WindowCase> {};
+
+TEST_P(SlidingWindowSweep, GramMatchesExplicit) {
+  const SlidingWindowWorkload w(GetParam().n, GetParam().width);
+  const Matrix explicit_w = w.ExplicitMatrix();
+  EXPECT_TRUE(w.Gram().ApproxEquals(MultiplyATB(explicit_w, explicit_w), 1e-12));
+}
+
+TEST_P(SlidingWindowSweep, FrobeniusMatchesTrace) {
+  const SlidingWindowWorkload w(GetParam().n, GetParam().width);
+  EXPECT_NEAR(w.FrobeniusNormSq(), w.Gram().Trace(), 1e-12);
+}
+
+TEST_P(SlidingWindowSweep, ApplyMatchesExplicit) {
+  Rng rng(231 + GetParam().n);
+  const SlidingWindowWorkload w(GetParam().n, GetParam().width);
+  Vector x(GetParam().n);
+  for (double& v : x) v = rng.Uniform(0, 10);
+  const Vector fast = w.Apply(x);
+  const Vector dense = MultiplyVec(w.ExplicitMatrix(), x);
+  ASSERT_EQ(fast.size(), dense.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) EXPECT_NEAR(fast[i], dense[i], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SlidingWindowSweep,
+                         ::testing::Values(WindowCase{8, 1}, WindowCase{8, 3},
+                                           WindowCase{8, 8}, WindowCase{17, 5},
+                                           WindowCase{32, 7}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "_w" +
+                                  std::to_string(info.param.width);
+                         });
+
+TEST(SlidingWindowTest, WidthOneIsHistogram) {
+  const SlidingWindowWorkload w(6, 1);
+  EXPECT_EQ(w.num_queries(), 6);
+  EXPECT_TRUE(w.Gram().ApproxEquals(Matrix::Identity(6), 0.0));
+}
+
+TEST(SlidingWindowTest, FullWidthIsTotalCount) {
+  const SlidingWindowWorkload w(6, 6);
+  EXPECT_EQ(w.num_queries(), 1);
+  EXPECT_EQ(w.Apply({1, 2, 3, 4, 5, 6})[0], 21.0);
+}
+
+TEST(SlidingWindowTest, KnownGramEntries) {
+  // n = 5, w = 3: offsets 0..2. Type 0 only in window 0; types 2 in all 3.
+  const SlidingWindowWorkload w(5, 3);
+  const Matrix g = w.Gram();
+  EXPECT_EQ(g(0, 0), 1.0);
+  EXPECT_EQ(g(2, 2), 3.0);
+  EXPECT_EQ(g(0, 2), 1.0);  // Only window 0 covers both.
+  EXPECT_EQ(g(0, 3), 0.0);  // No width-3 window covers both 0 and 3.
+}
+
+TEST(SlidingWindowDeathTest, RejectsBadWidth) {
+  EXPECT_DEATH(SlidingWindowWorkload(8, 0), "width");
+  EXPECT_DEATH(SlidingWindowWorkload(8, 9), "width");
+}
+
+}  // namespace
+}  // namespace wfm

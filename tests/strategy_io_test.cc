@@ -1,0 +1,76 @@
+// Tests for strategy persistence, including the safety property that a
+// tampered file cannot silently load as a weaker-than-advertised mechanism.
+
+#include "core/strategy_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix_io.h"
+#include "mechanisms/randomized_response.h"
+
+namespace wfm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(StrategyIoTest, RoundTrip) {
+  SavedStrategy s;
+  s.q = RandomizedResponseMechanism::BuildStrategy(8, 1.5);
+  s.epsilon = 1.5;
+  s.workload_name = "Histogram";
+  const std::string path = TempPath("strategy");
+  ASSERT_TRUE(SaveStrategy(path, s).ok());
+
+  const StatusOr<SavedStrategy> loaded = LoadStrategy(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().q.ApproxEquals(s.q, 0.0));
+  EXPECT_DOUBLE_EQ(loaded.value().epsilon, 1.5);
+  EXPECT_EQ(loaded.value().workload_name, "Histogram");
+  std::remove(path.c_str());
+  std::remove((path + ".q").c_str());
+}
+
+TEST(StrategyIoTest, RefusesToSaveInvalidStrategy) {
+  SavedStrategy s;
+  s.q = RandomizedResponseMechanism::BuildStrategy(8, 2.0);
+  s.epsilon = 1.0;  // Strategy is 2-LDP, not 1-LDP.
+  s.workload_name = "Histogram";
+  EXPECT_DEATH(SaveStrategy(TempPath("invalid"), s).ok(), "invalid strategy");
+}
+
+TEST(StrategyIoTest, RejectsTamperedMatrix) {
+  SavedStrategy s;
+  s.q = RandomizedResponseMechanism::BuildStrategy(6, 1.0);
+  s.epsilon = 1.0;
+  s.workload_name = "Prefix";
+  const std::string path = TempPath("tampered");
+  ASSERT_TRUE(SaveStrategy(path, s).ok());
+
+  // Overwrite the matrix file with a 2-LDP strategy while the metadata still
+  // claims ε = 1: loading must fail, not weaken the guarantee silently.
+  ASSERT_TRUE(SaveMatrixBinary(
+                  path + ".q", RandomizedResponseMechanism::BuildStrategy(6, 2.0))
+                  .ok());
+  const StatusOr<SavedStrategy> loaded = LoadStrategy(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+  std::remove((path + ".q").c_str());
+}
+
+TEST(StrategyIoTest, RejectsMissingOrGarbageFiles) {
+  EXPECT_EQ(LoadStrategy("/nonexistent/strategy").status().code(),
+            StatusCode::kNotFound);
+  const std::string path = TempPath("garbage_strategy");
+  std::ofstream(path) << "not a strategy\n";
+  EXPECT_EQ(LoadStrategy(path).status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wfm

@@ -1,0 +1,123 @@
+// Tests for the Jacobi symmetric eigensolver.
+
+#include "linalg/symmetric_eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/rng.h"
+
+namespace wfm {
+namespace {
+
+Matrix RandomSymmetric(int n, Rng& rng) {
+  Matrix a(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = r; c < n; ++c) {
+      const double v = rng.Uniform(-1.0, 1.0);
+      a(r, c) = v;
+      a(c, r) = v;
+    }
+  }
+  return a;
+}
+
+Matrix Reconstruct(const EigenDecomposition& eig) {
+  Matrix scaled = eig.eigenvectors;
+  ScaleCols(scaled, eig.eigenvalues);
+  return MultiplyABT(scaled, eig.eigenvectors);
+}
+
+class SymmetricEigenSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymmetricEigenSizes, ReconstructsInput) {
+  Rng rng(100 + GetParam());
+  const Matrix a = RandomSymmetric(GetParam(), rng);
+  const EigenDecomposition eig = SymmetricEigen(a);
+  EXPECT_TRUE(Reconstruct(eig).ApproxEquals(a, 1e-9)) << "n = " << GetParam();
+}
+
+TEST_P(SymmetricEigenSizes, EigenvectorsOrthonormal) {
+  Rng rng(200 + GetParam());
+  const Matrix a = RandomSymmetric(GetParam(), rng);
+  const EigenDecomposition eig = SymmetricEigen(a);
+  const Matrix vtv = MultiplyATB(eig.eigenvectors, eig.eigenvectors);
+  EXPECT_TRUE(vtv.ApproxEquals(Matrix::Identity(GetParam()), 1e-10));
+}
+
+TEST_P(SymmetricEigenSizes, EigenvaluesAscending) {
+  Rng rng(300 + GetParam());
+  const EigenDecomposition eig = SymmetricEigen(RandomSymmetric(GetParam(), rng));
+  for (std::size_t i = 1; i < eig.eigenvalues.size(); ++i) {
+    EXPECT_LE(eig.eigenvalues[i - 1], eig.eigenvalues[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SymmetricEigenSizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64));
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  const EigenDecomposition eig = SymmetricEigen(Matrix::Diagonal({3.0, 1.0, 2.0}));
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  const EigenDecomposition eig = SymmetricEigen(Matrix{{2, 1}, {1, 2}});
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigenTest, TraceAndFrobeniusInvariants) {
+  Rng rng(17);
+  const Matrix a = RandomSymmetric(24, rng);
+  const EigenDecomposition eig = SymmetricEigen(a);
+  double eig_sum = 0.0, eig_sq = 0.0;
+  for (double l : eig.eigenvalues) {
+    eig_sum += l;
+    eig_sq += l * l;
+  }
+  EXPECT_NEAR(eig_sum, a.Trace(), 1e-9);
+  EXPECT_NEAR(eig_sq, a.FrobeniusNormSq(), 1e-8);
+}
+
+TEST(SymmetricEigenTest, RankDeficientEigenvaluesNearZero) {
+  // Rank-1: outer product of ones has eigenvalues {n, 0, ..., 0}.
+  const int n = 6;
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) a(i, j) = 1.0;
+  }
+  const EigenDecomposition eig = SymmetricEigen(a);
+  EXPECT_NEAR(eig.eigenvalues[n - 1], n, 1e-10);
+  for (int i = 0; i < n - 1; ++i) EXPECT_NEAR(eig.eigenvalues[i], 0.0, 1e-10);
+}
+
+TEST(SingularValuesTest, IdentityGram) {
+  const Vector sv = SingularValuesFromGram(Matrix::Identity(5));
+  for (double v : sv) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(SingularValuesTest, DescendingAndClamped) {
+  Rng rng(18);
+  const Matrix a = RandomSymmetric(12, rng);
+  const Matrix gram = MultiplyATB(a, a);  // PSD.
+  const Vector sv = SingularValuesFromGram(gram);
+  for (std::size_t i = 1; i < sv.size(); ++i) EXPECT_GE(sv[i - 1], sv[i]);
+  for (double v : sv) EXPECT_GE(v, 0.0);
+}
+
+TEST(SingularValuesTest, MatchesEigenOfExplicitProduct) {
+  // For W = diag(1, 2, 3), singular values are 3, 2, 1.
+  const Matrix gram = Matrix::Diagonal({1.0, 4.0, 9.0});
+  const Vector sv = SingularValuesFromGram(gram);
+  EXPECT_NEAR(sv[0], 3.0, 1e-12);
+  EXPECT_NEAR(sv[1], 2.0, 1e-12);
+  EXPECT_NEAR(sv[2], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace wfm

@@ -1,0 +1,228 @@
+// Workload tests: closed-form Gram matrices against explicit materialization,
+// Frobenius norms, query counts, and matrix-free Apply().
+
+#include "workload/workload.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "linalg/rng.h"
+#include "workload/dense_workload.h"
+#include "workload/histogram.h"
+#include "workload/marginals.h"
+#include "workload/parity.h"
+#include "workload/prefix.h"
+#include "workload/range.h"
+
+namespace wfm {
+namespace {
+
+Vector RandomData(int n, Rng& rng) {
+  Vector x(n);
+  for (double& v : x) v = rng.Uniform(0.0, 10.0);
+  return x;
+}
+
+struct WorkloadCase {
+  std::string name;
+  int n;
+};
+
+class StandardWorkloads : public ::testing::TestWithParam<WorkloadCase> {};
+
+TEST_P(StandardWorkloads, GramMatchesExplicit) {
+  const auto w = CreateWorkload(GetParam().name, GetParam().n);
+  ASSERT_TRUE(w->HasExplicitMatrix());
+  const Matrix explicit_w = w->ExplicitMatrix();
+  const Matrix expected_gram = MultiplyATB(explicit_w, explicit_w);
+  EXPECT_TRUE(w->Gram().ApproxEquals(expected_gram, 1e-9))
+      << GetParam().name << " n=" << GetParam().n;
+}
+
+TEST_P(StandardWorkloads, FrobeniusMatchesGramTrace) {
+  const auto w = CreateWorkload(GetParam().name, GetParam().n);
+  EXPECT_NEAR(w->FrobeniusNormSq(), w->Gram().Trace(),
+              1e-9 * std::max(1.0, w->FrobeniusNormSq()));
+}
+
+TEST_P(StandardWorkloads, QueryCountMatchesExplicitRows) {
+  const auto w = CreateWorkload(GetParam().name, GetParam().n);
+  EXPECT_EQ(w->num_queries(), w->ExplicitMatrix().rows());
+}
+
+TEST_P(StandardWorkloads, ApplyMatchesExplicitProduct) {
+  Rng rng(61);
+  const auto w = CreateWorkload(GetParam().name, GetParam().n);
+  const Vector x = RandomData(GetParam().n, rng);
+  const Vector fast = w->Apply(x);
+  const Vector dense = MultiplyVec(w->ExplicitMatrix(), x);
+  ASSERT_EQ(fast.size(), dense.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], dense[i], 1e-9) << GetParam().name << " row " << i;
+  }
+}
+
+TEST_P(StandardWorkloads, GramIsPsd) {
+  const auto w = CreateWorkload(GetParam().name, GetParam().n);
+  const Matrix g = w->Gram();
+  // Diagonal non-negative and symmetric is necessary; check xᵀGx >= 0 on
+  // random probes.
+  Rng rng(62);
+  EXPECT_TRUE(g.ApproxEquals(g.Transpose(), 1e-9));
+  for (int probe = 0; probe < 10; ++probe) {
+    Vector x(GetParam().n);
+    for (double& v : x) v = rng.Uniform(-1, 1);
+    EXPECT_GE(Dot(x, MultiplyVec(g, x)), -1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSix, StandardWorkloads,
+    ::testing::Values(WorkloadCase{"Histogram", 16}, WorkloadCase{"Histogram", 31},
+                      WorkloadCase{"Prefix", 16}, WorkloadCase{"Prefix", 33},
+                      WorkloadCase{"AllRange", 16}, WorkloadCase{"AllRange", 25},
+                      WorkloadCase{"AllMarginals", 16},
+                      WorkloadCase{"AllMarginals", 32},
+                      WorkloadCase{"3WayMarginals", 16},
+                      WorkloadCase{"3WayMarginals", 64},
+                      WorkloadCase{"Parity", 16}, WorkloadCase{"Parity", 64}),
+    [](const auto& info) {
+      return info.param.name + "_" + std::to_string(info.param.n);
+    });
+
+TEST(WorkloadFactoryTest, KnowsAllStandardNames) {
+  for (const auto& name : StandardWorkloadNames()) {
+    const auto w = CreateWorkload(name, 16);
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->domain_size(), 16);
+  }
+}
+
+TEST(HistogramTest, GramIsIdentity) {
+  HistogramWorkload w(10);
+  EXPECT_TRUE(w.Gram().ApproxEquals(Matrix::Identity(10), 0.0));
+  EXPECT_EQ(w.num_queries(), 10);
+}
+
+TEST(PrefixTest, MatchesExampleFromPaper) {
+  // Example 2.4: 5x5 lower-triangular ones.
+  PrefixWorkload w(5);
+  const Matrix m = w.ExplicitMatrix();
+  for (int i = 0; i < 5; ++i) {
+    for (int u = 0; u < 5; ++u) {
+      EXPECT_EQ(m(i, u), u <= i ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(PrefixTest, ApplyIsCumulativeSum) {
+  PrefixWorkload w(4);
+  EXPECT_EQ(w.Apply({10, 20, 5, 0}), (Vector{10, 30, 35, 35}));
+}
+
+TEST(AllRangeTest, QueryCount) {
+  AllRangeWorkload w(10);
+  EXPECT_EQ(w.num_queries(), 55);
+}
+
+TEST(AllRangeTest, GramClosedFormSpotChecks) {
+  AllRangeWorkload w(8);
+  const Matrix g = w.Gram();
+  // G[u][v] = (min+1)(n-max).
+  EXPECT_EQ(g(0, 0), 1.0 * 8);
+  EXPECT_EQ(g(3, 5), 4.0 * 3);
+  EXPECT_EQ(g(5, 3), 4.0 * 3);
+  EXPECT_EQ(g(7, 7), 8.0 * 1);
+}
+
+TEST(AllMarginalsTest, QueryCountIsThreeToK) {
+  AllMarginalsWorkload w(16);  // k = 4.
+  EXPECT_EQ(w.num_queries(), 81);
+  EXPECT_EQ(w.num_attributes(), 4);
+}
+
+TEST(AllMarginalsTest, GramDependsOnHamming) {
+  AllMarginalsWorkload w(8);  // k = 3.
+  const Matrix g = w.Gram();
+  EXPECT_EQ(g(0, 0), 8.0);   // Agreement 3 -> 2^3.
+  EXPECT_EQ(g(0, 1), 4.0);   // Hamming 1 -> 2^2.
+  EXPECT_EQ(g(0, 7), 1.0);   // Hamming 3 -> 2^0.
+}
+
+TEST(KWayMarginalsTest, WayOneIsOneWayMarginals) {
+  KWayMarginalsWorkload w(8, 1);  // k = 3, one-way: 3 * 2 = 6 queries.
+  EXPECT_EQ(w.num_queries(), 6);
+  EXPECT_EQ(w.Name(), "1WayMarginals");
+}
+
+TEST(KWayMarginalsTest, RejectsBadWay) {
+  EXPECT_DEATH(KWayMarginalsWorkload(8, 4), "way");
+  EXPECT_DEATH(KWayMarginalsWorkload(8, 0), "way");
+}
+
+TEST(ParityTest, FullParityGramIsScaledIdentity) {
+  ParityWorkload w(16);
+  EXPECT_TRUE(w.Gram().ApproxEquals(Matrix::Identity(16) * 16.0, 1e-12));
+}
+
+TEST(ParityTest, WeightLimitedCountsQueries) {
+  ParityWorkload w(16, 2);  // 1 + 4 + 6.
+  EXPECT_EQ(w.num_queries(), 11);
+  EXPECT_EQ(w.Name(), "Parity<=2");
+}
+
+TEST(ParityTest, WeightLimitedGramMatchesExplicit) {
+  ParityWorkload w(32, 2);
+  const Matrix explicit_w = w.ExplicitMatrix();
+  EXPECT_TRUE(w.Gram().ApproxEquals(MultiplyATB(explicit_w, explicit_w), 1e-9));
+}
+
+TEST(MarginalWorkloadsDeathTest, RequirePowerOfTwoDomain) {
+  EXPECT_DEATH(AllMarginalsWorkload(12), "power-of-two");
+  EXPECT_DEATH(ParityWorkload(12), "power-of-two");
+}
+
+TEST(BinomialCoefficientTest, KnownValues) {
+  EXPECT_EQ(BinomialCoefficient(5, 2), 10.0);
+  EXPECT_EQ(BinomialCoefficient(10, 0), 1.0);
+  EXPECT_EQ(BinomialCoefficient(10, 10), 1.0);
+  EXPECT_EQ(BinomialCoefficient(4, 5), 0.0);
+  EXPECT_EQ(BinomialCoefficient(3, -1), 0.0);
+}
+
+TEST(DenseWorkloadTest, WrapsMatrix) {
+  Matrix m{{1, 0}, {1, 1}};
+  DenseWorkload w(m, "mine");
+  EXPECT_EQ(w.Name(), "mine");
+  EXPECT_EQ(w.num_queries(), 2);
+  EXPECT_EQ(w.FrobeniusNormSq(), 3.0);
+  EXPECT_TRUE(w.Gram().ApproxEquals(Matrix{{2, 1}, {1, 1}}, 0.0));
+}
+
+TEST(StackedWorkloadTest, CombinesGramsWithSquaredWeights) {
+  auto h = std::make_shared<HistogramWorkload>(4);
+  auto p = std::make_shared<PrefixWorkload>(4);
+  StackedWorkload stacked({h, p}, {2.0, 1.0});
+  Matrix expected = h->Gram() * 4.0 + p->Gram();
+  EXPECT_TRUE(stacked.Gram().ApproxEquals(expected, 1e-12));
+  EXPECT_EQ(stacked.num_queries(), 8);
+  EXPECT_NEAR(stacked.FrobeniusNormSq(), 4.0 * 4 + 10.0, 1e-12);
+}
+
+TEST(StackedWorkloadTest, ExplicitAndApplyConsistent) {
+  Rng rng(63);
+  auto h = std::make_shared<HistogramWorkload>(6);
+  auto p = std::make_shared<PrefixWorkload>(6);
+  StackedWorkload stacked({h, p}, {1.5, 0.5});
+  const Vector x = RandomData(6, rng);
+  const Vector fast = stacked.Apply(x);
+  const Vector dense = MultiplyVec(stacked.ExplicitMatrix(), x);
+  for (std::size_t i = 0; i < fast.size(); ++i) EXPECT_NEAR(fast[i], dense[i], 1e-10);
+  // Gram of the stack matches its own explicit matrix too.
+  const Matrix we = stacked.ExplicitMatrix();
+  EXPECT_TRUE(stacked.Gram().ApproxEquals(MultiplyATB(we, we), 1e-10));
+}
+
+}  // namespace
+}  // namespace wfm
