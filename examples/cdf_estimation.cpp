@@ -14,15 +14,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "common/flags.h"
-#include "common/table_printer.h"
-#include "core/factorization.h"
-#include "data/datasets.h"
-#include "estimation/estimator.h"
-#include "ldp/protocol.h"
-#include "mechanisms/optimized.h"
-#include "mechanisms/registry.h"
-#include "workload/prefix.h"
+#include "wfm.h"  // Public umbrella API: all wfm modules.
 
 int main(int argc, char** argv) {
   wfm::FlagParser flags(argc, argv);

@@ -15,15 +15,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "common/flags.h"
-#include "common/table_printer.h"
-#include "core/factorization.h"
-#include "estimation/estimator.h"
-#include "ldp/protocol.h"
-#include "linalg/rng.h"
-#include "mechanisms/fourier.h"
-#include "mechanisms/optimized.h"
-#include "workload/marginals.h"
+#include "wfm.h"  // Public umbrella API: all wfm modules.
 
 namespace {
 

@@ -14,14 +14,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "common/flags.h"
-#include "common/table_printer.h"
-#include "core/lower_bound.h"
-#include "mechanisms/optimized.h"
-#include "mechanisms/registry.h"
-#include "workload/dense_workload.h"
-#include "workload/histogram.h"
-#include "workload/prefix.h"
+#include "wfm.h"  // Public umbrella API: all wfm modules.
 
 int main(int argc, char** argv) {
   wfm::FlagParser flags(argc, argv);

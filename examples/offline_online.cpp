@@ -16,17 +16,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "common/flags.h"
-#include "core/accounting.h"
-#include "core/factorization.h"
-#include "core/strategy_io.h"
-#include "data/bucketizer.h"
-#include "estimation/estimator.h"
-#include "ldp/local_randomizer.h"
-#include "ldp/protocol.h"
-#include "linalg/rng.h"
-#include "mechanisms/optimized.h"
-#include "workload/prefix.h"
+#include "wfm.h"  // Public umbrella API: all wfm modules.
 
 namespace {
 

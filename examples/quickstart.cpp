@@ -13,15 +13,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "common/flags.h"
-#include "core/factorization.h"
-#include "estimation/estimator.h"
-#include "ldp/local_randomizer.h"
-#include "ldp/protocol.h"
-#include "linalg/rng.h"
-#include "mechanisms/optimized.h"
-#include "mechanisms/randomized_response.h"
-#include "workload/histogram.h"
+#include "wfm.h"  // Public umbrella API: all wfm modules.
 
 int main(int argc, char** argv) {
   wfm::FlagParser flags(argc, argv);

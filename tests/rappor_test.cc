@@ -1,5 +1,9 @@
 // Tests for the RAPPOR mechanism: Table 1 encoding, closed-form variance,
 // and simulation unbiasedness.
+//
+// All randomness flows from fixed-seed Rngs (deterministic across runs);
+// Monte-Carlo bands are sized in standard-error multiples, documented where
+// they are not literal 5σ expressions.
 
 #include "mechanisms/rappor.h"
 
@@ -115,7 +119,8 @@ TEST(RapporTest, SimulatedVarianceMatchesClosedForm) {
   for (int u = 0; u < n; ++u) {
     const double mean = sum[u] / trials;
     const double var = sumsq[u] / trials - mean * mean;
-    // Variance of a variance estimate is large: accept a 35% band.
+    // Variance of a variance estimate is large: 400 trials give relative
+    // SE ~sqrt(2/400) ~ 7%, so the 35% band is ~5 SE.
     EXPECT_NEAR(var, expected, 0.35 * expected) << "type " << u;
   }
 }

@@ -1,4 +1,8 @@
 // Statistical tests for the alias, binomial and multinomial samplers.
+//
+// All randomness flows from fixed-seed Rngs (deterministic across runs);
+// Monte-Carlo bands are sized in standard-error multiples, documented where
+// they are not literal 5σ expressions.
 
 #include "linalg/samplers.h"
 
@@ -77,7 +81,9 @@ TEST_P(BinomialMoments, MeanAndVariance) {
   const double var = sq / trials - mean * mean;
   const double expect_mean = n * p;
   const double expect_var = n * p * (1 - p);
-  // 5-sigma Monte Carlo bands.
+  // 5-sigma Monte Carlo bands. The sample-variance estimate has relative SE
+  // ~sqrt(2/trials) ~ 0.6%; 5% relative (+0.01 absolute floor for tiny
+  // variances) is >5 SE across all parameterized cases.
   EXPECT_NEAR(mean, expect_mean, 5.0 * std::sqrt(expect_var / trials) + 1e-9);
   EXPECT_NEAR(var, expect_var, 0.05 * expect_var + 0.01);
 }
@@ -124,6 +130,7 @@ TEST(MultinomialTest, UnnormalizedWeights) {
   Rng rng(29);
   const auto counts = SampleMultinomial(rng, 500, {2.0, 2.0});
   EXPECT_EQ(counts[0] + counts[1], 500);
+  // counts[0] ~ Binomial(500, 1/2): sd = sqrt(500/4) ~ 11.2, so 60 is >5 sd.
   EXPECT_NEAR(static_cast<double>(counts[0]), 250.0, 60.0);
 }
 

@@ -44,8 +44,13 @@ INSTANTIATE_TEST_SUITE_P(Widths, SlidingWindowSweep,
                                            WindowCase{8, 8}, WindowCase{17, 5},
                                            WindowCase{32, 7}),
                          [](const auto& info) {
-                           return "n" + std::to_string(info.param.n) + "_w" +
-                                  std::to_string(info.param.width);
+                           // Built up with += (not operator+ chains), which
+                           // trips a gcc 12 -Wrestrict false positive at -O3.
+                           std::string name = "n";
+                           name += std::to_string(info.param.n);
+                           name += "_w";
+                           name += std::to_string(info.param.width);
+                           return name;
                          });
 
 TEST(SlidingWindowTest, WidthOneIsHistogram) {
