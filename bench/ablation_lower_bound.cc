@@ -21,6 +21,7 @@
 
 int main(int argc, char** argv) {
   wfm::FlagParser flags(argc, argv);
+  const wfm::bench::UnusedFlagWarner warn_unused(flags);
   const int n = flags.GetInt("n", 32);
   const std::vector<double> eps_list = flags.GetDoubleList("eps", {0.5, 1.0, 2.0});
 

@@ -22,6 +22,7 @@
 
 int main(int argc, char** argv) {
   wfm::FlagParser flags(argc, argv);
+  const wfm::bench::UnusedFlagWarner warn_unused(flags);
   const int n = flags.GetInt("n", 32);
   const double eps = flags.GetDouble("eps", 1.0);
 

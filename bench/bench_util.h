@@ -22,6 +22,21 @@ namespace bench {
 /// variance alpha = 0.01 (Section 6.1).
 inline constexpr double kAlpha = 0.01;
 
+/// Warns about provided-but-never-queried --flags when it goes out of scope.
+/// Declare one right after the FlagParser at the top of main: benches query
+/// flags lazily (e.g. BenchOptimizerConfig reads --iters inside the run
+/// loop), so the typo check must run after everything else.
+class UnusedFlagWarner {
+ public:
+  explicit UnusedFlagWarner(const FlagParser& flags) : flags_(flags) {}
+  UnusedFlagWarner(const UnusedFlagWarner&) = delete;
+  UnusedFlagWarner& operator=(const UnusedFlagWarner&) = delete;
+  ~UnusedFlagWarner() { WarnUnusedFlags(flags_); }
+
+ private:
+  const FlagParser& flags_;
+};
+
 /// Optimizer budget for bench runs. `--iters` overrides; `--full` raises the
 /// default budget to paper-scale convergence.
 inline OptimizerConfig BenchOptimizerConfig(const FlagParser& flags) {

@@ -23,6 +23,7 @@
 
 int main(int argc, char** argv) {
   wfm::FlagParser flags(argc, argv);
+  const wfm::bench::UnusedFlagWarner warn_unused(flags);
   const bool full = flags.GetBool("full", false);
   const std::vector<int> domains = flags.GetIntList(
       "domains", full ? std::vector<int>{8, 16, 32, 64, 128, 256, 512, 1024}

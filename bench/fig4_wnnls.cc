@@ -20,6 +20,7 @@
 
 int main(int argc, char** argv) {
   wfm::FlagParser flags(argc, argv);
+  const wfm::bench::UnusedFlagWarner warn_unused(flags);
   const bool full = flags.GetBool("full", false);
   const int n = flags.GetInt("n", full ? 512 : 128);
   const double eps = flags.GetDouble("eps", 1.0);

@@ -26,6 +26,7 @@
 
 int main(int argc, char** argv) {
   wfm::FlagParser flags(argc, argv);
+  const wfm::bench::UnusedFlagWarner warn_unused(flags);
   const int n = flags.GetInt("n", 8);
   const double eps = flags.GetDouble("eps", 1.0);
 

@@ -1,0 +1,143 @@
+// Throughput of the concurrent collection pipeline: reports/sec through
+// CollectionSession::Accept as a function of ingest thread count and shard
+// count, against the serial ResponseAggregator baseline.
+//
+// Not a paper figure — this measures the subsystem the paper assumes exists
+// (the server that absorbs millions of one-round reports before Theorem 3.10
+// reconstruction runs). Reports are pre-randomized through the real
+// LocalRandomizer so the measured loop is exactly the server's ingest path:
+// shared-lock acquire, per-report range validation, relaxed per-shard
+// increment. Every trial ends with Seal() and a served estimate so the
+// whole ingest -> seal -> answer loop is exercised.
+//
+// Defaults finish in a few seconds; scale with
+//   --reports=8000000 --threads=1,2,4,8 --batch=4096 --n=256 --trials=5
+// Shard count follows the thread count unless --shards is given.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "collect/collection_session.h"
+#include "collect/estimate_server.h"
+#include "common/timer.h"
+#include "estimation/estimator.h"
+#include "ldp/local_randomizer.h"
+#include "ldp/protocol.h"
+#include "linalg/rng.h"
+#include "mechanisms/randomized_response.h"
+#include "workload/histogram.h"
+
+namespace {
+
+// One timed trial: T threads stream disjoint slices of `reports` into a
+// fresh session, then the epoch is sealed and one estimate is served.
+// Returns ingest seconds (seal/serve excluded from the rate).
+double RunTrial(const wfm::FactorizationAnalysis& analysis,
+                std::shared_ptr<const wfm::Workload> workload,
+                const std::vector<int>& reports, int threads, int shards,
+                int batch) {
+  wfm::CollectionSession session(analysis, std::move(workload), shards);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  wfm::Stopwatch timer;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::size_t begin = reports.size() * t / threads;
+      const std::size_t end = reports.size() * (t + 1) / threads;
+      const int shard = t % shards;
+      for (std::size_t pos = begin; pos < end;
+           pos += static_cast<std::size_t>(batch)) {
+        const std::size_t len =
+            std::min<std::size_t>(static_cast<std::size_t>(batch), end - pos);
+        session.Accept(shard, std::span<const int>(&reports[pos], len));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double ingest_seconds = timer.ElapsedSeconds();
+
+  session.Seal();
+  wfm::EstimateServer server(&session);
+  const wfm::WorkloadEstimate estimate =
+      server.Serve(wfm::EstimatorKind::kUnbiased);
+  WFM_CHECK_EQ(static_cast<std::int64_t>(estimate.query_answers.size()),
+               static_cast<std::int64_t>(analysis.n()));
+  WFM_CHECK_EQ(session.total_responses(),
+               static_cast<std::int64_t>(reports.size()));
+  return ingest_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wfm::FlagParser flags(argc, argv);
+  const wfm::bench::UnusedFlagWarner warn_unused(flags);
+  const bool full = flags.GetBool("full", false);
+  const int n = flags.GetInt("n", 64);
+  const double eps = flags.GetDouble("eps", 1.0);
+  const int num_reports = flags.GetInt("reports", full ? 16000000 : 2000000);
+  const int batch = flags.GetInt("batch", 1024);
+  const int trials = flags.GetInt("trials", 3);
+  const int fixed_shards = flags.GetInt("shards", 0);  // 0: match threads.
+  const std::vector<int> thread_counts =
+      flags.GetIntList("threads", {1, 2, 4});
+
+  wfm::bench::PrintHeader(
+      "Collection throughput: reports/sec vs ingest threads and shards",
+      "deployment-scale ingest assumed, not measured, by the paper",
+      "n = " + std::to_string(n) + ", " + std::to_string(num_reports) +
+          " reports, batch " + std::to_string(batch) + ", best of " +
+          std::to_string(trials));
+
+  // Pre-randomize the report stream once through the real client path.
+  const wfm::Matrix q = wfm::RandomizedResponseMechanism::BuildStrategy(n, eps);
+  auto workload = std::make_shared<const wfm::HistogramWorkload>(n);
+  const wfm::FactorizationAnalysis analysis(
+      q, wfm::WorkloadStats::From(*workload));
+  const wfm::LocalRandomizer randomizer(q);
+  wfm::Rng rng(7);
+  std::vector<int> reports(num_reports);
+  for (int& r : reports) r = randomizer.Respond(rng.UniformInt(n), rng);
+
+  // Serial baseline: the single-threaded reference aggregator.
+  double serial_best = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    wfm::ResponseAggregator serial(q.rows());
+    wfm::Stopwatch timer;
+    serial.AddBatch(reports);
+    const double rate = num_reports / timer.ElapsedSeconds();
+    serial_best = std::max(serial_best, rate);
+  }
+
+  // Scaling is reported against the first configured thread count (the
+  // column says which), so --threads=2,4,8 stays honest.
+  const std::string scaling_header =
+      "vs " + std::to_string(thread_counts.front()) + " thread(s)";
+  wfm::TablePrinter table(
+      {"threads", "shards", "reports/sec", "vs serial", scaling_header});
+  table.AddRow({"serial", "-", wfm::TablePrinter::Num(serial_best), "1.00x",
+                "-"});
+  double base_rate = 0.0;
+  for (const int threads : thread_counts) {
+    const int shards = fixed_shards > 0 ? fixed_shards : threads;
+    double best_rate = 0.0;
+    for (int trial = 0; trial < trials; ++trial) {
+      const double seconds =
+          RunTrial(analysis, workload, reports, threads, shards, batch);
+      best_rate = std::max(best_rate, num_reports / seconds);
+    }
+    if (base_rate == 0.0) base_rate = best_rate;  // First row is the base.
+    table.AddRow({std::to_string(threads), std::to_string(shards),
+                  wfm::TablePrinter::Num(best_rate),
+                  wfm::TablePrinter::Num(best_rate / serial_best) + "x",
+                  wfm::TablePrinter::Num(best_rate / base_rate) + "x"});
+  }
+  table.Print();
+  return 0;
+}

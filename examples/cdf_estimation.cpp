@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const int n = flags.GetInt("n", 64);
   const double eps = flags.GetDouble("eps", 1.0);
   const double num_users = flags.GetInt("users", 20000);
+  wfm::WarnUnusedFlags(flags);  // Typo'd flags must not silently run defaults.
   const double alpha = 0.01;
 
   wfm::PrefixWorkload workload(n);

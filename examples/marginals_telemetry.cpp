@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   const int k = flags.GetInt("k", 6);
   const double eps = flags.GetDouble("eps", 1.0);
   const int devices = flags.GetInt("devices", 50000);
+  wfm::WarnUnusedFlags(flags);  // Typo'd flags must not silently run defaults.
   const int n = 1 << k;
 
   wfm::KWayMarginalsWorkload workload(n, 3);

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const int n = flags.GetInt("n", 32);
   const std::vector<double> eps_list =
       flags.GetDoubleList("eps", {0.5, 1.0, 2.0, 4.0});
+  wfm::WarnUnusedFlags(flags);  // Typo'd flags must not silently run defaults.
   const double alpha = 0.01;
 
   // --- A bespoke workload -------------------------------------------------

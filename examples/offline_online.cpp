@@ -111,6 +111,7 @@ int main(int argc, char** argv) {
   const std::string path = flags.GetString("strategy", "/tmp/wfm_strategy");
   const double eps = flags.GetDouble("eps", 1.0);
   const int users = flags.GetInt("users", 30000);
+  wfm::WarnUnusedFlags(flags);  // Typo'd flags must not silently run defaults.
 
   int rc = 0;
   if (phase == "offline" || phase == "both") rc = RunOffline(path, eps);

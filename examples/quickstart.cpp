@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   wfm::FlagParser flags(argc, argv);
   const double eps = flags.GetDouble("eps", 1.0);
   const int num_students = flags.GetInt("students", 5000);
+  wfm::WarnUnusedFlags(flags);  // Typo'd flags must not silently run defaults.
 
   // --- 1. Domain and workload -------------------------------------------
   const char* kGrades[] = {"A", "B", "C", "D", "F"};

@@ -1,0 +1,103 @@
+#include "collect/collection_session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace wfm {
+
+CollectionSession::CollectionSession(FactorizationAnalysis analysis,
+                                     std::shared_ptr<const Workload> workload,
+                                     int num_shards)
+    : analysis_(std::move(analysis)),
+      workload_(std::move(workload)),
+      num_shards_(num_shards) {
+  WFM_CHECK(workload_ != nullptr);
+  WFM_CHECK_EQ(workload_->domain_size(), analysis_.n());
+  WFM_CHECK_GT(num_shards_, 0);
+  active_ = std::make_unique<ShardedAggregator>(analysis_.m(), num_shards_);
+}
+
+void CollectionSession::Accept(int shard, std::span<const int> responses) {
+  std::shared_lock<std::shared_mutex> lock(ingest_mutex_);
+  active_->AddBatch(shard, responses);
+}
+
+void CollectionSession::Accept(int shard, int response) {
+  Accept(shard, std::span<const int>(&response, 1));
+}
+
+EpochSnapshot CollectionSession::Seal() {
+  auto fresh = std::make_unique<ShardedAggregator>(analysis_.m(), num_shards_);
+  std::unique_ptr<ShardedAggregator> sealed;
+  {
+    std::unique_lock<std::shared_mutex> lock(ingest_mutex_);
+    sealed = std::exchange(active_, std::move(fresh));
+  }
+  // `sealed` is quiescent: the exclusive section above waited out every
+  // in-flight Accept(), and new ones only see the fresh aggregator.
+  EpochSnapshot snapshot;
+  snapshot.histogram = sealed->Merge();
+  snapshot.count = sealed->num_responses();
+  {
+    std::lock_guard<std::mutex> lock(snapshots_mutex_);
+    snapshot.epoch_id = static_cast<int>(snapshots_.size());
+    snapshots_.push_back(std::make_shared<const EpochSnapshot>(snapshot));
+    sealed_count_ += snapshot.count;
+  }
+  return snapshot;
+}
+
+int CollectionSession::epochs_sealed() const {
+  std::lock_guard<std::mutex> lock(snapshots_mutex_);
+  return static_cast<int>(snapshots_.size());
+}
+
+std::shared_ptr<const EpochSnapshot> CollectionSession::LatestSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshots_mutex_);
+  return snapshots_.empty() ? nullptr : snapshots_.back();
+}
+
+std::shared_ptr<const EpochSnapshot> CollectionSession::Snapshot(
+    int epoch_id) const {
+  std::lock_guard<std::mutex> lock(snapshots_mutex_);
+  WFM_CHECK(epoch_id >= 0 && epoch_id < static_cast<int>(snapshots_.size()))
+      << "epoch" << epoch_id << "not sealed yet";
+  return snapshots_[epoch_id];
+}
+
+EpochSnapshot CollectionSession::WindowTotal(int last_k) const {
+  WFM_CHECK_GT(last_k, 0);
+  std::lock_guard<std::mutex> lock(snapshots_mutex_);
+  EpochSnapshot total;
+  total.histogram.assign(analysis_.m(), 0.0);
+  if (snapshots_.empty()) return total;
+  const int end = static_cast<int>(snapshots_.size());
+  const int begin = std::max(0, end - last_k);
+  for (int e = begin; e < end; ++e) {
+    const EpochSnapshot& snapshot = *snapshots_[e];
+    for (int o = 0; o < analysis_.m(); ++o) {
+      total.histogram[o] += snapshot.histogram[o];
+    }
+    total.count += snapshot.count;
+  }
+  total.epoch_id = snapshots_.back()->epoch_id;
+  return total;
+}
+
+std::int64_t CollectionSession::pending_responses() const {
+  std::shared_lock<std::shared_mutex> lock(ingest_mutex_);
+  return active_->num_responses();
+}
+
+std::int64_t CollectionSession::total_responses() const {
+  // Both locks are held so a concurrent Seal() cannot move reports from
+  // pending to sealed between the two reads. No deadlock: every other path
+  // (including Seal) takes these locks sequentially, never nested.
+  std::lock_guard<std::mutex> snapshots_lock(snapshots_mutex_);
+  std::shared_lock<std::shared_mutex> ingest_lock(ingest_mutex_);
+  return sealed_count_ + active_->num_responses();
+}
+
+}  // namespace wfm

@@ -1,0 +1,111 @@
+// One live collection campaign: a strategy's factorization analysis, its
+// workload, a sharded aggregator for the reports currently streaming in, and
+// the sealed history of previous epochs.
+//
+// The paper's protocol is one-round — each user reports once, the server
+// aggregates, then reconstructs (protocol.h). A long-running service repeats
+// that round over time: reports for the current *epoch* stream into fresh
+// shards, and Seal() atomically freezes the epoch into an immutable
+// EpochSnapshot{histogram, count, epoch_id} while ingestion continues into a
+// new shard set. Per-epoch histograms add (aggregation is linear), so an
+// estimate over any window of epochs is just the estimate on the summed
+// snapshots — the sliding-window analytics pattern ("last k hours") falls out
+// of WindowTotal() with no extra privacy cost, since each user's single
+// report participates in at most one epoch.
+//
+// Concurrency contract: Accept() may be called from any number of threads
+// (each worker passing its own shard id keeps shards contention-free, but any
+// shard id is safe); Seal(), snapshot accessors, and WindowTotal() may run
+// concurrently with ingestion. A reader/writer lock around the active
+// aggregator makes the epoch cut exact: Seal() waits for in-flight batches,
+// so every report lands in exactly one epoch.
+
+#ifndef WFM_COLLECT_COLLECTION_SESSION_H_
+#define WFM_COLLECT_COLLECTION_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "collect/sharded_aggregator.h"
+#include "core/factorization.h"
+#include "linalg/matrix.h"
+#include "workload/workload.h"
+
+namespace wfm {
+
+/// An immutable, sealed epoch: the response histogram accumulated between two
+/// Seal() calls (or session start and the first Seal()).
+struct EpochSnapshot {
+  int epoch_id = -1;        ///< 0-based seal order; -1 means "no epoch".
+  std::int64_t count = 0;   ///< Reports in this epoch.
+  Vector histogram;         ///< m-dimensional response histogram.
+};
+
+class CollectionSession {
+ public:
+  /// `analysis` is the offline-optimized strategy's factorization (its m()
+  /// fixes the response alphabet); `workload` is what estimates answer.
+  CollectionSession(FactorizationAnalysis analysis,
+                    std::shared_ptr<const Workload> workload, int num_shards);
+
+  const FactorizationAnalysis& analysis() const { return analysis_; }
+  const Workload& workload() const { return *workload_; }
+  int num_shards() const { return num_shards_; }
+  int num_outputs() const { return analysis_.m(); }
+
+  /// Ingests a batch of randomized responses into the current epoch.
+  /// Thread-safe; aborts on out-of-range responses or shard ids.
+  void Accept(int shard, std::span<const int> responses);
+  void Accept(int shard, int response);
+
+  /// Freezes the current epoch and starts a new one. Returns the sealed
+  /// snapshot (also retained in the session's history). Waits for in-flight
+  /// Accept() batches, so the epoch cut is exact; new batches proceed into
+  /// fresh shards as soon as the swap is done, before the O(shards x m)
+  /// merge runs.
+  EpochSnapshot Seal();
+
+  /// Number of epochs sealed so far.
+  int epochs_sealed() const;
+
+  /// Latest sealed snapshot, or nullptr if nothing has been sealed.
+  std::shared_ptr<const EpochSnapshot> LatestSnapshot() const;
+
+  /// Snapshot of a specific sealed epoch (0 <= epoch_id < epochs_sealed()).
+  std::shared_ptr<const EpochSnapshot> Snapshot(int epoch_id) const;
+
+  /// Sum of the last min(last_k, epochs_sealed()) sealed snapshots. The
+  /// returned epoch_id is the newest epoch included (-1 if none sealed yet,
+  /// with a zero histogram).
+  EpochSnapshot WindowTotal(int last_k) const;
+
+  /// Reports accepted into the current (unsealed) epoch so far.
+  std::int64_t pending_responses() const;
+
+  /// Reports accepted over the session lifetime (sealed + pending). Exact
+  /// whenever no Seal() is mid-flight (a concurrently sealing epoch is
+  /// counted once its snapshot publishes).
+  std::int64_t total_responses() const;
+
+ private:
+  FactorizationAnalysis analysis_;
+  std::shared_ptr<const Workload> workload_;
+  int num_shards_;
+
+  // Accept() holds this shared; Seal() holds it exclusive only for the
+  // pointer swap, so ingestion stalls for O(1), not O(shards x m).
+  mutable std::shared_mutex ingest_mutex_;
+  std::unique_ptr<ShardedAggregator> active_;
+
+  mutable std::mutex snapshots_mutex_;
+  std::vector<std::shared_ptr<const EpochSnapshot>> snapshots_;
+  std::int64_t sealed_count_ = 0;  ///< Total reports across sealed epochs.
+};
+
+}  // namespace wfm
+
+#endif  // WFM_COLLECT_COLLECTION_SESSION_H_

@@ -1,0 +1,47 @@
+#include "collect/estimate_server.h"
+
+#include "common/check.h"
+
+namespace wfm {
+
+EstimateServer::EstimateServer(const CollectionSession* session)
+    : session_(session) {
+  WFM_CHECK(session != nullptr);
+}
+
+WorkloadEstimate EstimateServer::Serve(EstimatorKind kind) {
+  return ServeWindow(/*window=*/1, kind);
+}
+
+WorkloadEstimate EstimateServer::ServeWindow(int window, EstimatorKind kind) {
+  WFM_CHECK_GT(window, 0);
+  const EpochSnapshot total = session_->WindowTotal(window);
+  WFM_CHECK_GE(total.epoch_id, 0) << "no sealed epoch to serve from";
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++serves_;
+  if (total.epoch_id != cached_epoch_) {
+    cache_.clear();
+    cached_epoch_ = total.epoch_id;
+  }
+  const std::pair<int, int> key(window, static_cast<int>(kind));
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  ++solves_;
+  WorkloadEstimate estimate = EstimateWorkloadAnswers(
+      session_->analysis(), session_->workload(), total.histogram, kind);
+  cache_.emplace(key, estimate);
+  return estimate;
+}
+
+std::int64_t EstimateServer::num_serves() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return serves_;
+}
+
+std::int64_t EstimateServer::num_solves() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return solves_;
+}
+
+}  // namespace wfm

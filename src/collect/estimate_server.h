@@ -1,0 +1,57 @@
+// Serves workload answers from a CollectionSession's sealed epochs.
+//
+// Reconstruction is the expensive half of serving — WNNLS in particular runs
+// a projected solve per request — while sealed snapshots are immutable, so
+// between two Seal() calls every query over the same window and estimator
+// kind has the same answer. The server memoizes estimates per (window, kind)
+// and invalidates the whole cache when a newer epoch appears, giving
+// read-heavy traffic O(1) lookups with at most one solve per
+// (epoch, window, kind) triple.
+
+#ifndef WFM_COLLECT_ESTIMATE_SERVER_H_
+#define WFM_COLLECT_ESTIMATE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "collect/collection_session.h"
+#include "estimation/estimator.h"
+
+namespace wfm {
+
+class EstimateServer {
+ public:
+  /// `session` must outlive the server.
+  explicit EstimateServer(const CollectionSession* session);
+
+  /// Workload answers from the latest sealed epoch alone. Aborts if nothing
+  /// has been sealed yet (a service answers "no data" out of band).
+  WorkloadEstimate Serve(EstimatorKind kind);
+
+  /// Workload answers over the last `window` sealed epochs summed — the
+  /// sliding-window scenario ("estimate over the last k epochs").
+  WorkloadEstimate ServeWindow(int window, EstimatorKind kind);
+
+  /// Requests answered (cache hits + solves).
+  std::int64_t num_serves() const;
+
+  /// Requests that actually ran the estimator (cache misses).
+  std::int64_t num_solves() const;
+
+ private:
+  const CollectionSession* session_;
+
+  // One mutex guards cache and counters; the solve itself runs under it, so
+  // concurrent identical requests collapse into a single solve.
+  mutable std::mutex mutex_;
+  int cached_epoch_ = -1;  ///< Latest epoch id the cache entries belong to.
+  std::map<std::pair<int, int>, WorkloadEstimate> cache_;  ///< (window, kind).
+  std::int64_t serves_ = 0;
+  std::int64_t solves_ = 0;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_COLLECT_ESTIMATE_SERVER_H_

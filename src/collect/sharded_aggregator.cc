@@ -1,0 +1,83 @@
+#include "collect/sharded_aggregator.h"
+
+#include "common/check.h"
+
+namespace wfm {
+
+ShardedAggregator::ShardedAggregator(int num_outputs, int num_shards)
+    : num_outputs_(num_outputs) {
+  WFM_CHECK_GT(num_outputs, 0);
+  WFM_CHECK_GT(num_shards, 0);
+  shards_.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(num_outputs));
+  }
+}
+
+ShardedAggregator::Shard& ShardedAggregator::GetShard(int shard) {
+  WFM_CHECK(shard >= 0 && shard < num_shards())
+      << "shard id out of range:" << shard << "of" << num_shards();
+  return *shards_[shard];
+}
+
+const ShardedAggregator::Shard& ShardedAggregator::GetShard(int shard) const {
+  WFM_CHECK(shard >= 0 && shard < num_shards())
+      << "shard id out of range:" << shard << "of" << num_shards();
+  return *shards_[shard];
+}
+
+void ShardedAggregator::Add(int shard, int response) {
+  Shard& s = GetShard(shard);
+  WFM_CHECK(response >= 0 && response < num_outputs_)
+      << "response out of range:" << response << "for m =" << num_outputs_;
+  s.counts[response].fetch_add(1, std::memory_order_relaxed);
+  s.total.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedAggregator::AddBatch(int shard, std::span<const int> responses) {
+  // Below this size the scratch histogram costs more than it saves.
+  constexpr std::size_t kScatterThreshold = 16;
+  Shard& s = GetShard(shard);
+  if (responses.size() < kScatterThreshold) {
+    for (const int response : responses) {
+      WFM_CHECK(response >= 0 && response < num_outputs_)
+          << "response out of range:" << response << "for m =" << num_outputs_;
+      s.counts[response].fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    // Accumulate the batch into private scratch counts first, so the atomic
+    // traffic is one add per touched output rather than one per report.
+    std::vector<std::int64_t> local(num_outputs_, 0);
+    for (const int response : responses) {
+      WFM_CHECK(response >= 0 && response < num_outputs_)
+          << "response out of range:" << response << "for m =" << num_outputs_;
+      ++local[response];
+    }
+    for (int o = 0; o < num_outputs_; ++o) {
+      if (local[o] != 0) s.counts[o].fetch_add(local[o], std::memory_order_relaxed);
+    }
+  }
+  s.total.fetch_add(static_cast<std::int64_t>(responses.size()),
+                    std::memory_order_relaxed);
+}
+
+Vector ShardedAggregator::Merge() const {
+  Vector y(num_outputs_, 0.0);
+  for (const auto& shard : shards_) {
+    for (int o = 0; o < num_outputs_; ++o) {
+      const std::int64_t c = shard->counts[o].load(std::memory_order_relaxed);
+      y[o] += static_cast<double>(c);
+    }
+  }
+  return y;
+}
+
+std::int64_t ShardedAggregator::num_responses() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->total.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace wfm

@@ -1,0 +1,76 @@
+// Sharded, thread-safe response aggregation: the hot path of the online
+// collection phase.
+//
+// Aggregating randomized responses is embarrassingly parallel — the server
+// only ever needs the histogram y, and addition commutes — so the aggregator
+// is an array of fixed-size histogram shards, one per ingest worker. Workers
+// bump per-shard counters (relaxed atomics, cache-line padded so shards never
+// share a line); AddBatch first accumulates the batch into private scratch
+// counts so the atomic traffic is one add per touched output per batch, not
+// one per report. The server folds shards together with an O(shards x m)
+// Merge() when it wants the histogram.
+//
+// Counts are kept as integers, so Merge() over a quiescent aggregator is
+// *exactly* the Vector a serial ResponseAggregator would produce for the same
+// report stream, independent of shard assignment and thread interleaving
+// (integer sums are associative; doubles represent them exactly below 2^53).
+// Merge() while ingestion is still running is safe but only guaranteed to see
+// a subset of the in-flight increments.
+
+#ifndef WFM_COLLECT_SHARDED_AGGREGATOR_H_
+#define WFM_COLLECT_SHARDED_AGGREGATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace wfm {
+
+class ShardedAggregator {
+ public:
+  /// `num_outputs` is m, the response alphabet size of the strategy;
+  /// `num_shards` is typically the number of ingest workers.
+  ShardedAggregator(int num_outputs, int num_shards);
+
+  int num_outputs() const { return num_outputs_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Records one response in [0, num_outputs) on the given shard.
+  /// Thread-safe; out-of-range responses and shard ids abort (they indicate a
+  /// corrupt or malicious report stream, validated before it can skew y).
+  void Add(int shard, int response);
+
+  /// Batched hot path: validates and records every response in the batch.
+  void AddBatch(int shard, std::span<const int> responses);
+
+  /// Folds all shards into one histogram, O(num_shards x num_outputs).
+  /// Exact (bit-identical to serial aggregation) once ingestion has stopped.
+  Vector Merge() const;
+
+  /// Total responses recorded across all shards.
+  std::int64_t num_responses() const;
+
+ private:
+  // One worker's histogram. alignas keeps the hot `total` counters of
+  // different shards on different cache lines; the count arrays live in
+  // separate heap blocks and do not interfere.
+  struct alignas(64) Shard {
+    explicit Shard(int num_outputs) : counts(num_outputs) {}
+    std::vector<std::atomic<std::int64_t>> counts;
+    std::atomic<std::int64_t> total{0};
+  };
+
+  Shard& GetShard(int shard);
+  const Shard& GetShard(int shard) const;
+
+  int num_outputs_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // Shard is immovable (atomics).
+};
+
+}  // namespace wfm
+
+#endif  // WFM_COLLECT_SHARDED_AGGREGATOR_H_

@@ -1,5 +1,6 @@
 #include "common/flags.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -99,6 +100,17 @@ std::vector<std::string> FlagParser::UnusedFlags() const {
     if (queried_.count(name) == 0) unused.push_back(name);
   }
   return unused;
+}
+
+int WarnUnusedFlags(const FlagParser& flags) {
+  const std::vector<std::string> unused = flags.UnusedFlags();
+  for (const std::string& name : unused) {
+    std::fprintf(stderr,
+                 "warning: flag --%s is not recognized by this program and "
+                 "was ignored (typo?)\n",
+                 name.c_str());
+  }
+  return static_cast<int>(unused.size());
 }
 
 }  // namespace wfm

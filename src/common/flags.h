@@ -40,6 +40,12 @@ class FlagParser {
   mutable std::map<std::string, bool> queried_;
 };
 
+/// Prints one warning line to stderr per flag that was provided on the
+/// command line but never queried (a misspelled flag would otherwise silently
+/// run defaults). Call after the last Get*/Has; returns how many it warned
+/// about, so callers can choose to make typos fatal.
+int WarnUnusedFlags(const FlagParser& flags);
+
 }  // namespace wfm
 
 #endif  // WFM_COMMON_FLAGS_H_

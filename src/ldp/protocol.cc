@@ -17,6 +17,10 @@ void ResponseAggregator::Add(int response) {
   ++count_;
 }
 
+void ResponseAggregator::AddBatch(std::span<const int> responses) {
+  for (const int response : responses) Add(response);
+}
+
 Vector SimulateResponseHistogram(const Matrix& q, const Vector& x, Rng& rng) {
   WFM_CHECK_EQ(q.cols(), static_cast<int>(x.size()));
   Vector y(q.rows(), 0.0);

@@ -3,9 +3,14 @@
 // A deployment looks like:
 //   1. the analyst optimizes (or picks) a strategy Q offline;
 //   2. each user runs LocalRandomizer::Respond on their type;
-//   3. the server aggregates responses into the histogram y (this file);
+//   3. the server aggregates responses into the histogram y (this file for
+//      the serial reference path; collect/ for the concurrent service:
+//      ShardedAggregator fans ingestion across workers and
+//      CollectionSession::Seal() cuts the stream into immutable epoch
+//      snapshots, each one instance of the paper's one-round protocol);
 //   4. the server reconstructs: x_hat = B y (unbiased, Theorem 3.10) or the
-//      WNNLS consistent estimate (Appendix A), then answers W x_hat.
+//      WNNLS consistent estimate (Appendix A), then answers W x_hat
+//      (collect/EstimateServer caches this step per sealed epoch).
 //
 // For experiments, SimulateResponseHistogram draws the aggregate directly:
 // users of one type are exchangeable, so their response counts are a
@@ -16,6 +21,7 @@
 #define WFM_LDP_PROTOCOL_H_
 
 #include <cstdint>
+#include <span>
 
 #include "core/factorization.h"
 #include "ldp/local_randomizer.h"
@@ -24,12 +30,15 @@
 
 namespace wfm {
 
-/// Streaming collector for randomized responses.
+/// Streaming collector for randomized responses (single-threaded reference;
+/// collect/ShardedAggregator is the concurrent equivalent).
 class ResponseAggregator {
  public:
   explicit ResponseAggregator(int num_outputs);
 
   void Add(int response);
+  /// Records every response in the batch; equivalent to repeated Add().
+  void AddBatch(std::span<const int> responses);
   const Vector& histogram() const { return histogram_; }
   std::int64_t num_responses() const { return count_; }
 

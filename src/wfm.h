@@ -71,4 +71,10 @@
 #include "estimation/estimator.h"
 #include "estimation/wnnls.h"
 
+// collect: the concurrent online half of a deployment — sharded report
+// ingestion, epoch snapshots, cached estimate serving.
+#include "collect/collection_session.h"
+#include "collect/estimate_server.h"
+#include "collect/sharded_aggregator.h"
+
 #endif  // WFM_WFM_H_

@@ -1,0 +1,351 @@
+// Tests for the collect/ subsystem: serial/sharded aggregation equivalence,
+// deterministic merges under multi-threaded ingestion, exact epoch cuts while
+// ingestion keeps running, window sums, and estimate-cache invalidation.
+//
+// The core invariant pinned down here: for the same report stream,
+// ShardedAggregator::Merge() is bit-identical to serial ResponseAggregator
+// aggregation — counts are integers, so no shard assignment, batch split, or
+// thread interleaving can change the merged histogram. Threaded tests run
+// with >= 4 ingest threads and are exercised under TSan in CI.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "collect/collection_session.h"
+#include "collect/estimate_server.h"
+#include "collect/sharded_aggregator.h"
+#include "estimation/estimator.h"
+#include "ldp/protocol.h"
+#include "linalg/rng.h"
+#include "mechanisms/randomized_response.h"
+#include "workload/histogram.h"
+#include "workload/prefix.h"
+
+namespace wfm {
+namespace {
+
+constexpr int kIngestThreads = 4;  // Acceptance: >= 4 threads under TSan.
+
+// Deterministic pseudo-report stream over an alphabet of size m.
+std::vector<int> MakeReports(int m, int count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> reports(count);
+  for (int& r : reports) r = rng.UniformInt(m);
+  return reports;
+}
+
+Vector SerialHistogram(int m, const std::vector<int>& reports) {
+  ResponseAggregator serial(m);
+  serial.AddBatch(reports);
+  return serial.histogram();
+}
+
+std::unique_ptr<CollectionSession> MakeSession(int n, int num_shards) {
+  const Matrix q = RandomizedResponseMechanism::BuildStrategy(n, 1.0);
+  auto workload = std::make_shared<const HistogramWorkload>(n);
+  FactorizationAnalysis analysis(q, WorkloadStats::From(*workload));
+  return std::make_unique<CollectionSession>(std::move(analysis),
+                                             std::move(workload), num_shards);
+}
+
+// Death tests first (gtest runs *DeathTest suites before the rest, while no
+// helper threads are alive).
+TEST(CollectDeathTest, RejectsOutOfRangeResponses) {
+  ShardedAggregator agg(/*num_outputs=*/3, /*num_shards=*/2);
+  EXPECT_DEATH(agg.Add(0, 3), "response out of range");
+  EXPECT_DEATH(agg.Add(1, -1), "response out of range");
+}
+
+TEST(CollectDeathTest, RejectsBadShardIds) {
+  ShardedAggregator agg(/*num_outputs=*/3, /*num_shards=*/2);
+  EXPECT_DEATH(agg.Add(2, 0), "shard id out of range");
+  EXPECT_DEATH(agg.Add(-1, 0), "shard id out of range");
+}
+
+TEST(CollectDeathTest, ServingRequiresASealedEpoch) {
+  auto session = MakeSession(/*n=*/4, /*num_shards=*/2);
+  EstimateServer server(session.get());
+  EXPECT_DEATH(server.Serve(EstimatorKind::kUnbiased), "no sealed epoch");
+}
+
+TEST(ShardedAggregatorTest, MergeMatchesSerialAggregation) {
+  const int m = 32;
+  const std::vector<int> reports = MakeReports(m, 100000, /*seed=*/41);
+
+  ShardedAggregator sharded(m, /*num_shards=*/8);
+  // Round-robin batches of uneven sizes across shards.
+  std::size_t pos = 0;
+  int shard = 0;
+  std::size_t batch = 1;
+  while (pos < reports.size()) {
+    const std::size_t len = std::min(batch, reports.size() - pos);
+    sharded.AddBatch(shard, std::span<const int>(&reports[pos], len));
+    pos += len;
+    shard = (shard + 1) % sharded.num_shards();
+    batch = batch % 997 + 13;
+  }
+
+  EXPECT_EQ(sharded.Merge(), SerialHistogram(m, reports));  // Bit-identical.
+  EXPECT_EQ(sharded.num_responses(), static_cast<std::int64_t>(reports.size()));
+}
+
+TEST(ShardedAggregatorTest, ConcurrentMergeIsExactAndDeterministic) {
+  const int m = 16;
+  const std::vector<int> reports = MakeReports(m, 200000, /*seed=*/42);
+  const Vector expected = SerialHistogram(m, reports);
+
+  for (int round = 0; round < 3; ++round) {  // Determinism across rounds.
+    ShardedAggregator sharded(m, kIngestThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kIngestThreads; ++t) {
+      threads.emplace_back([&, t] {
+        // Thread t owns slice t and feeds it through its own shard in
+        // batches, concurrently with the other threads.
+        const std::size_t begin = reports.size() * t / kIngestThreads;
+        const std::size_t end = reports.size() * (t + 1) / kIngestThreads;
+        for (std::size_t pos = begin; pos < end; pos += 1024) {
+          const std::size_t len = std::min<std::size_t>(1024, end - pos);
+          sharded.AddBatch(t, std::span<const int>(&reports[pos], len));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(sharded.Merge(), expected) << "round " << round;
+    EXPECT_EQ(sharded.num_responses(),
+              static_cast<std::int64_t>(reports.size()));
+  }
+}
+
+TEST(ShardedAggregatorTest, ManyThreadsMayShareOneShard) {
+  // The one-shard-per-worker layout is a performance choice, not a safety
+  // requirement: shards are internally atomic.
+  const int m = 8;
+  const std::vector<int> reports = MakeReports(m, 80000, /*seed=*/43);
+  ShardedAggregator sharded(m, /*num_shards=*/1);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kIngestThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::size_t begin = reports.size() * t / kIngestThreads;
+      const std::size_t end = reports.size() * (t + 1) / kIngestThreads;
+      sharded.AddBatch(0, std::span<const int>(&reports[begin], end - begin));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(sharded.Merge(), SerialHistogram(m, reports));
+}
+
+TEST(CollectionSessionTest, SealUnderConcurrentIngestionConservesReports) {
+  // Ingest threads stream fixed report sets while the main thread seals
+  // epochs mid-flight. Every report must land in exactly one epoch: the
+  // union of all sealed snapshots equals the serial aggregation of
+  // everything sent — regardless of where the epoch cuts fell.
+  const int n = 8;
+  auto session = MakeSession(n, kIngestThreads);
+  const int m = session->num_outputs();
+
+  std::vector<std::vector<int>> streams;
+  for (int t = 0; t < kIngestThreads; ++t) {
+    streams.push_back(MakeReports(m, 60000, /*seed=*/100 + t));
+  }
+
+  std::atomic<int> threads_done{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kIngestThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::vector<int>& stream = streams[t];
+      for (std::size_t pos = 0; pos < stream.size(); pos += 512) {
+        const std::size_t len = std::min<std::size_t>(512, stream.size() - pos);
+        session->Accept(t, std::span<const int>(&stream[pos], len));
+      }
+      threads_done.fetch_add(1);
+    });
+  }
+  // Seal epochs while ingestion runs (at least one seal always happens, and
+  // in practice many land mid-flight).
+  int seals = 0;
+  do {
+    session->Seal();
+    ++seals;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  } while (threads_done.load() < kIngestThreads);
+  for (std::thread& t : threads) t.join();
+  session->Seal();  // Flush whatever the last mid-flight seal missed.
+
+  std::vector<int> all_reports;
+  for (const auto& stream : streams) {
+    all_reports.insert(all_reports.end(), stream.begin(), stream.end());
+  }
+  Vector sealed_total(m, 0.0);
+  std::int64_t sealed_count = 0;
+  for (int e = 0; e < session->epochs_sealed(); ++e) {
+    const auto snapshot = session->Snapshot(e);
+    EXPECT_EQ(snapshot->epoch_id, e);
+    EXPECT_EQ(Sum(snapshot->histogram), static_cast<double>(snapshot->count));
+    for (int o = 0; o < m; ++o) sealed_total[o] += snapshot->histogram[o];
+    sealed_count += snapshot->count;
+  }
+  EXPECT_EQ(sealed_total, SerialHistogram(m, all_reports));
+  EXPECT_EQ(sealed_count, static_cast<std::int64_t>(all_reports.size()));
+  EXPECT_EQ(session->total_responses(), sealed_count);
+  EXPECT_EQ(session->pending_responses(), 0);
+  EXPECT_GE(seals, 1);
+}
+
+TEST(CollectionSessionTest, WindowTotalSumsTheLastKEpochs) {
+  const int n = 4;
+  auto session = MakeSession(n, /*num_shards=*/2);
+
+  EXPECT_EQ(session->WindowTotal(3).epoch_id, -1);  // Nothing sealed yet.
+  EXPECT_EQ(session->WindowTotal(3).count, 0);
+  EXPECT_EQ(session->LatestSnapshot(), nullptr);
+
+  // Epoch e ingests exactly e+1 reports of type e (m = n for RR).
+  for (int e = 0; e < 3; ++e) {
+    for (int j = 0; j <= e; ++j) session->Accept(j % 2, e);
+    const EpochSnapshot sealed = session->Seal();
+    EXPECT_EQ(sealed.epoch_id, e);
+    EXPECT_EQ(sealed.count, e + 1);
+    EXPECT_EQ(sealed.histogram[e], static_cast<double>(e + 1));
+  }
+
+  const EpochSnapshot last2 = session->WindowTotal(2);
+  EXPECT_EQ(last2.epoch_id, 2);
+  EXPECT_EQ(last2.count, 2 + 3);
+  EXPECT_EQ(last2.histogram, (Vector{0, 2, 3, 0}));
+
+  const EpochSnapshot all = session->WindowTotal(100);  // Clamped to history.
+  EXPECT_EQ(all.count, 1 + 2 + 3);
+  EXPECT_EQ(all.histogram, (Vector{1, 2, 3, 0}));
+
+  EXPECT_EQ(session->LatestSnapshot()->epoch_id, 2);
+  EXPECT_EQ(session->epochs_sealed(), 3);
+  EXPECT_EQ(session->total_responses(), 6);
+}
+
+TEST(EstimateServerTest, ServesTheSameAnswersAsTheOfflinePipeline) {
+  const int n = 8;
+  const Matrix q = RandomizedResponseMechanism::BuildStrategy(n, 1.0);
+  auto workload = std::make_shared<const PrefixWorkload>(n);
+  FactorizationAnalysis analysis(q, WorkloadStats::From(*workload));
+  CollectionSession session(analysis, workload, /*num_shards=*/2);
+
+  const std::vector<int> reports = MakeReports(n, 20000, /*seed=*/77);
+  session.Accept(0, std::span<const int>(reports.data(), reports.size()));
+  session.Seal();
+
+  EstimateServer server(&session);
+  for (const EstimatorKind kind :
+       {EstimatorKind::kUnbiased, EstimatorKind::kWnnls}) {
+    const WorkloadEstimate served = server.Serve(kind);
+    const WorkloadEstimate direct = EstimateWorkloadAnswers(
+        analysis, *workload, session.LatestSnapshot()->histogram, kind);
+    EXPECT_EQ(served.data_vector, direct.data_vector);
+    EXPECT_EQ(served.query_answers, direct.query_answers);
+  }
+}
+
+TEST(EstimateServerTest, CachesPerEpochAndInvalidatesOnSeal) {
+  auto session = MakeSession(/*n=*/6, /*num_shards=*/2);
+  const int m = session->num_outputs();
+  const std::vector<int> first = MakeReports(m, 5000, /*seed=*/51);
+  session->Accept(0, std::span<const int>(first.data(), first.size()));
+  session->Seal();
+
+  EstimateServer server(session.get());
+  const WorkloadEstimate a = server.Serve(EstimatorKind::kUnbiased);
+  const WorkloadEstimate b = server.Serve(EstimatorKind::kUnbiased);
+  EXPECT_EQ(server.num_serves(), 2);
+  EXPECT_EQ(server.num_solves(), 1) << "second serve must hit the cache";
+  EXPECT_EQ(a.query_answers, b.query_answers);
+
+  // A different estimator kind or window is a different cache entry.
+  server.Serve(EstimatorKind::kWnnls);
+  EXPECT_EQ(server.num_solves(), 2);
+  server.ServeWindow(2, EstimatorKind::kUnbiased);
+  EXPECT_EQ(server.num_solves(), 3);
+
+  // Sealing a new epoch invalidates everything cached for the old one.
+  const std::vector<int> second = MakeReports(m, 5000, /*seed=*/52);
+  session->Accept(1, std::span<const int>(second.data(), second.size()));
+  session->Seal();
+  const WorkloadEstimate c = server.Serve(EstimatorKind::kUnbiased);
+  EXPECT_EQ(server.num_solves(), 4) << "stale cache served after a new seal";
+  EXPECT_NE(a.data_vector, c.data_vector);
+
+  // The fresh epoch's estimate reflects only the new epoch's reports.
+  const WorkloadEstimate direct = EstimateWorkloadAnswers(
+      session->analysis(), session->workload(),
+      session->LatestSnapshot()->histogram, EstimatorKind::kUnbiased);
+  EXPECT_EQ(c.query_answers, direct.query_answers);
+}
+
+TEST(EstimateServerTest, ConcurrentServesAreConsistent) {
+  auto session = MakeSession(/*n=*/6, /*num_shards=*/2);
+  const int m = session->num_outputs();
+  const std::vector<int> reports = MakeReports(m, 10000, /*seed=*/53);
+  session->Accept(0, std::span<const int>(reports.data(), reports.size()));
+  session->Seal();
+
+  EstimateServer server(session.get());
+  const WorkloadEstimate expected = server.Serve(EstimatorKind::kUnbiased);
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kIngestThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        const WorkloadEstimate got = server.Serve(EstimatorKind::kUnbiased);
+        if (got.query_answers != expected.query_answers) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(server.num_solves(), 1);
+  EXPECT_EQ(server.num_serves(), 1 + kIngestThreads * 50);
+}
+
+TEST(ResponseParityTest, ShardedSessionMatchesSerialReferenceEndToEnd) {
+  // Full-stack equivalence: randomize real users, feed the identical report
+  // stream through the serial reference aggregator and a concurrent session,
+  // and require identical histograms (hence identical estimates).
+  const int n = 5;
+  const Matrix q = RandomizedResponseMechanism::BuildStrategy(n, 1.0);
+  auto workload = std::make_shared<const HistogramWorkload>(n);
+  FactorizationAnalysis analysis(q, WorkloadStats::From(*workload));
+  const LocalRandomizer randomizer(q);
+
+  Rng rng(2026);
+  const Vector truth{400, 100, 250, 50, 200};
+  std::vector<int> reports;
+  for (int u = 0; u < n; ++u) {
+    for (int j = 0; j < static_cast<int>(truth[u]); ++j) {
+      reports.push_back(randomizer.Respond(u, rng));
+    }
+  }
+
+  CollectionSession session(analysis, workload, kIngestThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kIngestThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::size_t begin = reports.size() * t / kIngestThreads;
+      const std::size_t end = reports.size() * (t + 1) / kIngestThreads;
+      session.Accept(t, std::span<const int>(&reports[begin], end - begin));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const EpochSnapshot sealed = session.Seal();
+
+  EXPECT_EQ(sealed.histogram, SerialHistogram(q.rows(), reports));
+  EXPECT_EQ(sealed.count, static_cast<std::int64_t>(reports.size()));
+}
+
+}  // namespace
+}  // namespace wfm

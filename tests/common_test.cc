@@ -76,6 +76,17 @@ TEST(FlagParserTest, UnusedFlagsTracked) {
   EXPECT_EQ(unused[0], "typo");
 }
 
+TEST(FlagParserTest, WarnUnusedFlagsCountsOnlyUnqueried) {
+  std::vector<std::string> args{"prog", "--used=1", "--typo=2", "--oops"};
+  auto argv = MakeArgv(args);
+  FlagParser flags(static_cast<int>(argv.size()), argv.data());
+  flags.GetInt("used", 0);
+  EXPECT_EQ(WarnUnusedFlags(flags), 2);  // Prints to stderr; count checked.
+  flags.GetBool("oops", false);
+  flags.GetInt("typo", 0);
+  EXPECT_EQ(WarnUnusedFlags(flags), 0);
+}
+
 TEST(StatusTest, OkAndErrors) {
   EXPECT_TRUE(Status::Ok().ok());
   const Status s = Status::InvalidArgument("bad");

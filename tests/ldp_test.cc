@@ -7,6 +7,8 @@
 // they are not literal 5σ expressions.
 
 #include <cmath>
+#include <span>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -49,6 +51,30 @@ TEST(ResponseAggregatorDeathTest, RejectsOutOfRange) {
   ResponseAggregator agg(3);
   EXPECT_DEATH(agg.Add(3), "WFM_CHECK");
   EXPECT_DEATH(agg.Add(-1), "WFM_CHECK");
+}
+
+TEST(ResponseAggregatorDeathTest, RejectsOutOfRangeWithinBatch) {
+  ResponseAggregator agg(3);
+  const std::vector<int> batch{0, 1, 3};
+  EXPECT_DEATH(agg.AddBatch(batch), "WFM_CHECK");
+  const std::vector<int> negative{2, -1};
+  EXPECT_DEATH(agg.AddBatch(negative), "WFM_CHECK");
+}
+
+TEST(ResponseAggregatorTest, AddBatchMatchesRepeatedAdd) {
+  Rng rng(138);
+  const int m = 7;
+  std::vector<int> responses(5000);
+  for (int& r : responses) r = rng.UniformInt(m);
+
+  ResponseAggregator one_by_one(m);
+  for (const int r : responses) one_by_one.Add(r);
+  ResponseAggregator batched(m);
+  batched.AddBatch(responses);
+  batched.AddBatch(std::span<const int>());  // Empty batch is a no-op.
+
+  EXPECT_EQ(batched.histogram(), one_by_one.histogram());
+  EXPECT_EQ(batched.num_responses(), one_by_one.num_responses());
 }
 
 TEST(ProtocolTest, HistogramPreservesUserCount) {
