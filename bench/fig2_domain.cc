@@ -69,9 +69,9 @@ int main(int argc, char** argv) {
         const auto workload = wfm::CreateWorkload(wname, n);
         const wfm::WorkloadStats stats = wfm::WorkloadStats::From(*workload);
         const auto mech = wfm::CreateBaseline(mname, n, eps);
-        scs.push_back(mech == nullptr
-                          ? 1e300
-                          : mech->Analyze(stats).SampleComplexity(wfm::bench::kAlpha));
+        scs.push_back(!mech.ok() ? 1e300
+                                 : mech.value()->Analyze(stats).SampleComplexity(
+                                       wfm::bench::kAlpha));
       }
       add_mechanism_row(mname, scs);
     }

@@ -67,8 +67,8 @@ int main(int argc, char** argv) {
 
   for (const auto& mname : wfm::StandardBaselineNames()) {
     const auto mech = wfm::CreateBaseline(mname, n, eps);
-    if (mech == nullptr) continue;
-    add_row(mname, mech->Analyze(stats));
+    if (!mech.ok()) continue;  // e.g. Fourier off a power-of-two domain.
+    add_row(mname, mech.value()->Analyze(stats));
   }
   const wfm::OptimizedMechanism optimized(stats, eps,
                                           wfm::bench::BenchOptimizerConfig(flags));

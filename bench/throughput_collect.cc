@@ -65,7 +65,7 @@ double RunTrial(const wfm::FactorizationAnalysis& analysis,
   session.Seal();
   wfm::EstimateServer server(&session);
   const wfm::WorkloadEstimate estimate =
-      server.Serve(wfm::EstimatorKind::kUnbiased);
+      server.Serve(wfm::EstimatorKind::kUnbiased).value();
   WFM_CHECK_EQ(static_cast<std::int64_t>(estimate.query_answers.size()),
                static_cast<std::int64_t>(analysis.n()));
   WFM_CHECK_EQ(session.total_responses(),

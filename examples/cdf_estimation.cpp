@@ -3,10 +3,10 @@
 //
 // An analyst wants the empirical CDF of a bucketized attribute under ε-LDP.
 // The Prefix workload encodes exactly those n cumulative queries. This
-// example compares the workload-optimized strategy against the fixed
-// baselines analytically (sample complexity, Corollary 5.4), then runs the
-// protocol once on a synthetic heavy-tailed population and prints the
-// estimated CDF with and without WNNLS consistency post-processing.
+// example compares every registered mechanism analytically (sample
+// complexity, Corollary 5.4), then deploys the Optimized plan once on a
+// synthetic heavy-tailed population and prints the estimated CDF with and
+// without WNNLS consistency post-processing.
 //
 // Build & run:  ./build/examples/cdf_estimation [--n=64] [--eps=1.0]
 //               [--users=20000]
@@ -20,50 +20,62 @@ int main(int argc, char** argv) {
   wfm::FlagParser flags(argc, argv);
   const int n = flags.GetInt("n", 64);
   const double eps = flags.GetDouble("eps", 1.0);
-  const double num_users = flags.GetInt("users", 20000);
+  const int num_users = flags.GetInt("users", 20000);
   wfm::WarnUnusedFlags(flags);  // Typo'd flags must not silently run defaults.
   const double alpha = 0.01;
 
-  wfm::PrefixWorkload workload(n);
-  const wfm::WorkloadStats stats = wfm::WorkloadStats::From(workload);
+  auto workload = std::make_shared<wfm::PrefixWorkload>(n);
+  const wfm::WorkloadStats stats = wfm::WorkloadStats::From(*workload);
 
   // --- Analytic comparison: how many users does each mechanism need? -----
   std::printf("Sample complexity to reach normalized variance %.2f on the "
               "Prefix workload (n = %d, eps = %.2f):\n\n", alpha, n, eps);
-  wfm::OptimizerConfig config;
-  config.iterations = 300;
-  config.seed = 3;
-  const wfm::OptimizedMechanism optimized(stats, eps, config);
+  wfm::MechanismOptions options;
+  options.optimizer.iterations = 300;
+  options.optimizer.seed = 3;
 
   wfm::TablePrinter table({"mechanism", "samples needed"});
-  for (const auto& name : wfm::StandardBaselineNames()) {
-    const auto mech = wfm::CreateBaseline(name, n, eps);
-    if (mech == nullptr) continue;
+  for (const auto& name : wfm::MechanismRegistry::Global().ListMechanisms()) {
+    const auto mech =
+        wfm::MechanismRegistry::Global().Create(name, stats, eps, options);
+    if (!mech.ok()) continue;  // e.g. Fourier off a power-of-two domain.
     table.AddRow({name, wfm::TablePrinter::Num(
-                            mech->Analyze(stats).SampleComplexity(alpha))});
+                            mech.value()->Analyze(stats).SampleComplexity(alpha))});
   }
-  table.AddRow({"Optimized (this paper)",
-                wfm::TablePrinter::Num(optimized.Analyze(stats).SampleComplexity(alpha))});
   table.Print();
 
-  // --- One protocol run on a heavy-tailed population ----------------------
+  // --- One deployment on a heavy-tailed population ------------------------
+  const wfm::StatusOr<wfm::Plan> built = wfm::Plan::For(workload)
+                                             .Epsilon(eps)
+                                             .Mechanism("Optimized")
+                                             .Optimizer(options.optimizer)
+                                             .Build();
+  if (!built.ok()) {
+    std::printf("cannot build plan: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const wfm::Plan& plan = built.value();
+
   const wfm::Dataset data = wfm::MakeSyntheticDataset("HEPTH", n, num_users);
-  const wfm::Vector truth = workload.Apply(data.histogram);
+  const wfm::Vector truth = workload->Apply(data.histogram);
 
-  const wfm::FactorizationAnalysis analysis = optimized.AnalyzeFactorization(stats);
   wfm::Rng rng(99);
-  const wfm::Vector y =
-      wfm::SimulateResponseHistogram(optimized.strategy(), data.histogram, rng);
-  const auto unbiased = wfm::EstimateWorkloadAnswers(
-      analysis, workload, y, wfm::EstimatorKind::kUnbiased);
-  const auto consistent = wfm::EstimateWorkloadAnswers(
-      analysis, workload, y, wfm::EstimatorKind::kWnnls);
+  const wfm::PlanClient client = plan.Client();
+  wfm::PlanServer server = plan.Server();
+  for (int u = 0; u < n; ++u) {
+    for (int j = 0; j < static_cast<int>(data.histogram[u]); ++j) {
+      server.Accept(client.Respond(u, rng));
+    }
+  }
+  const auto unbiased = server.Estimate(wfm::EstimatorKind::kUnbiased);
+  const auto consistent = server.Estimate(wfm::EstimatorKind::kWnnls);
 
-  std::printf("\nEstimated CDF (every 8th bucket of %d, N = %.0f users):\n\n", n,
+  std::printf("\nEstimated CDF (every 8th bucket of %d, N = %d users):\n\n", n,
               num_users);
   wfm::TablePrinter cdf({"bucket <=", "true CDF", "unbiased est", "WNNLS est"});
   for (int i = 7; i < n; i += 8) {
-    cdf.AddRow({std::to_string(i), wfm::TablePrinter::Num(truth[i] / num_users),
+    cdf.AddRow({std::to_string(i),
+                wfm::TablePrinter::Num(truth[i] / num_users),
                 wfm::TablePrinter::Num(unbiased.query_answers[i] / num_users),
                 wfm::TablePrinter::Num(consistent.query_answers[i] / num_users)});
   }
@@ -76,6 +88,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\ntotal squared error: unbiased %.1f | WNNLS %.1f "
               "(analytic expectation %.1f)\n",
-              err_u, err_c, analysis.DataVariance(data.histogram));
+              err_u, err_c, plan.Profile().DataVariance(data.histogram));
   return 0;
 }

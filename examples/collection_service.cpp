@@ -1,7 +1,7 @@
-// A long-running collection service, end to end: offline strategy
-// optimization, concurrent multi-threaded report ingestion, epoch sealing,
-// and cached estimate serving — the deployment shape the paper assumes
-// around its one-round protocol.
+// A long-running collection service, end to end: one Plan build, concurrent
+// multi-threaded report ingestion, epoch sealing, and cached estimate
+// serving — the deployment shape the paper assumes around its one-round
+// protocol, now three calls: Build(), Client(), StartSession().
 //
 // Scenario: a fleet of devices reports which of n error codes they last saw;
 // the analyst watches the error distribution per collection epoch ("hour")
@@ -56,23 +56,30 @@ int main(int argc, char** argv) {
   const int n = flags.GetInt("n", 16);
   wfm::WarnUnusedFlags(flags);  // Typo'd flags must not silently run defaults.
 
-  // --- Offline: optimize a strategy for the workload (no privacy cost) ----
+  // --- Offline: one Build() call (optimizes the strategy, no privacy cost) -
   auto workload = std::make_shared<const wfm::HistogramWorkload>(n);
-  const wfm::WorkloadStats stats = wfm::WorkloadStats::From(*workload);
-  std::printf("[offline] optimizing a %.2f-LDP strategy for %s (n = %d)...\n",
-              eps, workload->Name().c_str(), n);
+  std::printf("[offline] building a %.2f-LDP 'Optimized' plan for %s "
+              "(n = %d)...\n", eps, workload->Name().c_str(), n);
   wfm::OptimizerConfig config;
   config.iterations = 300;
   config.seed = 5;
-  const wfm::OptimizedMechanism mechanism(stats, eps, config);
-  wfm::FactorizationAnalysis analysis = mechanism.AnalyzeFactorization(stats);
-  std::printf("[offline] m = %d outputs, objective L(Q) = %.4f\n\n",
-              analysis.m(), analysis.Objective());
+  const wfm::StatusOr<wfm::Plan> built = wfm::Plan::For(workload)
+                                             .Epsilon(eps)
+                                             .Mechanism("Optimized")
+                                             .Optimizer(config)
+                                             .Build();
+  if (!built.ok()) {
+    std::printf("cannot build plan: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const wfm::Plan& plan = built.value();
+  const wfm::PlanClient client = plan.Client();
+  std::printf("[offline] m = %d outputs; expected per-user unit variance "
+              "%.4f\n\n", client.num_outputs(),
+              plan.Profile().WorstUnitVariance());
 
   // --- Online: the collection service ------------------------------------
-  wfm::CollectionSession session(std::move(analysis), workload, threads);
-  wfm::EstimateServer server(&session);
-  const wfm::LocalRandomizer randomizer(mechanism.strategy());
+  std::unique_ptr<wfm::PlanSession> service = plan.StartSession(threads);
   wfm::Rng rng(2026);
 
   for (int epoch = 0; epoch < epochs; ++epoch) {
@@ -84,7 +91,7 @@ int main(int argc, char** argv) {
     reports.reserve(devices_per_epoch);
     for (int u = 0; u < n; ++u) {
       for (int j = 0; j < static_cast<int>(truth[u]); ++j) {
-        reports.push_back(randomizer.Respond(u, rng));
+        reports.push_back(client.Respond(u, rng).index);
       }
     }
     std::vector<std::thread> workers;
@@ -94,18 +101,18 @@ int main(int argc, char** argv) {
         const std::size_t end = reports.size() * (t + 1) / threads;
         for (std::size_t pos = begin; pos < end; pos += 1024) {
           const std::size_t len = std::min<std::size_t>(1024, end - pos);
-          session.Accept(t, std::span<const int>(&reports[pos], len));
+          service->AcceptBatch(t, std::span<const int>(&reports[pos], len));
         }
       });
     }
     for (std::thread& w : workers) w.join();
 
-    const wfm::EpochSnapshot sealed = session.Seal();
+    const wfm::EpochSnapshot sealed = service->Seal();
     const wfm::WorkloadEstimate latest =
-        server.Serve(wfm::EstimatorKind::kWnnls);
+        service->Estimate(wfm::EstimatorKind::kWnnls).value();
     const wfm::WorkloadEstimate windowed =
-        server.ServeWindow(window, wfm::EstimatorKind::kWnnls);
-    server.Serve(wfm::EstimatorKind::kWnnls);  // Cache hit, no re-solve.
+        service->EstimateWindow(window, wfm::EstimatorKind::kWnnls).value();
+    service->Estimate(wfm::EstimatorKind::kWnnls);  // Cache hit, no re-solve.
 
     const int incident = n / 2;
     std::printf(
@@ -116,16 +123,16 @@ int main(int argc, char** argv) {
         latest.query_answers[incident] / sealed.count,
         window,
         windowed.query_answers[incident] /
-            session.WindowTotal(window).count);
+            service->session().WindowTotal(window).count);
   }
 
   std::printf(
       "\n[service] %d epochs, %lld reports total; served %lld estimates "
       "with %lld solves (per-epoch caching)\n",
-      session.epochs_sealed(),
-      static_cast<long long>(session.total_responses()),
-      static_cast<long long>(server.num_serves()),
-      static_cast<long long>(server.num_solves()));
+      service->session().epochs_sealed(),
+      static_cast<long long>(service->session().total_responses()),
+      static_cast<long long>(service->server().num_serves()),
+      static_cast<long long>(service->server().num_solves()));
   std::printf("(each device reported once; the whole session is %.2f-LDP "
               "per device)\n", eps);
   return 0;

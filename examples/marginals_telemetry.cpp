@@ -5,9 +5,10 @@
 //
 // The domain is the binary cube {0,1}^k (one user type per flag
 // combination); the 3-way marginal workload has C(k,3)·8 counting queries.
-// The example optimizes a strategy for that workload, contrasts it with the
-// Fourier mechanism (the baseline designed for marginals), simulates a
-// fleet of devices, and prints one reconstructed marginal table.
+// The example builds an Optimized plan for that workload, contrasts it with
+// the Fourier mechanism (the registry baseline designed for marginals),
+// deploys the plan over a fleet of devices, and prints one reconstructed
+// marginal table.
 //
 // Build & run:  ./build/examples/marginals_telemetry [--k=6] [--eps=1.0]
 //               [--devices=50000]
@@ -47,32 +48,47 @@ int main(int argc, char** argv) {
   wfm::WarnUnusedFlags(flags);  // Typo'd flags must not silently run defaults.
   const int n = 1 << k;
 
-  wfm::KWayMarginalsWorkload workload(n, 3);
-  const wfm::WorkloadStats stats = wfm::WorkloadStats::From(workload);
+  auto workload = std::make_shared<wfm::KWayMarginalsWorkload>(n, 3);
+  const wfm::WorkloadStats stats = wfm::WorkloadStats::From(*workload);
   std::printf("3-way marginals over %d binary flags: %lld queries, domain %d\n\n",
-              k, static_cast<long long>(workload.num_queries()), n);
+              k, static_cast<long long>(workload->num_queries()), n);
 
-  // --- Optimize and compare with the marginal-specialized baseline -------
+  // --- Build the plan and compare with the marginal-specialized baseline --
   wfm::OptimizerConfig config;
   config.iterations = 300;
   config.seed = 5;
-  const wfm::OptimizedMechanism optimized(stats, eps, config);
-  const wfm::FourierMechanism fourier(n, eps);
+  const wfm::StatusOr<wfm::Plan> built = wfm::Plan::For(workload)
+                                             .Epsilon(eps)
+                                             .Mechanism("Optimized")
+                                             .Optimizer(config)
+                                             .Build();
+  if (!built.ok()) {
+    std::printf("cannot build plan: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const wfm::Plan& plan = built.value();
+  const auto fourier =
+      wfm::MechanismRegistry::Global().Create("Fourier", stats, eps);
 
-  const double sc_opt = optimized.Analyze(stats).SampleComplexity(0.01);
-  const double sc_fourier = fourier.Analyze(stats).SampleComplexity(0.01);
+  const double sc_opt = plan.Profile().SampleComplexity(0.01);
+  const double sc_fourier =
+      fourier.value()->Analyze(stats).SampleComplexity(0.01);
   std::printf("samples for 1%% normalized variance: Optimized %.0f vs Fourier "
               "%.0f (%.2fx)\n\n", sc_opt, sc_fourier, sc_fourier / sc_opt);
 
-  // --- Run the protocol on the simulated fleet ---------------------------
+  // --- Deploy the plan on the simulated fleet -----------------------------
   wfm::Rng rng(7);
   const wfm::Vector fleet = SimulateFleet(k, devices, rng);
-  const wfm::FactorizationAnalysis analysis = optimized.AnalyzeFactorization(stats);
-  const wfm::Vector y =
-      wfm::SimulateResponseHistogram(optimized.strategy(), fleet, rng);
-  const auto estimate = wfm::EstimateWorkloadAnswers(
-      analysis, workload, y, wfm::EstimatorKind::kWnnls);
-  const wfm::Vector truth = workload.Apply(fleet);
+  const wfm::PlanClient client = plan.Client();
+  wfm::PlanServer server = plan.Server();
+  for (int u = 0; u < n; ++u) {
+    for (int j = 0; j < static_cast<int>(fleet[u]); ++j) {
+      server.Accept(client.Respond(u, rng));
+    }
+  }
+  const wfm::WorkloadEstimate estimate =
+      server.Estimate(wfm::EstimatorKind::kWnnls);
+  const wfm::Vector truth = workload->Apply(fleet);
 
   // The first marginal block is the one on flags {0,1,2} (lowest 3-subset in
   // the workload's enumeration order): 8 cells.
@@ -92,6 +108,6 @@ int main(int argc, char** argv) {
     err += std::pow(estimate.query_answers[i] - truth[i], 2);
   }
   std::printf("\ntotal squared error across all %lld marginal cells: %.1f\n",
-              static_cast<long long>(workload.num_queries()), err);
+              static_cast<long long>(workload->num_queries()), err);
   return 0;
 }

@@ -4,12 +4,14 @@
 // the workload and the privacy budget, so without workload adaptivity an
 // analyst must maintain a library of mechanisms and guess. This example
 // builds a bespoke workload — a weighted stack of the full CDF (Prefix) and
-// a handful of high-priority point queries — sweeps ε, prints the sample
-// complexity of every baseline, and shows that the single Optimized
-// mechanism tracks or beats the per-cell winner everywhere.
+// a handful of high-priority point queries — sweeps ε over the *whole
+// mechanism registry* (six baselines + Optimized), prints each entry's
+// sample complexity, and shows what MechanismRegistry::AutoSelect — the same
+// cross-evaluation Plan::For(...).Mechanism(wfm::Auto()) runs — would pick
+// at every privacy level.
 //
 // Build & run:  ./build/examples/mechanism_selection [--n=32]
-//               [--eps=0.5,1,2,4]
+//               [--eps=0.5,1,2,4] [--mechanism=<registry name>]
 
 #include <cstdio>
 #include <memory>
@@ -21,8 +23,20 @@ int main(int argc, char** argv) {
   const int n = flags.GetInt("n", 32);
   const std::vector<double> eps_list =
       flags.GetDoubleList("eps", {0.5, 1.0, 2.0, 4.0});
+  const std::string only = flags.GetString("mechanism", "");
   wfm::WarnUnusedFlags(flags);  // Typo'd flags must not silently run defaults.
   const double alpha = 0.01;
+
+  const wfm::MechanismRegistry& registry = wfm::MechanismRegistry::Global();
+  std::vector<std::string> names = registry.ListMechanisms();
+  if (!only.empty()) {  // Restrict the table to one validated mechanism.
+    if (!registry.Contains(only)) {
+      std::printf("unknown --mechanism '%s'; registered mechanisms:\n", only.c_str());
+      for (const auto& name : names) std::printf("  %s\n", name.c_str());
+      return 1;
+    }
+    names = {only};
+  }
 
   // --- A bespoke workload -------------------------------------------------
   // The analyst cares about the CDF, and 3x as much about three "alert"
@@ -40,54 +54,43 @@ int main(int argc, char** argv) {
               workload.Name().c_str(),
               static_cast<long long>(workload.num_queries()), n);
 
-  // --- Sweep epsilon ------------------------------------------------------
+  // Keep the Optimized entries reproducible and fast across the sweep.
+  wfm::MechanismOptions options;
+  options.optimizer.iterations = 300;
+  options.optimizer.seed = 11;
+
+  // --- Sweep epsilon over every registered mechanism ----------------------
   std::vector<std::string> header{"mechanism"};
   for (double eps : eps_list) header.push_back("eps=" + wfm::TablePrinter::Num(eps));
   wfm::TablePrinter table(header);
 
-  std::vector<std::vector<double>> scores;  // Per mechanism, per eps.
-  std::vector<std::string> names = wfm::StandardBaselineNames();
   for (const auto& name : names) {
     std::vector<std::string> row{name};
-    std::vector<double> sc_row;
     for (double eps : eps_list) {
-      const auto mech = wfm::CreateBaseline(name, n, eps);
-      if (mech == nullptr) {
-        row.push_back("n/a");
-        sc_row.push_back(1e300);
+      const auto mech = registry.Create(name, stats, eps, options);
+      if (!mech.ok()) {
+        row.push_back("n/a");  // e.g. Fourier off a power-of-two domain.
         continue;
       }
-      const double sc = mech->Analyze(stats).SampleComplexity(alpha);
-      row.push_back(wfm::TablePrinter::Num(sc));
-      sc_row.push_back(sc);
+      const auto profile = mech.value()->TryAnalyze(stats);
+      row.push_back(profile.ok()
+                        ? wfm::TablePrinter::Num(
+                              profile.value().SampleComplexity(alpha))
+                        : "n/a");
     }
-    scores.push_back(sc_row);
     table.AddRow(row);
   }
-
-  std::vector<std::string> opt_row{"Optimized (this paper)"};
-  std::vector<double> opt_scores;
-  for (double eps : eps_list) {
-    wfm::OptimizerConfig config;
-    config.iterations = 300;
-    config.seed = 11;
-    const wfm::OptimizedMechanism optimized(stats, eps, config);
-    const double sc = optimized.Analyze(stats).SampleComplexity(alpha);
-    opt_row.push_back(wfm::TablePrinter::Num(sc));
-    opt_scores.push_back(sc);
-  }
-  table.AddRow(opt_row);
   table.Print();
 
-  // --- Who would the analyst have had to pick? ----------------------------
-  std::printf("\nbest fixed baseline per privacy level:\n");
-  for (std::size_t e = 0; e < eps_list.size(); ++e) {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < scores.size(); ++i) {
-      if (scores[i][e] < scores[best][e]) best = i;
-    }
-    std::printf("  eps=%-4g -> %-22s (Optimized is %.2fx better)\n", eps_list[e],
-                names[best].c_str(), scores[best][e] / opt_scores[e]);
+  // --- What would Plan::Mechanism(Auto()) deploy? -------------------------
+  std::printf("\nAutoSelect (minimum worst-case variance, Section 6.1 "
+              "cross-evaluation):\n");
+  for (double eps : eps_list) {
+    const wfm::StatusOr<std::string> choice =
+        registry.AutoSelect(stats, eps, options);
+    std::printf("  eps=%-4g -> %s\n", eps,
+                choice.ok() ? choice.value().c_str()
+                            : choice.status().ToString().c_str());
   }
   std::printf("\nwith the workload-adaptive mechanism, one implementation "
               "covers every cell of this table.\n");

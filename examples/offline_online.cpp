@@ -5,8 +5,11 @@
 // strategy file and randomize; the server aggregates and reconstructs). This
 // example runs both phases, connected only through a strategy file on disk,
 // over a continuous attribute (session duration in seconds) that is first
-// bucketized onto the finite domain. A PrivacyAccountant enforces the
-// per-user budget across repeated collections.
+// bucketized onto the finite domain. The offline phase builds an "Optimized"
+// Plan and saves its strategy; the online phase rehydrates a Plan from the
+// loaded matrix with PlanBuilder::Strategy() — no optimizer run needed. A
+// PrivacyAccountant enforces the per-user budget across repeated
+// collections.
 //
 // Build & run:
 //   ./build/examples/offline_online                       # both phases
@@ -25,15 +28,26 @@ constexpr int kBuckets = 32;
 int RunOffline(const std::string& path, double eps) {
   std::printf("[offline] optimizing a %.2f-LDP strategy for the Prefix "
               "workload over %d buckets...\n", eps, kBuckets);
-  wfm::PrefixWorkload workload(kBuckets);
-  const wfm::WorkloadStats stats = wfm::WorkloadStats::From(workload);
+  auto workload = std::make_shared<wfm::PrefixWorkload>(kBuckets);
   wfm::OptimizerConfig config;
   config.iterations = 400;
   config.seed = 13;
-  const wfm::OptimizedMechanism mechanism(stats, eps, config);
+  const wfm::StatusOr<wfm::Plan> built = wfm::Plan::For(workload)
+                                             .Epsilon(eps)
+                                             .Mechanism("Optimized")
+                                             .Optimizer(config)
+                                             .Build();
+  if (!built.ok()) {
+    std::printf("[offline] cannot build plan: %s\n",
+                built.status().ToString().c_str());
+    return 1;
+  }
+  const wfm::Plan& plan = built.value();
+  const auto* strategy_mechanism =
+      dynamic_cast<const wfm::StrategyMechanism*>(&plan.mechanism());
 
   wfm::SavedStrategy saved;
-  saved.q = mechanism.strategy();
+  saved.q = strategy_mechanism->strategy();
   saved.epsilon = eps;
   saved.workload_name = "Prefix";
   const wfm::Status status = wfm::SaveStrategy(path, saved);
@@ -43,12 +57,12 @@ int RunOffline(const std::string& path, double eps) {
   }
   std::printf("[offline] wrote %s (+.q matrix file); expected per-user unit "
               "variance %.2f\n\n", path.c_str(),
-              mechanism.Analyze(stats).WorstUnitVariance());
+              plan.Profile().WorstUnitVariance());
   return 0;
 }
 
 int RunOnline(const std::string& path, int num_users) {
-  // --- Load and re-validate the strategy ----------------------------------
+  // --- Load the strategy and rehydrate a deployable plan ------------------
   const wfm::StatusOr<wfm::SavedStrategy> loaded = wfm::LoadStrategy(path);
   if (!loaded.ok()) {
     std::printf("[online] cannot load strategy: %s (run --phase=offline first)\n",
@@ -56,17 +70,28 @@ int RunOnline(const std::string& path, int num_users) {
     return 1;
   }
   const wfm::SavedStrategy& strategy = loaded.value();
+  auto workload = std::make_shared<wfm::PrefixWorkload>(kBuckets);
+  const wfm::StatusOr<wfm::Plan> built = wfm::Plan::For(workload)
+                                             .Epsilon(strategy.epsilon)
+                                             .Strategy(strategy.q)
+                                             .Build();
+  if (!built.ok()) {  // E.g. a strategy file for the wrong domain size.
+    std::printf("[online] cannot deploy loaded strategy: %s\n",
+                built.status().ToString().c_str());
+    return 1;
+  }
+  const wfm::Plan& plan = built.value();
   std::printf("[online] loaded %.2f-LDP strategy for workload '%s' "
               "(%d outputs x %d types), revalidated\n", strategy.epsilon,
               strategy.workload_name.c_str(), strategy.q.rows(), strategy.q.cols());
 
   // --- Budget accounting ---------------------------------------------------
   wfm::PrivacyAccountant accountant(/*total_budget=*/2.0);
-  if (!accountant.CanSpend(strategy.epsilon)) {
+  if (!accountant.CanSpend(plan.epsilon())) {
     std::printf("[online] refusing collection: budget exhausted\n");
     return 1;
   }
-  accountant.Spend(strategy.epsilon);
+  accountant.Spend(plan.epsilon());
   std::printf("[online] per-user budget: spent %.2f of %.2f (%.2f left for "
               "future collections)\n", accountant.spent(),
               accountant.total_budget(), accountant.remaining());
@@ -75,23 +100,20 @@ int RunOnline(const std::string& path, int num_users) {
   // Session durations in seconds, log-normal-ish; bucketized client-side.
   wfm::Rng rng(2025);
   wfm::UniformBucketizer bucketizer(0.0, 3600.0, kBuckets);
-  const wfm::LocalRandomizer randomizer(strategy.q);
-  wfm::ResponseAggregator aggregator(randomizer.num_outputs());
+  const wfm::PlanClient client = plan.Client();
+  wfm::PlanServer server = plan.Server();
   wfm::Vector truth(kBuckets, 0.0);
   for (int i = 0; i < num_users; ++i) {
     const double duration = std::exp(rng.Normal(5.5, 1.0));  // Seconds.
     const int type = bucketizer.BucketOf(duration);
     truth[type] += 1.0;
-    aggregator.Add(randomizer.Respond(type, rng));  // Only this leaves the device.
+    server.Accept(client.Respond(type, rng));  // Only this leaves the device.
   }
 
   // --- Server-side reconstruction ------------------------------------------
-  wfm::PrefixWorkload workload(kBuckets);
-  const wfm::WorkloadStats stats = wfm::WorkloadStats::From(workload);
-  const wfm::FactorizationAnalysis analysis(strategy.q, stats);
-  const wfm::WorkloadEstimate estimate = wfm::EstimateWorkloadAnswers(
-      analysis, workload, aggregator.histogram(), wfm::EstimatorKind::kWnnls);
-  const wfm::Vector true_cdf = workload.Apply(truth);
+  const wfm::WorkloadEstimate estimate =
+      server.Estimate(wfm::EstimatorKind::kWnnls);
+  const wfm::Vector true_cdf = workload->Apply(truth);
 
   std::printf("\n[online] session-duration CDF from %d users:\n", num_users);
   std::printf("%-18s %10s %10s\n", "duration <=", "true", "estimate");

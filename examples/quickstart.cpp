@@ -1,14 +1,13 @@
-// Quickstart: the paper's running example end to end.
+// Quickstart: the paper's running example end to end through the Plan API.
 //
 // A school wants the distribution of student grades (Example 2.2) without
-// ever seeing an individual grade. We:
-//   1. define the domain and the Histogram workload;
-//   2. optimize an LDP strategy for it (Algorithm 2) — offline, no privacy
-//      cost;
-//   3. have every student run the randomizer on their own grade;
-//   4. aggregate the responses and reconstruct unbiased workload answers.
+// ever seeing an individual grade. One Build() call optimizes an LDP
+// strategy for the workload (Algorithm 2, offline, no privacy cost) and
+// hands back the deployment: every student runs plan.Client() on their own
+// grade, the school runs plan.Server() over the reports.
 //
 // Build & run:  ./build/examples/quickstart [--eps=1.0] [--students=5000]
+//                                           [--mechanism=Optimized]
 
 #include <cmath>
 #include <cstdio>
@@ -19,51 +18,40 @@ int main(int argc, char** argv) {
   wfm::FlagParser flags(argc, argv);
   const double eps = flags.GetDouble("eps", 1.0);
   const int num_students = flags.GetInt("students", 5000);
+  const std::string mechanism = flags.GetString("mechanism", "Optimized");
   wfm::WarnUnusedFlags(flags);  // Typo'd flags must not silently run defaults.
 
-  // --- 1. Domain and workload -------------------------------------------
+  // True (secret) grade counts over the 5-grade domain, from Example 2.2.
   const char* kGrades[] = {"A", "B", "C", "D", "F"};
   const int n = 5;
-  wfm::HistogramWorkload workload(n);
-  const wfm::WorkloadStats stats = wfm::WorkloadStats::From(workload);
-
-  // True (secret) grade counts, scaled from Example 2.2's 10/20/5/0/0.
-  wfm::Vector truth(n, 0.0);
-  const double weights[] = {10, 20, 5, 0, 0};
-  for (int u = 0; u < n; ++u) {
-    truth[u] = std::floor(weights[u] / 35.0 * num_students);
-  }
+  auto workload = std::make_shared<wfm::HistogramWorkload>(n);
+  wfm::Vector truth{10, 20, 5, 0, 0};
+  for (double& t : truth) t = std::floor(t / 35.0 * num_students);
   truth[1] += num_students - wfm::Sum(truth);  // Exact total.
 
-  // --- 2. Optimize a strategy for this workload (offline) ----------------
-  std::printf("Optimizing an %.2f-LDP strategy for the Histogram workload "
-              "(n = %d)...\n", eps, n);
-  wfm::OptimizerConfig config;
-  config.iterations = 400;
-  config.seed = 1;
-  const wfm::OptimizedMechanism mechanism(stats, eps, config);
-  const wfm::FactorizationAnalysis analysis = mechanism.AnalyzeFactorization(stats);
+  // Workload -> deployable mechanism, one call. A typo'd --mechanism fails
+  // here with the list of registered names.
+  const wfm::StatusOr<wfm::Plan> built =
+      wfm::Plan::For(workload).Epsilon(eps).Mechanism(mechanism).Build();
+  if (!built.ok()) {
+    std::printf("cannot build plan: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const wfm::Plan& plan = built.value();
+  std::printf("deployed '%s' at eps = %.2f; expected total squared error "
+              "%.1f for %d students\n\n", plan.mechanism_name().c_str(), eps,
+              plan.ExpectedTotalVariance(num_students), num_students);
 
-  const double rr_var = wfm::RandomizedResponseMechanism::HistogramVarianceClosedForm(
-      n, eps, num_students);
-  const double opt_var = analysis.WorstCaseVariance(num_students);
-  std::printf("  expected total squared error: %.1f vs %.1f for randomized "
-              "response (%.2fx better-or-equal)\n\n",
-              opt_var, rr_var, rr_var / opt_var);
-
-  // --- 3. Each student randomizes their own grade locally ----------------
+  // Each student randomizes locally; the school reconstructs.
   wfm::Rng rng(2024);
-  const wfm::LocalRandomizer randomizer(mechanism.strategy());
-  wfm::ResponseAggregator aggregator(randomizer.num_outputs());
+  const wfm::PlanClient client = plan.Client();
+  wfm::PlanServer server = plan.Server();
   for (int u = 0; u < n; ++u) {
     for (int j = 0; j < static_cast<int>(truth[u]); ++j) {
-      aggregator.Add(randomizer.Respond(u, rng));  // The only data sent.
+      server.Accept(client.Respond(u, rng));  // The only data sent.
     }
   }
-
-  // --- 4. Server-side reconstruction -------------------------------------
-  const wfm::WorkloadEstimate estimate = wfm::EstimateWorkloadAnswers(
-      analysis, workload, aggregator.histogram(), wfm::EstimatorKind::kWnnls);
+  const wfm::WorkloadEstimate estimate = server.Estimate(wfm::EstimatorKind::kWnnls);
 
   std::printf("%-6s %12s %12s %10s\n", "grade", "true count", "estimate", "error");
   for (int u = 0; u < n; ++u) {

@@ -1,0 +1,94 @@
+#include "api/plan.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "core/strategy.h"
+
+namespace wfm {
+
+PlanBuilder Plan::For(std::shared_ptr<const Workload> workload) {
+  return PlanBuilder(std::move(workload));
+}
+
+std::unique_ptr<PlanSession> Plan::StartSession(int num_shards) const {
+  const ReportKind kind = deployment_.reporter->dense_reports()
+                              ? ReportKind::kDense
+                              : ReportKind::kCategorical;
+  // PlanSession's constructor is private; the session pins an internal
+  // pointer (server -> session), hence the unique_ptr.
+  return std::unique_ptr<PlanSession>(
+      new PlanSession(deployment_.decoder, workload_, num_shards, kind));
+}
+
+void PlanServer::Accept(const Report& report) {
+  if (report.is_dense()) {
+    WFM_CHECK_EQ(static_cast<int>(report.dense.size()), decoder_.m());
+    for (int o = 0; o < decoder_.m(); ++o) aggregate_[o] += report.dense[o];
+  } else {
+    WFM_CHECK(report.index >= 0 && report.index < decoder_.m())
+        << "response out of range:" << report.index
+        << "for m =" << decoder_.m();
+    aggregate_[report.index] += 1.0;
+  }
+  ++count_;
+}
+
+WorkloadEstimate PlanServer::Estimate(EstimatorKind kind) const {
+  return EstimateWorkloadAnswers(decoder_, *workload_, aggregate_, kind);
+}
+
+StatusOr<Plan> PlanBuilder::Build() const {
+  if (workload_ == nullptr) {
+    return Status::InvalidArgument("Plan::For requires a non-null workload");
+  }
+  if (epsilon_ <= 0.0) {
+    return Status::InvalidArgument(
+        "Epsilon() must set a positive per-user privacy budget (got " +
+        std::to_string(epsilon_) + ")");
+  }
+  const MechanismRegistry& registry =
+      registry_ != nullptr ? *registry_ : MechanismRegistry::Global();
+  WorkloadStats stats = WorkloadStats::From(*workload_);
+
+  std::shared_ptr<const wfm::Mechanism> mechanism;
+  if (!fixed_strategy_.empty()) {
+    if (fixed_strategy_.cols() != stats.n) {
+      return Status::InvalidArgument(
+          "Strategy() matrix has " + std::to_string(fixed_strategy_.cols()) +
+          " columns, workload domain is " + std::to_string(stats.n));
+    }
+    // A strategy handed in at runtime (e.g. loaded from disk) is a
+    // recoverable failure, not a programming error — validate here so a
+    // corrupt or wrong-epsilon file surfaces as Status instead of the
+    // StrategyMechanism constructor's CHECK abort.
+    const StrategyValidation validation =
+        ValidateStrategy(fixed_strategy_, epsilon_, /*tol=*/1e-6);
+    if (!validation.valid) {
+      return Status::InvalidArgument(
+          "Strategy() matrix is not a valid " + std::to_string(epsilon_) +
+          "-LDP strategy:" + validation.ToString());
+    }
+    mechanism = std::make_shared<FixedStrategyMechanism>(fixed_strategy_,
+                                                         stats.n, epsilon_);
+  } else if (auto_select_) {
+    StatusOr<MechanismRegistry::AutoSelection> selected =
+        registry.AutoSelectMechanism(stats, epsilon_, options_);
+    if (!selected.ok()) return selected.status();
+    mechanism = std::shared_ptr<const wfm::Mechanism>(
+        std::move(selected.value().mechanism));
+  } else {
+    StatusOr<std::unique_ptr<wfm::Mechanism>> created =
+        registry.Create(mechanism_name_, stats, epsilon_, options_);
+    if (!created.ok()) return created.status();
+    mechanism = std::shared_ptr<const wfm::Mechanism>(std::move(created).value());
+  }
+
+  StatusOr<Deployment> deployment = mechanism->Deploy(stats);
+  if (!deployment.ok()) return deployment.status();
+
+  return Plan(workload_, std::move(stats), epsilon_, std::move(mechanism),
+              std::move(deployment).value());
+}
+
+}  // namespace wfm

@@ -1,0 +1,269 @@
+// The deployable front door of the library: one fluent call chain from a
+// workload to a runnable client/server pair.
+//
+//   auto plan = wfm::Plan::For(workload)
+//                   .Epsilon(1.0)
+//                   .Mechanism("Optimized")   // or .Mechanism(wfm::Auto())
+//                   .Build();                 // StatusOr<wfm::Plan>
+//
+// A Plan packages everything the paper's pipeline produces offline — the
+// chosen mechanism, its error profile on the workload, and the two halves of
+// a deployment:
+//
+//   plan.Client()             on-device reporter (ldp/reporter.h)
+//   plan.Server()             serial one-round aggregator + estimator
+//   plan.StartSession(k)      concurrent service: collect/CollectionSession
+//                             sharded over k workers + cached EstimateServer
+//
+// Mechanism names resolve through MechanismRegistry::Global(), so every
+// registered mechanism — the six Section 6.1 baselines, "Optimized", and
+// anything user-registered — deploys through the same three calls.
+// Mechanism(Auto()) cross-evaluates the whole registry against the workload
+// (Section 6.1) and picks the minimum-variance entry. All runtime-reachable
+// failures (unknown name, unsupported domain shape, workload outside a
+// strategy's row space, serving before data arrives) surface as Status.
+
+#ifndef WFM_API_PLAN_H_
+#define WFM_API_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "collect/collection_session.h"
+#include "collect/estimate_server.h"
+#include "common/status.h"
+#include "estimation/decoder.h"
+#include "estimation/estimator.h"
+#include "ldp/reporter.h"
+#include "linalg/matrix.h"
+#include "mechanisms/registry.h"
+#include "workload/workload.h"
+
+namespace wfm {
+
+/// Tag for PlanBuilder::Mechanism(Auto()): let the registry's Section 6.1
+/// cross-evaluation pick the mechanism.
+struct Auto {};
+
+class Plan;
+class PlanBuilder;
+
+/// The on-device half of a plan: privatizes one user's true type into the
+/// single report that leaves the device. Copyable and cheap to pass to
+/// worker threads (Respond is const and thread-compatible; use one Rng per
+/// thread).
+class PlanClient {
+ public:
+  /// Report dimension m.
+  int num_outputs() const { return reporter_->num_outputs(); }
+  /// Domain size n.
+  int num_types() const { return reporter_->num_types(); }
+  /// True when reports are dense vectors (additive mechanisms).
+  bool dense_reports() const { return reporter_->dense_reports(); }
+
+  /// One user's privatized report.
+  Report Respond(int user_type, Rng& rng) const {
+    return reporter_->Respond(user_type, rng);
+  }
+
+ private:
+  friend class Plan;
+  explicit PlanClient(std::shared_ptr<const Reporter> reporter)
+      : reporter_(std::move(reporter)) {}
+
+  std::shared_ptr<const Reporter> reporter_;
+};
+
+/// The serial server half of a plan: one round of the paper's protocol —
+/// accumulate every report, then reconstruct. Single-threaded reference
+/// path, bit-identical to manual ResponseAggregator wiring; use
+/// Plan::StartSession for the concurrent epoch-based service.
+class PlanServer {
+ public:
+  /// Accumulates one report (either shape; aborts on corrupt reports, the
+  /// same contract as the collect/ ingestion path).
+  void Accept(const Report& report);
+
+  /// Current m-dimensional aggregate (response histogram / report sum).
+  const Vector& aggregate() const { return aggregate_; }
+  std::int64_t num_reports() const { return count_; }
+
+  /// Workload answers from everything accepted so far.
+  WorkloadEstimate Estimate(EstimatorKind kind = EstimatorKind::kWnnls) const;
+
+ private:
+  friend class Plan;
+  PlanServer(ReportDecoder decoder, std::shared_ptr<const Workload> workload)
+      : decoder_(std::move(decoder)),
+        workload_(std::move(workload)),
+        aggregate_(decoder_.m(), 0.0) {}
+
+  ReportDecoder decoder_;
+  std::shared_ptr<const Workload> workload_;
+  Vector aggregate_;
+  std::int64_t count_ = 0;
+};
+
+/// The concurrent server half: a sharded CollectionSession (epoch sealing,
+/// windowed totals) plus a caching EstimateServer, wired to the plan's
+/// deployment. Create via Plan::StartSession.
+class PlanSession {
+ public:
+  /// Ingests one report on the given shard; thread-safe.
+  void Accept(int shard, const Report& report) { session_.Accept(shard, report); }
+  /// Categorical batched hot path.
+  void AcceptBatch(int shard, std::span<const int> responses) {
+    session_.Accept(shard, responses);
+  }
+
+  /// Freezes the current epoch (see CollectionSession::Seal).
+  EpochSnapshot Seal() { return session_.Seal(); }
+
+  /// Cached workload answers from the latest sealed epoch.
+  /// kFailedPrecondition until the first Seal().
+  StatusOr<WorkloadEstimate> Estimate(
+      EstimatorKind kind = EstimatorKind::kWnnls) {
+    return server_.Serve(kind);
+  }
+
+  /// Cached workload answers over the last `window` sealed epochs.
+  StatusOr<WorkloadEstimate> EstimateWindow(
+      int window, EstimatorKind kind = EstimatorKind::kWnnls) {
+    return server_.ServeWindow(window, kind);
+  }
+
+  /// Underlying collect/ primitives for service-level integration.
+  CollectionSession& session() { return session_; }
+  const CollectionSession& session() const { return session_; }
+  EstimateServer& server() { return server_; }
+
+ private:
+  friend class Plan;
+  PlanSession(ReportDecoder decoder, std::shared_ptr<const Workload> workload,
+              int num_shards, ReportKind kind)
+      : session_(std::move(decoder), std::move(workload), num_shards, kind),
+        server_(&session_) {}
+
+  CollectionSession session_;
+  EstimateServer server_;
+};
+
+/// An immutable, fully-resolved deployment plan. Copyable; hands out client
+/// and server halves that share the plan's offline-computed artifacts.
+class Plan {
+ public:
+  static PlanBuilder For(std::shared_ptr<const Workload> workload);
+
+  const Workload& workload() const { return *workload_; }
+  std::shared_ptr<const Workload> workload_ptr() const { return workload_; }
+  const WorkloadStats& stats() const { return stats_; }
+  double epsilon() const { return epsilon_; }
+
+  /// The resolved mechanism (name via mechanism().Name()).
+  const Mechanism& mechanism() const { return *mechanism_; }
+  const std::string& mechanism_name() const { return mechanism_name_; }
+
+  /// Error analysis of the deployed mechanism on the plan's workload
+  /// (computed once at Build alongside the deployment; consumes no privacy
+  /// budget).
+  const ErrorProfile& Profile() const { return deployment_.profile; }
+
+  /// Expected total squared error over all workload queries for N users
+  /// (Corollary 3.5) — the number an analyst sizes a collection with.
+  double ExpectedTotalVariance(double num_users) const {
+    return num_users * Profile().WorstUnitVariance();
+  }
+
+  PlanClient Client() const { return PlanClient(deployment_.reporter); }
+  PlanServer Server() const {
+    return PlanServer(deployment_.decoder, workload_);
+  }
+  std::unique_ptr<PlanSession> StartSession(int num_shards) const;
+
+ private:
+  friend class PlanBuilder;
+  Plan(std::shared_ptr<const Workload> workload, WorkloadStats stats,
+       double epsilon, std::shared_ptr<const Mechanism> mechanism,
+       Deployment deployment)
+      : workload_(std::move(workload)),
+        stats_(std::move(stats)),
+        epsilon_(epsilon),
+        mechanism_(std::move(mechanism)),
+        mechanism_name_(mechanism_->Name()),
+        deployment_(std::move(deployment)) {}
+
+  std::shared_ptr<const Workload> workload_;
+  WorkloadStats stats_;
+  double epsilon_ = 0.0;
+  std::shared_ptr<const Mechanism> mechanism_;
+  std::string mechanism_name_;
+  Deployment deployment_;
+};
+
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(std::shared_ptr<const Workload> workload)
+      : workload_(std::move(workload)) {}
+
+  /// Per-user privacy budget (required, must be positive).
+  PlanBuilder& Epsilon(double eps) {
+    epsilon_ = eps;
+    return *this;
+  }
+
+  /// Deploy a mechanism by registry name (default: "Optimized").
+  PlanBuilder& Mechanism(std::string name) {
+    mechanism_name_ = std::move(name);
+    auto_select_ = false;
+    fixed_strategy_ = wfm::Matrix();
+    return *this;
+  }
+
+  /// Deploy the registry's minimum-variance mechanism for this workload.
+  PlanBuilder& Mechanism(Auto) {
+    auto_select_ = true;
+    fixed_strategy_ = wfm::Matrix();
+    return *this;
+  }
+
+  /// Deploy a precomputed strategy matrix (e.g. loaded via LoadStrategy in
+  /// the offline/online split) instead of a registry mechanism.
+  PlanBuilder& Strategy(wfm::Matrix q) {
+    fixed_strategy_ = std::move(q);
+    auto_select_ = false;
+    return *this;
+  }
+
+  /// Optimizer knobs consumed when the mechanism is "Optimized" (iterations,
+  /// seed, restarts) — pin the seed for reproducible strategies.
+  PlanBuilder& Optimizer(OptimizerConfig config) {
+    options_.optimizer = std::move(config);
+    return *this;
+  }
+
+  /// Resolve against a specific registry (default: the global one).
+  PlanBuilder& Registry(const MechanismRegistry* registry) {
+    registry_ = registry;
+    return *this;
+  }
+
+  /// Resolves the mechanism, derives its deployment and error profile, and
+  /// returns the immutable Plan. All validation errors surface here.
+  StatusOr<Plan> Build() const;
+
+ private:
+  std::shared_ptr<const Workload> workload_;
+  double epsilon_ = 0.0;
+  std::string mechanism_name_ = "Optimized";
+  bool auto_select_ = false;
+  wfm::Matrix fixed_strategy_;
+  MechanismOptions options_;
+  const MechanismRegistry* registry_ = nullptr;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_API_PLAN_H_

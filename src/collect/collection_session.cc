@@ -7,17 +7,26 @@
 
 namespace wfm {
 
-CollectionSession::CollectionSession(FactorizationAnalysis analysis,
+CollectionSession::CollectionSession(ReportDecoder decoder,
+                                     std::shared_ptr<const Workload> workload,
+                                     int num_shards, ReportKind report_kind)
+    : decoder_(std::move(decoder)),
+      workload_(std::move(workload)),
+      num_shards_(num_shards),
+      report_kind_(report_kind) {
+  WFM_CHECK(workload_ != nullptr);
+  WFM_CHECK_EQ(workload_->domain_size(), decoder_.n());
+  WFM_CHECK_GT(num_shards_, 0);
+  active_ = std::make_unique<ShardedAggregator>(decoder_.m(), num_shards_,
+                                                report_kind_);
+}
+
+CollectionSession::CollectionSession(const FactorizationAnalysis& analysis,
                                      std::shared_ptr<const Workload> workload,
                                      int num_shards)
-    : analysis_(std::move(analysis)),
-      workload_(std::move(workload)),
-      num_shards_(num_shards) {
-  WFM_CHECK(workload_ != nullptr);
-  WFM_CHECK_EQ(workload_->domain_size(), analysis_.n());
-  WFM_CHECK_GT(num_shards_, 0);
-  active_ = std::make_unique<ShardedAggregator>(analysis_.m(), num_shards_);
-}
+    : CollectionSession(ReportDecoder::FromAnalysis(analysis),
+                        std::move(workload), num_shards,
+                        ReportKind::kCategorical) {}
 
 void CollectionSession::Accept(int shard, std::span<const int> responses) {
   std::shared_lock<std::shared_mutex> lock(ingest_mutex_);
@@ -28,8 +37,22 @@ void CollectionSession::Accept(int shard, int response) {
   Accept(shard, std::span<const int>(&response, 1));
 }
 
+void CollectionSession::AcceptDense(int shard, std::span<const double> report) {
+  std::shared_lock<std::shared_mutex> lock(ingest_mutex_);
+  active_->AddDense(shard, report);
+}
+
+void CollectionSession::Accept(int shard, const Report& report) {
+  if (report.is_dense()) {
+    AcceptDense(shard, report.dense);
+  } else {
+    Accept(shard, report.index);
+  }
+}
+
 EpochSnapshot CollectionSession::Seal() {
-  auto fresh = std::make_unique<ShardedAggregator>(analysis_.m(), num_shards_);
+  auto fresh = std::make_unique<ShardedAggregator>(decoder_.m(), num_shards_,
+                                                   report_kind_);
   std::unique_ptr<ShardedAggregator> sealed;
   {
     std::unique_lock<std::shared_mutex> lock(ingest_mutex_);
@@ -71,13 +94,13 @@ EpochSnapshot CollectionSession::WindowTotal(int last_k) const {
   WFM_CHECK_GT(last_k, 0);
   std::lock_guard<std::mutex> lock(snapshots_mutex_);
   EpochSnapshot total;
-  total.histogram.assign(analysis_.m(), 0.0);
+  total.histogram.assign(decoder_.m(), 0.0);
   if (snapshots_.empty()) return total;
   const int end = static_cast<int>(snapshots_.size());
   const int begin = std::max(0, end - last_k);
   for (int e = begin; e < end; ++e) {
     const EpochSnapshot& snapshot = *snapshots_[e];
-    for (int o = 0; o < analysis_.m(); ++o) {
+    for (int o = 0; o < decoder_.m(); ++o) {
       total.histogram[o] += snapshot.histogram[o];
     }
     total.count += snapshot.count;

@@ -1,24 +1,29 @@
-// One live collection campaign: a strategy's factorization analysis, its
-// workload, a sharded aggregator for the reports currently streaming in, and
-// the sealed history of previous epochs.
+// One live collection campaign: a deployed mechanism's server-side decoder,
+// its workload, a sharded aggregator for the reports currently streaming in,
+// and the sealed history of previous epochs.
 //
 // The paper's protocol is one-round — each user reports once, the server
-// aggregates, then reconstructs (protocol.h). A long-running service repeats
-// that round over time: reports for the current *epoch* stream into fresh
-// shards, and Seal() atomically freezes the epoch into an immutable
+// aggregates, then reconstructs (ldp/protocol.h). A long-running service
+// repeats that round over time: reports for the current *epoch* stream into
+// fresh shards, and Seal() atomically freezes the epoch into an immutable
 // EpochSnapshot{histogram, count, epoch_id} while ingestion continues into a
-// new shard set. Per-epoch histograms add (aggregation is linear), so an
+// new shard set. Per-epoch aggregates add (aggregation is linear), so an
 // estimate over any window of epochs is just the estimate on the summed
 // snapshots — the sliding-window analytics pattern ("last k hours") falls out
 // of WindowTotal() with no extra privacy cost, since each user's single
 // report participates in at most one epoch.
 //
-// Concurrency contract: Accept() may be called from any number of threads
-// (each worker passing its own shard id keeps shards contention-free, but any
-// shard id is safe); Seal(), snapshot accessors, and WindowTotal() may run
-// concurrently with ingestion. A reader/writer lock around the active
-// aggregator makes the epoch cut exact: Seal() waits for in-flight batches,
-// so every report lands in exactly one epoch.
+// A session ingests whatever report shape its mechanism emits
+// (ldp/reporter.h): categorical response indices for strategy mechanisms, or
+// dense m-vectors for additive ones. api/Plan::StartSession wires a
+// mechanism's Deployment into a session + EstimateServer pair.
+//
+// Concurrency contract: Accept()/AcceptDense() may be called from any number
+// of threads (each worker passing its own shard id keeps shards
+// contention-free, but any shard id is safe); Seal(), snapshot accessors,
+// and WindowTotal() may run concurrently with ingestion. A reader/writer
+// lock around the active aggregator makes the epoch cut exact: Seal() waits
+// for in-flight batches, so every report lands in exactly one epoch.
 
 #ifndef WFM_COLLECT_COLLECTION_SESSION_H_
 #define WFM_COLLECT_COLLECTION_SESSION_H_
@@ -32,35 +37,52 @@
 
 #include "collect/sharded_aggregator.h"
 #include "core/factorization.h"
+#include "estimation/decoder.h"
+#include "ldp/reporter.h"
 #include "linalg/matrix.h"
 #include "workload/workload.h"
 
 namespace wfm {
 
-/// An immutable, sealed epoch: the response histogram accumulated between two
+/// An immutable, sealed epoch: the report aggregate accumulated between two
 /// Seal() calls (or session start and the first Seal()).
 struct EpochSnapshot {
   int epoch_id = -1;        ///< 0-based seal order; -1 means "no epoch".
   std::int64_t count = 0;   ///< Reports in this epoch.
-  Vector histogram;         ///< m-dimensional response histogram.
+  Vector histogram;         ///< m-dimensional report aggregate.
 };
 
 class CollectionSession {
  public:
-  /// `analysis` is the offline-optimized strategy's factorization (its m()
-  /// fixes the response alphabet); `workload` is what estimates answer.
-  CollectionSession(FactorizationAnalysis analysis,
+  /// `decoder` is the offline-prepared server half of the deployment (its
+  /// m() fixes the report dimension); `workload` is what estimates answer;
+  /// `report_kind` must match what the deployment's Reporter emits.
+  CollectionSession(ReportDecoder decoder,
+                    std::shared_ptr<const Workload> workload, int num_shards,
+                    ReportKind report_kind = ReportKind::kCategorical);
+
+  /// Strategy-mechanism convenience: decodes through the factorization's
+  /// optimal reconstruction; ingests categorical responses.
+  CollectionSession(const FactorizationAnalysis& analysis,
                     std::shared_ptr<const Workload> workload, int num_shards);
 
-  const FactorizationAnalysis& analysis() const { return analysis_; }
+  const ReportDecoder& decoder() const { return decoder_; }
   const Workload& workload() const { return *workload_; }
   int num_shards() const { return num_shards_; }
-  int num_outputs() const { return analysis_.m(); }
+  int num_outputs() const { return decoder_.m(); }
+  ReportKind report_kind() const { return report_kind_; }
 
-  /// Ingests a batch of randomized responses into the current epoch.
+  /// Ingests a batch of categorical responses into the current epoch.
   /// Thread-safe; aborts on out-of-range responses or shard ids.
   void Accept(int shard, std::span<const int> responses);
   void Accept(int shard, int response);
+
+  /// Ingests one dense m-vector report (kDense sessions).
+  void AcceptDense(int shard, std::span<const double> report);
+
+  /// Ingests one report of either shape (dispatches on Report::is_dense();
+  /// the shape must match the session's report_kind()).
+  void Accept(int shard, const Report& report);
 
   /// Freezes the current epoch and starts a new one. Returns the sealed
   /// snapshot (also retained in the session's history). Waits for in-flight
@@ -92,9 +114,10 @@ class CollectionSession {
   std::int64_t total_responses() const;
 
  private:
-  FactorizationAnalysis analysis_;
+  ReportDecoder decoder_;
   std::shared_ptr<const Workload> workload_;
   int num_shards_;
+  ReportKind report_kind_;
 
   // Accept() holds this shared; Seal() holds it exclusive only for the
   // pointer swap, so ingestion stalls for O(1), not O(shards x m).

@@ -9,14 +9,20 @@ EstimateServer::EstimateServer(const CollectionSession* session)
   WFM_CHECK(session != nullptr);
 }
 
-WorkloadEstimate EstimateServer::Serve(EstimatorKind kind) {
+StatusOr<WorkloadEstimate> EstimateServer::Serve(EstimatorKind kind) {
   return ServeWindow(/*window=*/1, kind);
 }
 
-WorkloadEstimate EstimateServer::ServeWindow(int window, EstimatorKind kind) {
-  WFM_CHECK_GT(window, 0);
+StatusOr<WorkloadEstimate> EstimateServer::ServeWindow(int window,
+                                                       EstimatorKind kind) {
+  if (window <= 0) {
+    return Status::InvalidArgument("window must be positive, got " +
+                                   std::to_string(window));
+  }
   const EpochSnapshot total = session_->WindowTotal(window);
-  WFM_CHECK_GE(total.epoch_id, 0) << "no sealed epoch to serve from";
+  if (total.epoch_id < 0) {
+    return Status::FailedPrecondition("no sealed epoch to serve from");
+  }
 
   std::lock_guard<std::mutex> lock(mutex_);
   ++serves_;
@@ -29,7 +35,7 @@ WorkloadEstimate EstimateServer::ServeWindow(int window, EstimatorKind kind) {
   if (it != cache_.end()) return it->second;
   ++solves_;
   WorkloadEstimate estimate = EstimateWorkloadAnswers(
-      session_->analysis(), session_->workload(), total.histogram, kind);
+      session_->decoder(), session_->workload(), total.histogram, kind);
   cache_.emplace(key, estimate);
   return estimate;
 }

@@ -7,6 +7,9 @@
 // and invalidates the whole cache when a newer epoch appears, giving
 // read-heavy traffic O(1) lookups with at most one solve per
 // (epoch, window, kind) triple.
+//
+// Serving before any epoch has been sealed is a recoverable service
+// condition ("no data yet"), reported as kFailedPrecondition — not a crash.
 
 #ifndef WFM_COLLECT_ESTIMATE_SERVER_H_
 #define WFM_COLLECT_ESTIMATE_SERVER_H_
@@ -17,6 +20,7 @@
 #include <utility>
 
 #include "collect/collection_session.h"
+#include "common/status.h"
 #include "estimation/estimator.h"
 
 namespace wfm {
@@ -26,13 +30,13 @@ class EstimateServer {
   /// `session` must outlive the server.
   explicit EstimateServer(const CollectionSession* session);
 
-  /// Workload answers from the latest sealed epoch alone. Aborts if nothing
-  /// has been sealed yet (a service answers "no data" out of band).
-  WorkloadEstimate Serve(EstimatorKind kind);
+  /// Workload answers from the latest sealed epoch alone.
+  /// kFailedPrecondition if nothing has been sealed yet.
+  StatusOr<WorkloadEstimate> Serve(EstimatorKind kind);
 
   /// Workload answers over the last `window` sealed epochs summed — the
   /// sliding-window scenario ("estimate over the last k epochs").
-  WorkloadEstimate ServeWindow(int window, EstimatorKind kind);
+  StatusOr<WorkloadEstimate> ServeWindow(int window, EstimatorKind kind);
 
   /// Requests answered (cache hits + solves).
   std::int64_t num_serves() const;

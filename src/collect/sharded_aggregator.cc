@@ -3,14 +3,27 @@
 #include "common/check.h"
 
 namespace wfm {
+namespace {
 
-ShardedAggregator::ShardedAggregator(int num_outputs, int num_shards)
-    : num_outputs_(num_outputs) {
+/// Relaxed atomic add for doubles via compare-exchange (portable across
+/// compilers that lack lock-free fetch_add on floating point).
+void AtomicAdd(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ShardedAggregator::ShardedAggregator(int num_outputs, int num_shards,
+                                     ReportKind kind)
+    : num_outputs_(num_outputs), kind_(kind) {
   WFM_CHECK_GT(num_outputs, 0);
   WFM_CHECK_GT(num_shards, 0);
   shards_.reserve(num_shards);
   for (int s = 0; s < num_shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>(num_outputs));
+    shards_.push_back(std::make_unique<Shard>(num_outputs, kind));
   }
 }
 
@@ -27,6 +40,8 @@ const ShardedAggregator::Shard& ShardedAggregator::GetShard(int shard) const {
 }
 
 void ShardedAggregator::Add(int shard, int response) {
+  WFM_CHECK(kind_ == ReportKind::kCategorical)
+      << "categorical Add on a dense aggregator";
   Shard& s = GetShard(shard);
   WFM_CHECK(response >= 0 && response < num_outputs_)
       << "response out of range:" << response << "for m =" << num_outputs_;
@@ -35,6 +50,8 @@ void ShardedAggregator::Add(int shard, int response) {
 }
 
 void ShardedAggregator::AddBatch(int shard, std::span<const int> responses) {
+  WFM_CHECK(kind_ == ReportKind::kCategorical)
+      << "categorical AddBatch on a dense aggregator";
   // Below this size the scratch histogram costs more than it saves.
   constexpr std::size_t kScatterThreshold = 16;
   Shard& s = GetShard(shard);
@@ -61,12 +78,29 @@ void ShardedAggregator::AddBatch(int shard, std::span<const int> responses) {
                     std::memory_order_relaxed);
 }
 
+void ShardedAggregator::AddDense(int shard, std::span<const double> report) {
+  WFM_CHECK(kind_ == ReportKind::kDense)
+      << "dense AddDense on a categorical aggregator";
+  Shard& s = GetShard(shard);
+  WFM_CHECK_EQ(static_cast<int>(report.size()), num_outputs_);
+  for (int o = 0; o < num_outputs_; ++o) {
+    AtomicAdd(s.dense[o], report[o]);
+  }
+  s.total.fetch_add(1, std::memory_order_relaxed);
+}
+
 Vector ShardedAggregator::Merge() const {
   Vector y(num_outputs_, 0.0);
   for (const auto& shard : shards_) {
-    for (int o = 0; o < num_outputs_; ++o) {
-      const std::int64_t c = shard->counts[o].load(std::memory_order_relaxed);
-      y[o] += static_cast<double>(c);
+    if (kind_ == ReportKind::kCategorical) {
+      for (int o = 0; o < num_outputs_; ++o) {
+        const std::int64_t c = shard->counts[o].load(std::memory_order_relaxed);
+        y[o] += static_cast<double>(c);
+      }
+    } else {
+      for (int o = 0; o < num_outputs_; ++o) {
+        y[o] += shard->dense[o].load(std::memory_order_relaxed);
+      }
     }
   }
   return y;

@@ -1,21 +1,29 @@
-// Sharded, thread-safe response aggregation: the hot path of the online
+// Sharded, thread-safe report aggregation: the hot path of the online
 // collection phase.
 //
-// Aggregating randomized responses is embarrassingly parallel — the server
-// only ever needs the histogram y, and addition commutes — so the aggregator
-// is an array of fixed-size histogram shards, one per ingest worker. Workers
-// bump per-shard counters (relaxed atomics, cache-line padded so shards never
+// Aggregating reports is embarrassingly parallel — the server only ever
+// needs the m-dimensional sum y, and addition commutes — so the aggregator
+// is an array of fixed-size shards, one per ingest worker. Workers bump
+// per-shard counters (relaxed atomics, cache-line padded so shards never
 // share a line); AddBatch first accumulates the batch into private scratch
 // counts so the atomic traffic is one add per touched output per batch, not
 // one per report. The server folds shards together with an O(shards x m)
-// Merge() when it wants the histogram.
+// Merge() when it wants the aggregate.
 //
-// Counts are kept as integers, so Merge() over a quiescent aggregator is
-// *exactly* the Vector a serial ResponseAggregator would produce for the same
-// report stream, independent of shard assignment and thread interleaving
-// (integer sums are associative; doubles represent them exactly below 2^53).
-// Merge() while ingestion is still running is safe but only guaranteed to see
-// a subset of the in-flight increments.
+// Two report kinds cover every deployable mechanism (ldp/reporter.h):
+//   * kCategorical — strategy mechanisms; Add()/AddBatch() count response
+//     indices. Counts are kept as integers, so Merge() over a quiescent
+//     aggregator is *exactly* the Vector a serial ResponseAggregator would
+//     produce for the same report stream, independent of shard assignment
+//     and thread interleaving (integer sums are associative; doubles
+//     represent them exactly below 2^53).
+//   * kDense — additive mechanisms (distributed Matrix Mechanism);
+//     AddDense() sums real m-vector reports with atomic compare-exchange
+//     adds. Still linear and thread-safe, but floating-point addition is not
+//     associative, so Merge() is deterministic only up to rounding under
+//     concurrent ingestion (exact for integer-valued reports).
+// Merge() while ingestion is still running is safe but only guaranteed to
+// see a subset of the in-flight increments.
 
 #ifndef WFM_COLLECT_SHARDED_AGGREGATOR_H_
 #define WFM_COLLECT_SHARDED_AGGREGATOR_H_
@@ -30,37 +38,54 @@
 
 namespace wfm {
 
+/// Shape of the reports an aggregator (or session) ingests.
+enum class ReportKind {
+  kCategorical,  ///< Response indices in [0, m); aggregate is a histogram.
+  kDense,        ///< Real m-vectors; aggregate is the coordinatewise sum.
+};
+
 class ShardedAggregator {
  public:
-  /// `num_outputs` is m, the response alphabet size of the strategy;
+  /// `num_outputs` is m, the report dimension of the mechanism;
   /// `num_shards` is typically the number of ingest workers.
-  ShardedAggregator(int num_outputs, int num_shards);
+  ShardedAggregator(int num_outputs, int num_shards,
+                    ReportKind kind = ReportKind::kCategorical);
 
   int num_outputs() const { return num_outputs_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
+  ReportKind kind() const { return kind_; }
 
-  /// Records one response in [0, num_outputs) on the given shard.
-  /// Thread-safe; out-of-range responses and shard ids abort (they indicate a
-  /// corrupt or malicious report stream, validated before it can skew y).
+  /// Records one categorical response in [0, num_outputs) on the given
+  /// shard. Thread-safe; out-of-range responses, shard ids, and kind
+  /// mismatches abort (they indicate a corrupt or malicious report stream,
+  /// validated before it can skew y).
   void Add(int shard, int response);
 
-  /// Batched hot path: validates and records every response in the batch.
+  /// Batched categorical hot path: validates and records every response.
   void AddBatch(int shard, std::span<const int> responses);
 
-  /// Folds all shards into one histogram, O(num_shards x num_outputs).
-  /// Exact (bit-identical to serial aggregation) once ingestion has stopped.
+  /// Records one dense m-vector report on the given shard (kDense only).
+  void AddDense(int shard, std::span<const double> report);
+
+  /// Folds all shards into one aggregate, O(num_shards x num_outputs).
+  /// Categorical: exact (bit-identical to serial aggregation) once ingestion
+  /// has stopped. Dense: exact up to floating-point commutation.
   Vector Merge() const;
 
-  /// Total responses recorded across all shards.
+  /// Total reports recorded across all shards.
   std::int64_t num_responses() const;
 
  private:
-  // One worker's histogram. alignas keeps the hot `total` counters of
-  // different shards on different cache lines; the count arrays live in
-  // separate heap blocks and do not interfere.
+  // One worker's partial aggregate. alignas keeps the hot `total` counters
+  // of different shards on different cache lines; the count arrays live in
+  // separate heap blocks and do not interfere. Exactly one of
+  // `counts`/`dense` is populated, per the aggregator's ReportKind.
   struct alignas(64) Shard {
-    explicit Shard(int num_outputs) : counts(num_outputs) {}
+    Shard(int num_outputs, ReportKind kind)
+        : counts(kind == ReportKind::kCategorical ? num_outputs : 0),
+          dense(kind == ReportKind::kDense ? num_outputs : 0) {}
     std::vector<std::atomic<std::int64_t>> counts;
+    std::vector<std::atomic<double>> dense;
     std::atomic<std::int64_t> total{0};
   };
 
@@ -68,6 +93,7 @@ class ShardedAggregator {
   const Shard& GetShard(int shard) const;
 
   int num_outputs_;
+  ReportKind kind_;
   std::vector<std::unique_ptr<Shard>> shards_;  // Shard is immovable (atomics).
 };
 

@@ -1,0 +1,21 @@
+#include "estimation/decoder.h"
+
+namespace wfm {
+
+ReportDecoder::ReportDecoder(Matrix b, WorkloadStats stats)
+    : b_(std::move(b)), stats_(std::move(stats)) {
+  WFM_CHECK_GT(b_.rows(), 0);
+  WFM_CHECK_GT(b_.cols(), 0);
+  WFM_CHECK_EQ(b_.rows(), stats_.n);
+}
+
+ReportDecoder ReportDecoder::FromAnalysis(const FactorizationAnalysis& analysis) {
+  return ReportDecoder(analysis.ReconstructionB(), analysis.workload());
+}
+
+Vector ReportDecoder::EstimateDataVector(const Vector& aggregate) const {
+  WFM_CHECK_EQ(static_cast<int>(aggregate.size()), m());
+  return MultiplyVec(b_, aggregate);
+}
+
+}  // namespace wfm

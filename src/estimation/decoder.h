@@ -1,0 +1,47 @@
+// The server half of a deployed mechanism: reconstruct the data vector from
+// the m-dimensional aggregate of all reports.
+//
+// Every deployable mechanism in this library decodes linearly: the unbiased
+// estimate is x_hat = B y, where y sums the reports (response histogram for
+// categorical mechanisms, coordinatewise sum for additive ones) and B is the
+// mechanism's n x m reconstruction factor — Theorem 3.10's optimal
+// B = (Qᵀ D_Q⁻¹ Q)† Qᵀ D_Q⁻¹ for strategy mechanisms, the pseudo-inverse A†
+// for the distributed Matrix Mechanism. The WNNLS consistent estimate
+// (Appendix A) additionally needs only the workload Gram matrix, so
+// (B, WorkloadStats) is the complete server-side description of any
+// deployment and is what collect/CollectionSession carries.
+
+#ifndef WFM_ESTIMATION_DECODER_H_
+#define WFM_ESTIMATION_DECODER_H_
+
+#include "core/factorization.h"
+#include "linalg/matrix.h"
+
+namespace wfm {
+
+class ReportDecoder {
+ public:
+  /// `b` is the n x m linear decode factor; `stats` supplies the Gram matrix
+  /// for consistent (WNNLS) estimation on the same workload.
+  ReportDecoder(Matrix b, WorkloadStats stats);
+
+  /// Decoder of a strategy factorization: B = analysis.ReconstructionB().
+  /// Bit-identical to estimating through the analysis directly.
+  static ReportDecoder FromAnalysis(const FactorizationAnalysis& analysis);
+
+  int n() const { return b_.rows(); }
+  int m() const { return b_.cols(); }
+  const Matrix& b() const { return b_; }
+  const WorkloadStats& workload_stats() const { return stats_; }
+
+  /// Unbiased estimate x_hat = B y of the data vector from the aggregate.
+  Vector EstimateDataVector(const Vector& aggregate) const;
+
+ private:
+  Matrix b_;
+  WorkloadStats stats_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_ESTIMATION_DECODER_H_

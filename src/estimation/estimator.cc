@@ -2,22 +2,30 @@
 
 namespace wfm {
 
-WorkloadEstimate EstimateWorkloadAnswers(const FactorizationAnalysis& analysis,
+WorkloadEstimate EstimateWorkloadAnswers(const ReportDecoder& decoder,
                                          const Workload& workload,
-                                         const Vector& response_histogram,
+                                         const Vector& aggregate,
                                          EstimatorKind kind) {
-  WFM_CHECK_EQ(workload.domain_size(), analysis.n());
+  WFM_CHECK_EQ(workload.domain_size(), decoder.n());
   WorkloadEstimate out;
   switch (kind) {
     case EstimatorKind::kUnbiased:
-      out.data_vector = analysis.EstimateDataVector(response_histogram);
+      out.data_vector = decoder.EstimateDataVector(aggregate);
       break;
     case EstimatorKind::kWnnls:
-      out.data_vector = WnnlsEstimate(analysis, response_histogram).x;
+      out.data_vector = WnnlsEstimate(decoder, aggregate).x;
       break;
   }
   out.query_answers = workload.Apply(out.data_vector);
   return out;
+}
+
+WorkloadEstimate EstimateWorkloadAnswers(const FactorizationAnalysis& analysis,
+                                         const Workload& workload,
+                                         const Vector& response_histogram,
+                                         EstimatorKind kind) {
+  return EstimateWorkloadAnswers(ReportDecoder::FromAnalysis(analysis),
+                                 workload, response_histogram, kind);
 }
 
 }  // namespace wfm

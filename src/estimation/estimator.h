@@ -1,11 +1,16 @@
-// End-to-end estimation pipeline: response histogram -> data-vector estimate
+// End-to-end estimation pipeline: report aggregate -> data-vector estimate
 // -> workload answers. Bundles the unbiased path (V y = W (B y)) and the
 // consistent WNNLS path behind one call used by the examples and Figure 4.
+//
+// The ReportDecoder overload is the general entry point (any deployable
+// mechanism, see estimation/decoder.h); the FactorizationAnalysis overload
+// is the strategy-mechanism special case and produces bit-identical output.
 
 #ifndef WFM_ESTIMATION_ESTIMATOR_H_
 #define WFM_ESTIMATION_ESTIMATOR_H_
 
 #include "core/factorization.h"
+#include "estimation/decoder.h"
 #include "estimation/wnnls.h"
 #include "workload/workload.h"
 
@@ -21,7 +26,14 @@ struct WorkloadEstimate {
   Vector query_answers;    ///< W x_hat.
 };
 
-/// Produces workload answers from an aggregated response histogram.
+/// Produces workload answers from the aggregate of all reports.
+WorkloadEstimate EstimateWorkloadAnswers(const ReportDecoder& decoder,
+                                         const Workload& workload,
+                                         const Vector& aggregate,
+                                         EstimatorKind kind);
+
+/// Strategy-mechanism convenience: decodes through the factorization's
+/// optimal reconstruction B (Theorem 3.10).
 WorkloadEstimate EstimateWorkloadAnswers(const FactorizationAnalysis& analysis,
                                          const Workload& workload,
                                          const Vector& response_histogram,

@@ -120,12 +120,19 @@ WnnlsResult SolveWnnlsFromGram(const Matrix& gram, const Vector& rhs,
   return result;
 }
 
+WnnlsResult WnnlsEstimate(const ReportDecoder& decoder, const Vector& aggregate,
+                          const WnnlsOptions& options) {
+  const Vector unbiased = decoder.EstimateDataVector(aggregate);
+  const Matrix& gram = decoder.workload_stats().gram;
+  const Vector rhs = MultiplyVec(gram, unbiased);
+  return SolveWnnlsFromGram(gram, rhs, options, &unbiased);
+}
+
 WnnlsResult WnnlsEstimate(const FactorizationAnalysis& analysis,
                           const Vector& response_histogram,
                           const WnnlsOptions& options) {
-  const Vector unbiased = analysis.EstimateDataVector(response_histogram);
-  const Vector rhs = MultiplyVec(analysis.workload().gram, unbiased);
-  return SolveWnnlsFromGram(analysis.workload().gram, rhs, options, &unbiased);
+  return WnnlsEstimate(ReportDecoder::FromAnalysis(analysis),
+                       response_histogram, options);
 }
 
 }  // namespace wfm

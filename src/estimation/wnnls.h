@@ -18,6 +18,7 @@
 #define WFM_ESTIMATION_WNNLS_H_
 
 #include "core/factorization.h"
+#include "estimation/decoder.h"
 #include "linalg/matrix.h"
 
 namespace wfm {
@@ -42,8 +43,14 @@ WnnlsResult SolveWnnlsFromGram(const Matrix& gram, const Vector& rhs,
                                const WnnlsOptions& options = {},
                                const Vector* warm_start = nullptr);
 
-/// Convenience: consistent data-vector estimate from a response histogram,
-/// r = G (B y), warm-started at clip(B y, 0, inf).
+/// Convenience: consistent data-vector estimate from a report aggregate,
+/// r = G (B y), warm-started at clip(B y, 0, inf). Works for any deployable
+/// mechanism's decoder (estimation/decoder.h).
+WnnlsResult WnnlsEstimate(const ReportDecoder& decoder, const Vector& aggregate,
+                          const WnnlsOptions& options = {});
+
+/// Strategy-factorization special case; identical to estimating through
+/// ReportDecoder::FromAnalysis.
 WnnlsResult WnnlsEstimate(const FactorizationAnalysis& analysis,
                           const Vector& response_histogram,
                           const WnnlsOptions& options = {});

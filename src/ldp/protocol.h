@@ -12,6 +12,12 @@
 //      WNNLS consistent estimate (Appendix A), then answers W x_hat
 //      (collect/EstimateServer caches this step per sealed epoch).
 //
+// api/plan.h is the front door over this whole pipeline: Plan::For(workload)
+// .Epsilon(eps).Mechanism(name).Build() performs step 1 and hands out
+// Client() (step 2) and Server()/StartSession() (steps 3-4) for any
+// registered mechanism. The types below remain the low-level serial
+// reference those handles are tested against.
+//
 // For experiments, SimulateResponseHistogram draws the aggregate directly:
 // users of one type are exchangeable, so their response counts are a
 // multinomial draw — equivalent in distribution to looping over users, but

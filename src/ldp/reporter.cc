@@ -1,0 +1,11 @@
+#include "ldp/reporter.h"
+
+namespace wfm {
+
+Report StrategyReporter::Respond(int user_type, Rng& rng) const {
+  Report report;
+  report.index = randomizer_.Respond(user_type, rng);
+  return report;
+}
+
+}  // namespace wfm

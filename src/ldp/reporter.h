@@ -1,0 +1,73 @@
+// The client half of a deployed mechanism: turn one user's true type into
+// one privatized report.
+//
+// Two report shapes cover every mechanism in this library:
+//   * categorical — strategy-matrix mechanisms (Definition 2.5) emit an
+//     output index o in [0, m); the server-side aggregate is the response
+//     histogram y with y_o = #{reports == o};
+//   * dense — additive-noise mechanisms (the distributed Matrix Mechanism)
+//     emit a real m-vector A e_u + xi; the aggregate is the coordinatewise
+//     sum.
+// Both are the same operation once a categorical report is read as the
+// one-hot vector e_o: the server only ever needs the sum of reports, which
+// is why one Reporter interface (and one collect/ pipeline) serves both.
+
+#ifndef WFM_LDP_REPORTER_H_
+#define WFM_LDP_REPORTER_H_
+
+#include "ldp/local_randomizer.h"
+#include "linalg/matrix.h"
+#include "linalg/rng.h"
+
+namespace wfm {
+
+/// One user's privatized report — the only data that leaves the device.
+struct Report {
+  /// Categorical response index in [0, m); meaningful iff `dense` is empty.
+  int index = -1;
+  /// Dense m-vector report; non-empty iff the mechanism is additive.
+  Vector dense;
+
+  bool is_dense() const { return !dense.empty(); }
+};
+
+/// Interface for the on-device half of a deployment (see Mechanism::Deploy).
+class Reporter {
+ public:
+  virtual ~Reporter() = default;
+
+  /// Report dimension m: the response alphabet size for categorical
+  /// reporters, the report vector length for dense ones.
+  virtual int num_outputs() const = 0;
+
+  /// Domain size n this reporter was built for.
+  virtual int num_types() const = 0;
+
+  /// True when Respond emits dense vectors instead of indices.
+  virtual bool dense_reports() const = 0;
+
+  /// Privatizes one user's true type.
+  virtual Report Respond(int user_type, Rng& rng) const = 0;
+};
+
+/// Categorical reporter over a column-stochastic strategy matrix; draws
+/// exactly like LocalRandomizer::Respond (same RNG consumption), so a
+/// Reporter-based pipeline is bit-identical to manual wiring.
+class StrategyReporter final : public Reporter {
+ public:
+  explicit StrategyReporter(const Matrix& q) : randomizer_(q) {}
+
+  int num_outputs() const override { return randomizer_.num_outputs(); }
+  int num_types() const override { return randomizer_.num_types(); }
+  bool dense_reports() const override { return false; }
+  Report Respond(int user_type, Rng& rng) const override;
+
+  const LocalRandomizer& randomizer() const { return randomizer_; }
+
+ private:
+  LocalRandomizer randomizer_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_LDP_REPORTER_H_

@@ -3,11 +3,43 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "linalg/pseudo_inverse.h"
 
 namespace wfm {
 namespace {
+
+/// Client half of the distributed Matrix Mechanism: report A e_u + xi with
+/// iid per-coordinate noise (Laplace for pure ε, Gaussian for (ε, δ)).
+class AdditiveNoiseReporter final : public Reporter {
+ public:
+  AdditiveNoiseReporter(const Matrix& a, MatrixMechanism::NoiseType type,
+                        double noise_scale)
+      : columns_(a.Transpose()), type_(type), noise_scale_(noise_scale) {}
+
+  int num_outputs() const override { return columns_.cols(); }
+  int num_types() const override { return columns_.rows(); }
+  bool dense_reports() const override { return true; }
+
+  Report Respond(int user_type, Rng& rng) const override {
+    WFM_CHECK(user_type >= 0 && user_type < num_types())
+        << "user type out of range:" << user_type << "for n =" << num_types();
+    Report report;
+    report.dense = columns_.Row(user_type);  // A e_u.
+    for (double& coord : report.dense) {
+      coord += type_ == MatrixMechanism::NoiseType::kLaplaceL1
+                   ? rng.Laplace(noise_scale_)
+                   : rng.Normal(0.0, noise_scale_);
+    }
+    return report;
+  }
+
+ private:
+  Matrix columns_;  // n x k transpose of the strategy: row u is A e_u.
+  MatrixMechanism::NoiseType type_;
+  double noise_scale_;  // Laplace scale b, or Gaussian sigma.
+};
 
 /// tr[(AᵀA)† G]; uses Cholesky when AᵀA is PD, else the spectral pinv.
 double ReconstructionFactor(const Matrix& a, const Matrix& gram) {
@@ -131,6 +163,31 @@ MatrixMechanism::StrategyChoice MatrixMechanism::ChooseStrategy(
   WFM_CHECK(std::isfinite(best.unit_variance))
       << "no valid matrix mechanism strategy for workload" << workload.name;
   return best;
+}
+
+StatusOr<Deployment> MatrixMechanism::Deploy(const WorkloadStats& workload) const {
+  if (workload.n != n_) {
+    return Status::InvalidArgument(
+        Name() + " was built for domain size " + std::to_string(n_) +
+        ", workload has " + std::to_string(workload.n));
+  }
+  const StrategyChoice choice = ChooseStrategy(workload);
+  const double sensitivity = type_ == NoiseType::kLaplaceL1
+                                 ? L1Sensitivity(choice.a)
+                                 : L2Sensitivity(choice.a);
+  // NoiseVariance is 2b² for Laplace(b) and σ² for Gaussian(σ); recover the
+  // sampling parameter from the calibrated variance.
+  const double variance = NoiseVariance(sensitivity);
+  const double noise_scale = type_ == NoiseType::kLaplaceL1
+                                 ? std::sqrt(variance / 2.0)
+                                 : std::sqrt(variance);
+  ReportDecoder decoder(PseudoInverse(choice.a), workload);
+  ErrorProfile profile;  // Additive noise: constant over user types.
+  profile.phi.assign(n_, choice.unit_variance);
+  profile.num_queries = workload.p;
+  return Deployment{
+      std::make_shared<AdditiveNoiseReporter>(choice.a, type_, noise_scale),
+      std::move(decoder), std::move(profile)};
 }
 
 ErrorProfile MatrixMechanism::Analyze(const WorkloadStats& workload) const {

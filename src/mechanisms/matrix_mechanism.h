@@ -47,6 +47,12 @@ class MatrixMechanism final : public Mechanism {
 
   ErrorProfile Analyze(const WorkloadStats& workload) const override;
 
+  /// Runnable end-to-end: each client reports its noisy strategy-query
+  /// vector A e_u + xi (a dense report), the server sums reports and decodes
+  /// with A†. Unbiased whenever rowspace(W) ⊆ rowspace(A), which
+  /// ChooseStrategy guarantees.
+  StatusOr<Deployment> Deploy(const WorkloadStats& workload) const override;
+
   struct StrategyChoice {
     Matrix a;
     std::string description;

@@ -1,10 +1,19 @@
 #include "mechanisms/mechanism.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/strategy.h"
 
 namespace wfm {
+namespace {
+
+// Threshold on the Gram-side factorization residual beyond which a strategy
+// cannot produce unbiased answers for the workload (Definition 3.2 requires
+// W = VQ).
+constexpr double kResidualTolerance = 1e-5;
+
+}  // namespace
 
 double ErrorProfile::WorstUnitVariance() const {
   double m = 0.0;
@@ -34,6 +43,16 @@ double ErrorProfile::SampleComplexityOnData(const Vector& x, double alpha) const
   return DataVariance(x) / (total * static_cast<double>(num_queries) * alpha);
 }
 
+StatusOr<ErrorProfile> Mechanism::TryAnalyze(const WorkloadStats& workload) const {
+  return Analyze(workload);
+}
+
+StatusOr<Deployment> Mechanism::Deploy(const WorkloadStats& workload) const {
+  (void)workload;
+  return Status::FailedPrecondition(
+      Name() + " is analysis-only: it does not implement a deployment path");
+}
+
 StrategyMechanism::StrategyMechanism(Matrix q, int n, double eps)
     : q_(std::move(q)), n_(n), eps_(eps) {
   WFM_CHECK_EQ(q_.cols(), n);
@@ -42,17 +61,43 @@ StrategyMechanism::StrategyMechanism(Matrix q, int n, double eps)
 }
 
 ErrorProfile StrategyMechanism::Analyze(const WorkloadStats& workload) const {
+  StatusOr<ErrorProfile> profile = TryAnalyze(workload);
+  WFM_CHECK(profile.ok()) << profile.status().ToString();
+  return std::move(profile).value();
+}
+
+StatusOr<ErrorProfile> StrategyMechanism::TryAnalyze(
+    const WorkloadStats& workload) const {
   FactorizationAnalysis fa(q_, workload);
   // A strategy whose row space misses part of the workload cannot produce
   // unbiased answers (Definition 3.2 requires W = VQ); its variance profile
   // would be meaningless.
-  WFM_CHECK(fa.FactorizationResidual() < 1e-5)
-      << Name() << "cannot represent workload" << workload.name
-      << "(residual" << fa.FactorizationResidual() << ")";
+  if (fa.FactorizationResidual() >= kResidualTolerance) {
+    return Status::FailedPrecondition(
+        Name() + " cannot represent workload " + workload.name +
+        " (factorization residual " +
+        std::to_string(fa.FactorizationResidual()) + ")");
+  }
   ErrorProfile profile;
   profile.phi = fa.PerUserVariance();
   profile.num_queries = workload.p;
   return profile;
+}
+
+StatusOr<Deployment> StrategyMechanism::Deploy(
+    const WorkloadStats& workload) const {
+  FactorizationAnalysis fa(q_, workload);
+  if (fa.FactorizationResidual() >= kResidualTolerance) {
+    return Status::FailedPrecondition(
+        Name() + " cannot be deployed for workload " + workload.name +
+        ": the workload is outside the strategy's row space (residual " +
+        std::to_string(fa.FactorizationResidual()) + ")");
+  }
+  ErrorProfile profile;
+  profile.phi = fa.PerUserVariance();
+  profile.num_queries = workload.p;
+  return Deployment{std::make_shared<StrategyReporter>(q_),
+                    ReportDecoder::FromAnalysis(fa), std::move(profile)};
 }
 
 FactorizationAnalysis StrategyMechanism::AnalyzeFactorization(

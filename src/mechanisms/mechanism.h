@@ -10,6 +10,12 @@
 // same Q on every workload and re-derives V per workload). Additive-noise
 // mechanisms (the distributed Matrix Mechanism) compute their profile in
 // closed form.
+//
+// Beyond analysis, every runnable mechanism exposes Deploy(): the
+// client/server halves of the paper's one-round protocol — a Reporter that
+// privatizes one user's type on-device and a ReportDecoder that
+// reconstructs the data vector from the aggregate of all reports. api/Plan
+// is the high-level front door over this seam.
 
 #ifndef WFM_MECHANISMS_MECHANISM_H_
 #define WFM_MECHANISMS_MECHANISM_H_
@@ -17,7 +23,10 @@
 #include <memory>
 #include <string>
 
+#include "common/status.h"
 #include "core/factorization.h"
+#include "estimation/decoder.h"
+#include "ldp/reporter.h"
 #include "linalg/matrix.h"
 
 namespace wfm {
@@ -42,6 +51,16 @@ struct ErrorProfile {
   double SampleComplexityOnData(const Vector& x, double alpha) const;
 };
 
+/// The two halves of a runnable deployment for one (mechanism, workload)
+/// pair: what runs on each device and how the server decodes the aggregate,
+/// plus the error profile of that deployment on the workload (computed from
+/// the same analysis, so Deploy() callers never re-derive it).
+struct Deployment {
+  std::shared_ptr<const Reporter> reporter;
+  ReportDecoder decoder;
+  ErrorProfile profile;
+};
+
 class Mechanism {
  public:
   virtual ~Mechanism() = default;
@@ -56,7 +75,18 @@ class Mechanism {
   virtual double epsilon() const = 0;
 
   /// Error analysis against a workload (consumes no privacy budget).
+  /// Aborts when the mechanism cannot represent the workload — callers that
+  /// can hit that at runtime (cross-evaluation, AutoSelect) use TryAnalyze.
   virtual ErrorProfile Analyze(const WorkloadStats& workload) const = 0;
+
+  /// Analyze with failures reported as Status instead of aborting:
+  /// kFailedPrecondition when the mechanism cannot produce unbiased answers
+  /// for this workload (W outside the strategy's row space).
+  virtual StatusOr<ErrorProfile> TryAnalyze(const WorkloadStats& workload) const;
+
+  /// Client/server halves for actually running this mechanism on `workload`.
+  /// Base implementation: analysis-only mechanism, kFailedPrecondition.
+  virtual StatusOr<Deployment> Deploy(const WorkloadStats& workload) const;
 };
 
 /// A mechanism fully described by a strategy matrix Q (Proposition 2.6).
@@ -70,6 +100,12 @@ class StrategyMechanism : public Mechanism {
   const Matrix& strategy() const { return q_; }
 
   ErrorProfile Analyze(const WorkloadStats& workload) const override;
+  StatusOr<ErrorProfile> TryAnalyze(const WorkloadStats& workload) const override;
+
+  /// Deployable on any workload in the strategy's row space: the client is a
+  /// LocalRandomizer-backed StrategyReporter, the server decodes through the
+  /// Theorem 3.10 reconstruction.
+  StatusOr<Deployment> Deploy(const WorkloadStats& workload) const override;
 
   /// Full factorization analysis (reconstruction matrix, residuals, ...).
   FactorizationAnalysis AnalyzeFactorization(const WorkloadStats& workload) const;
@@ -78,6 +114,21 @@ class StrategyMechanism : public Mechanism {
   Matrix q_;
   int n_;
   double eps_;
+};
+
+/// A StrategyMechanism around an externally supplied strategy — e.g. one
+/// loaded from disk in the offline/online deployment split (strategy_io.h)
+/// or handed to PlanBuilder::Strategy().
+class FixedStrategyMechanism final : public StrategyMechanism {
+ public:
+  FixedStrategyMechanism(Matrix q, int n, double eps,
+                         std::string name = "Strategy")
+      : StrategyMechanism(std::move(q), n, eps), name_(std::move(name)) {}
+
+  std::string Name() const override { return name_; }
+
+ private:
+  std::string name_;
 };
 
 }  // namespace wfm

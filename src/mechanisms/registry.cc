@@ -1,12 +1,200 @@
 #include "mechanisms/registry.h"
 
+#include <limits>
+#include <utility>
+
 #include "mechanisms/fourier.h"
 #include "mechanisms/hadamard_response.h"
 #include "mechanisms/hierarchical.h"
 #include "mechanisms/matrix_mechanism.h"
+#include "mechanisms/optimized.h"
 #include "mechanisms/randomized_response.h"
 
 namespace wfm {
+namespace {
+
+Status ValidateShape(const WorkloadStats& workload, double eps) {
+  if (workload.n <= 0) {
+    return Status::InvalidArgument("domain size must be positive, got " +
+                                   std::to_string(workload.n));
+  }
+  if (eps <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive, got " +
+                                   std::to_string(eps));
+  }
+  return Status::Ok();
+}
+
+/// Adapts a (n, eps) baseline constructor into a MechanismFactory.
+template <typename MechanismT, typename... Extra>
+MechanismFactory BaselineFactory(Extra... extra) {
+  return [extra...](const WorkloadStats& workload, double eps,
+                    const MechanismOptions&)
+             -> StatusOr<std::unique_ptr<Mechanism>> {
+    if (Status s = ValidateShape(workload, eps); !s.ok()) return s;
+    return std::unique_ptr<Mechanism>(
+        std::make_unique<MechanismT>(workload.n, eps, extra...));
+  };
+}
+
+void RegisterBuiltins(MechanismRegistry& registry) {
+  auto must_register = [&registry](const std::string& name,
+                                   MechanismFactory factory) {
+    const Status s = registry.Register(name, std::move(factory));
+    WFM_CHECK(s.ok()) << s.ToString();
+  };
+
+  must_register("Randomized Response",
+                BaselineFactory<RandomizedResponseMechanism>());
+  must_register("Hadamard", BaselineFactory<HadamardResponseMechanism>());
+  must_register("Hierarchical", BaselineFactory<HierarchicalMechanism>());
+  must_register("Fourier",
+                [](const WorkloadStats& workload, double eps,
+                   const MechanismOptions&)
+                    -> StatusOr<std::unique_ptr<Mechanism>> {
+                  if (Status s = ValidateShape(workload, eps); !s.ok()) return s;
+                  const int n = workload.n;
+                  if ((n & (n - 1)) != 0) {
+                    return Status::InvalidArgument(
+                        "Fourier requires a power-of-two domain, got n = " +
+                        std::to_string(n));
+                  }
+                  return std::unique_ptr<Mechanism>(
+                      std::make_unique<FourierMechanism>(n, eps));
+                });
+  must_register("Matrix Mechanism (L1)",
+                BaselineFactory<MatrixMechanism>(
+                    MatrixMechanism::NoiseType::kLaplaceL1));
+  must_register("Matrix Mechanism (L2)",
+                BaselineFactory<MatrixMechanism>(
+                    MatrixMechanism::NoiseType::kGaussianL2));
+  must_register(
+      "Optimized",
+      [](const WorkloadStats& workload, double eps,
+         const MechanismOptions& options)
+          -> StatusOr<std::unique_ptr<Mechanism>> {
+        if (Status s = ValidateShape(workload, eps); !s.ok()) return s;
+        if (workload.gram.rows() != workload.n ||
+            workload.gram.cols() != workload.n) {
+          return Status::FailedPrecondition(
+              "Optimized requires full workload statistics (Gram matrix); "
+              "build the WorkloadStats with WorkloadStats::From");
+        }
+        return std::unique_ptr<Mechanism>(std::make_unique<OptimizedMechanism>(
+            workload, eps, options.optimizer));
+      });
+}
+
+}  // namespace
+
+MechanismRegistry& MechanismRegistry::Global() {
+  static MechanismRegistry* registry = [] {
+    auto* r = new MechanismRegistry();
+    RegisterBuiltins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status MechanismRegistry::Register(const std::string& name,
+                                   MechanismFactory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("mechanism name must be non-empty");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("mechanism factory must be callable");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [registered, unused] : factories_) {
+    if (registered == name) {
+      return Status::InvalidArgument("mechanism '" + name +
+                                     "' is already registered");
+    }
+  }
+  factories_.emplace_back(name, std::move(factory));
+  return Status::Ok();
+}
+
+std::vector<std::string> MechanismRegistry::ListMechanisms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, unused] : factories_) names.push_back(name);
+  return names;
+}
+
+bool MechanismRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [registered, unused] : factories_) {
+    if (registered == name) return true;
+  }
+  return false;
+}
+
+StatusOr<std::unique_ptr<Mechanism>> MechanismRegistry::Create(
+    const std::string& name, const WorkloadStats& workload, double eps,
+    const MechanismOptions& options) const {
+  MechanismFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [registered, candidate] : factories_) {
+      if (registered == name) {
+        factory = candidate;
+        break;
+      }
+    }
+  }
+  if (factory == nullptr) {
+    std::string known;
+    for (const std::string& registered : ListMechanisms()) {
+      if (!known.empty()) known += ", ";
+      known += "'" + registered + "'";
+    }
+    return Status::NotFound("unknown mechanism '" + name +
+                            "'; registered mechanisms: " + known);
+  }
+  return factory(workload, eps, options);
+}
+
+StatusOr<MechanismRegistry::AutoSelection>
+MechanismRegistry::AutoSelectMechanism(const WorkloadStats& workload,
+                                       double eps,
+                                       const MechanismOptions& options) const {
+  // Exactly the paper's Section 6.1 cross-evaluation: build every competitor
+  // for this (workload, eps) cell, derive its optimal reconstruction against
+  // the workload, and rank by worst-case unit variance (the ordering behind
+  // both Figure 1 and the sample-complexity tables).
+  AutoSelection best;
+  double best_variance = std::numeric_limits<double>::infinity();
+  for (const std::string& name : ListMechanisms()) {
+    StatusOr<std::unique_ptr<Mechanism>> mechanism =
+        Create(name, workload, eps, options);
+    if (!mechanism.ok()) continue;  // e.g. Fourier off a power-of-two domain.
+    const StatusOr<ErrorProfile> profile =
+        mechanism.value()->TryAnalyze(workload);
+    if (!profile.ok()) continue;  // Cannot represent this workload.
+    const double variance = profile.value().WorstUnitVariance();
+    if (variance < best_variance) {
+      best_variance = variance;
+      best.name = name;
+      best.mechanism = std::move(mechanism).value();
+    }
+  }
+  if (best.mechanism == nullptr) {
+    return Status::NotFound("no registered mechanism can run on workload '" +
+                            workload.name + "'");
+  }
+  return best;
+}
+
+StatusOr<std::string> MechanismRegistry::AutoSelect(
+    const WorkloadStats& workload, double eps,
+    const MechanismOptions& options) const {
+  StatusOr<AutoSelection> selection =
+      AutoSelectMechanism(workload, eps, options);
+  if (!selection.ok()) return selection.status();
+  return std::move(selection.value().name);
+}
 
 std::vector<std::string> StandardBaselineNames() {
   return {"Randomized Response",  "Hadamard",
@@ -14,31 +202,24 @@ std::vector<std::string> StandardBaselineNames() {
           "Matrix Mechanism (L1)", "Matrix Mechanism (L2)"};
 }
 
-std::unique_ptr<Mechanism> CreateBaseline(const std::string& name, int n,
-                                          double eps) {
-  if (name == "Randomized Response") {
-    return std::make_unique<RandomizedResponseMechanism>(n, eps);
+StatusOr<std::unique_ptr<Mechanism>> CreateBaseline(const std::string& name,
+                                                    int n, double eps) {
+  bool is_baseline = false;
+  for (const std::string& baseline : StandardBaselineNames()) {
+    if (baseline == name) {
+      is_baseline = true;
+      break;
+    }
   }
-  if (name == "Hadamard") {
-    return std::make_unique<HadamardResponseMechanism>(n, eps);
+  if (!is_baseline) {
+    return Status::NotFound(
+        "'" + name +
+        "' is not one of the six fixed baselines; use "
+        "MechanismRegistry::Global().Create for registered mechanisms");
   }
-  if (name == "Hierarchical") {
-    return std::make_unique<HierarchicalMechanism>(n, eps);
-  }
-  if (name == "Fourier") {
-    if ((n & (n - 1)) != 0) return nullptr;  // Needs a power-of-two domain.
-    return std::make_unique<FourierMechanism>(n, eps);
-  }
-  if (name == "Matrix Mechanism (L1)") {
-    return std::make_unique<MatrixMechanism>(n, eps,
-                                             MatrixMechanism::NoiseType::kLaplaceL1);
-  }
-  if (name == "Matrix Mechanism (L2)") {
-    return std::make_unique<MatrixMechanism>(n, eps,
-                                             MatrixMechanism::NoiseType::kGaussianL2);
-  }
-  WFM_CHECK(false) << "unknown mechanism" << name;
-  return nullptr;
+  WorkloadStats shape_only;
+  shape_only.n = n;
+  return MechanismRegistry::Global().Create(name, shape_only, eps);
 }
 
 }  // namespace wfm

@@ -50,9 +50,10 @@
 #include "core/strategy.h"
 #include "core/strategy_io.h"
 
-// ldp: client-side randomizers and the collection protocol.
+// ldp: client-side randomizers, reporters, and the collection protocol.
 #include "ldp/local_randomizer.h"
 #include "ldp/protocol.h"
+#include "ldp/reporter.h"
 
 // mechanisms: baselines and the workload-optimized mechanism (Section 6).
 #include "mechanisms/fourier.h"
@@ -67,7 +68,8 @@
 #include "mechanisms/registry.h"
 #include "mechanisms/subset_selection.h"
 
-// estimation: response histogram -> workload answers.
+// estimation: report aggregate -> workload answers.
+#include "estimation/decoder.h"
 #include "estimation/estimator.h"
 #include "estimation/wnnls.h"
 
@@ -76,5 +78,10 @@
 #include "collect/collection_session.h"
 #include "collect/estimate_server.h"
 #include "collect/sharded_aggregator.h"
+
+// api: the deployable front door. Most consumers only need
+//   Plan::For(workload).Epsilon(eps).Mechanism(name).Build()
+// and the Client()/Server()/StartSession() handles it returns.
+#include "api/plan.h"
 
 #endif  // WFM_WFM_H_

@@ -70,10 +70,30 @@ TEST(CollectDeathTest, RejectsBadShardIds) {
   EXPECT_DEATH(agg.Add(-1, 0), "shard id out of range");
 }
 
-TEST(CollectDeathTest, ServingRequiresASealedEpoch) {
+TEST(CollectDeathTest, RejectsReportKindMismatches) {
+  ShardedAggregator categorical(/*num_outputs=*/3, /*num_shards=*/1);
+  const Vector dense_report{1.0, 0.0, -0.5};
+  EXPECT_DEATH(categorical.AddDense(0, dense_report), "categorical");
+
+  ShardedAggregator dense(/*num_outputs=*/3, /*num_shards=*/1,
+                          ReportKind::kDense);
+  EXPECT_DEATH(dense.Add(0, 1), "dense");
+  const Vector short_report{1.0};
+  EXPECT_DEATH(dense.AddDense(0, short_report), "WFM_CHECK");
+}
+
+TEST(EstimateServerTest, ServingRequiresASealedEpoch) {
+  // "No data yet" is a recoverable service condition, not a crash.
   auto session = MakeSession(/*n=*/4, /*num_shards=*/2);
   EstimateServer server(session.get());
-  EXPECT_DEATH(server.Serve(EstimatorKind::kUnbiased), "no sealed epoch");
+  const StatusOr<WorkloadEstimate> estimate =
+      server.Serve(EstimatorKind::kUnbiased);
+  ASSERT_FALSE(estimate.ok());
+  EXPECT_EQ(estimate.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(estimate.status().message().find("no sealed epoch"),
+            std::string::npos);
+  EXPECT_EQ(server.ServeWindow(0, EstimatorKind::kUnbiased).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(ShardedAggregatorTest, MergeMatchesSerialAggregation) {
@@ -140,6 +160,51 @@ TEST(ShardedAggregatorTest, ManyThreadsMayShareOneShard) {
   }
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(sharded.Merge(), SerialHistogram(m, reports));
+}
+
+TEST(ShardedAggregatorTest, DenseMergeSumsReportsCoordinatewise) {
+  ShardedAggregator agg(/*num_outputs=*/3, /*num_shards=*/2,
+                        ReportKind::kDense);
+  agg.AddDense(0, Vector{1.0, -2.0, 0.5});
+  agg.AddDense(1, Vector{0.25, 1.0, -0.5});
+  agg.AddDense(0, Vector{0.0, 1.0, 3.0});
+  EXPECT_EQ(agg.Merge(), (Vector{1.25, 0.0, 3.0}));
+  EXPECT_EQ(agg.num_responses(), 3);
+}
+
+TEST(ShardedAggregatorTest, ConcurrentDenseMergeIsExactForIntegerReports) {
+  // Integer-valued coordinates keep floating-point addition exact, so the
+  // concurrent dense merge must equal the serial sum bit for bit.
+  const int m = 8;
+  const int reports_per_thread = 20000;
+  std::vector<std::vector<Vector>> streams(kIngestThreads);
+  Vector expected(m, 0.0);
+  for (int t = 0; t < kIngestThreads; ++t) {
+    Rng rng(300 + t);
+    for (int i = 0; i < reports_per_thread; ++i) {
+      Vector report(m, 0.0);
+      for (int o = 0; o < m; ++o) {
+        report[o] = static_cast<double>(rng.UniformInt(7) - 3);
+        expected[o] += report[o];
+      }
+      streams[t].push_back(std::move(report));
+    }
+  }
+
+  ShardedAggregator agg(m, kIngestThreads, ReportKind::kDense);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kIngestThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Mix shard ids so shards are genuinely contended.
+      for (std::size_t i = 0; i < streams[t].size(); ++i) {
+        agg.AddDense(static_cast<int>((t + i) % kIngestThreads), streams[t][i]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(agg.Merge(), expected);
+  EXPECT_EQ(agg.num_responses(),
+            static_cast<std::int64_t>(kIngestThreads) * reports_per_thread);
 }
 
 TEST(CollectionSessionTest, SealUnderConcurrentIngestionConservesReports) {
@@ -244,7 +309,7 @@ TEST(EstimateServerTest, ServesTheSameAnswersAsTheOfflinePipeline) {
   EstimateServer server(&session);
   for (const EstimatorKind kind :
        {EstimatorKind::kUnbiased, EstimatorKind::kWnnls}) {
-    const WorkloadEstimate served = server.Serve(kind);
+    const WorkloadEstimate served = server.Serve(kind).value();
     const WorkloadEstimate direct = EstimateWorkloadAnswers(
         analysis, *workload, session.LatestSnapshot()->histogram, kind);
     EXPECT_EQ(served.data_vector, direct.data_vector);
@@ -260,8 +325,8 @@ TEST(EstimateServerTest, CachesPerEpochAndInvalidatesOnSeal) {
   session->Seal();
 
   EstimateServer server(session.get());
-  const WorkloadEstimate a = server.Serve(EstimatorKind::kUnbiased);
-  const WorkloadEstimate b = server.Serve(EstimatorKind::kUnbiased);
+  const WorkloadEstimate a = server.Serve(EstimatorKind::kUnbiased).value();
+  const WorkloadEstimate b = server.Serve(EstimatorKind::kUnbiased).value();
   EXPECT_EQ(server.num_serves(), 2);
   EXPECT_EQ(server.num_solves(), 1) << "second serve must hit the cache";
   EXPECT_EQ(a.query_answers, b.query_answers);
@@ -276,13 +341,13 @@ TEST(EstimateServerTest, CachesPerEpochAndInvalidatesOnSeal) {
   const std::vector<int> second = MakeReports(m, 5000, /*seed=*/52);
   session->Accept(1, std::span<const int>(second.data(), second.size()));
   session->Seal();
-  const WorkloadEstimate c = server.Serve(EstimatorKind::kUnbiased);
+  const WorkloadEstimate c = server.Serve(EstimatorKind::kUnbiased).value();
   EXPECT_EQ(server.num_solves(), 4) << "stale cache served after a new seal";
   EXPECT_NE(a.data_vector, c.data_vector);
 
   // The fresh epoch's estimate reflects only the new epoch's reports.
   const WorkloadEstimate direct = EstimateWorkloadAnswers(
-      session->analysis(), session->workload(),
+      session->decoder(), session->workload(),
       session->LatestSnapshot()->histogram, EstimatorKind::kUnbiased);
   EXPECT_EQ(c.query_answers, direct.query_answers);
 }
@@ -295,13 +360,15 @@ TEST(EstimateServerTest, ConcurrentServesAreConsistent) {
   session->Seal();
 
   EstimateServer server(session.get());
-  const WorkloadEstimate expected = server.Serve(EstimatorKind::kUnbiased);
+  const WorkloadEstimate expected =
+      server.Serve(EstimatorKind::kUnbiased).value();
   std::vector<std::thread> threads;
   std::atomic<int> mismatches{0};
   for (int t = 0; t < kIngestThreads; ++t) {
     threads.emplace_back([&] {
       for (int i = 0; i < 50; ++i) {
-        const WorkloadEstimate got = server.Serve(EstimatorKind::kUnbiased);
+        const WorkloadEstimate got =
+            server.Serve(EstimatorKind::kUnbiased).value();
         if (got.query_answers != expected.query_answers) mismatches.fetch_add(1);
       }
     });

@@ -32,8 +32,8 @@ class StrategyValidityGrid : public ::testing::TestWithParam<GridCase> {};
 TEST_P(StrategyValidityGrid, SatisfiesProposition26) {
   const auto& [name, n, eps] = GetParam();
   const auto mech = CreateBaseline(name, n, eps);
-  ASSERT_NE(mech, nullptr);
-  const auto* strat = dynamic_cast<const StrategyMechanism*>(mech.get());
+  ASSERT_TRUE(mech.ok()) << mech.status().ToString();
+  const auto* strat = dynamic_cast<const StrategyMechanism*>(mech.value().get());
   ASSERT_NE(strat, nullptr) << name << " is not strategy-based";
   const StrategyValidation v = ValidateStrategy(strat->strategy(), eps, 1e-8);
   EXPECT_TRUE(v.valid) << name << " n=" << n << " eps=" << eps << ": "
@@ -122,11 +122,13 @@ TEST(HierarchicalTest, BestBaselineOnPrefixAtModerateEps) {
   const double eps = 1.0;
   const auto w = CreateWorkload("Prefix", n);
   const WorkloadStats stats = WorkloadStats::From(*w);
-  const double hier =
-      CreateBaseline("Hierarchical", n, eps)->Analyze(stats).SampleComplexity(0.01);
+  const double hier = CreateBaseline("Hierarchical", n, eps)
+                          .value()
+                          ->Analyze(stats)
+                          .SampleComplexity(0.01);
   for (const char* other : {"Randomized Response", "Hadamard"}) {
     const double sc =
-        CreateBaseline(other, n, eps)->Analyze(stats).SampleComplexity(0.01);
+        CreateBaseline(other, n, eps).value()->Analyze(stats).SampleComplexity(0.01);
     EXPECT_LT(hier, sc) << other;
   }
 }
@@ -145,15 +147,134 @@ TEST(FourierTest, RequiresPowerOfTwo) {
 TEST(RegistryTest, CreatesAllBaselines) {
   for (const auto& name : StandardBaselineNames()) {
     const auto mech = CreateBaseline(name, 16, 1.0);
-    ASSERT_NE(mech, nullptr) << name;
-    EXPECT_EQ(mech->Name(), name);
-    EXPECT_EQ(mech->domain_size(), 16);
-    EXPECT_DOUBLE_EQ(mech->epsilon(), 1.0);
+    ASSERT_TRUE(mech.ok()) << name << ": " << mech.status().ToString();
+    EXPECT_EQ(mech.value()->Name(), name);
+    EXPECT_EQ(mech.value()->domain_size(), 16);
+    EXPECT_DOUBLE_EQ(mech.value()->epsilon(), 1.0);
   }
 }
 
-TEST(RegistryTest, FourierNullOnNonPowerOfTwo) {
-  EXPECT_EQ(CreateBaseline("Fourier", 12, 1.0), nullptr);
+TEST(RegistryTest, FourierInvalidArgumentOnNonPowerOfTwo) {
+  const auto mech = CreateBaseline("Fourier", 12, 1.0);
+  ASSERT_FALSE(mech.ok());
+  EXPECT_EQ(mech.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(mech.status().message().find("power-of-two"), std::string::npos);
+}
+
+TEST(RegistryTest, UnknownBaselineIsNotFound) {
+  const auto mech = CreateBaseline("Randomised Response", 16, 1.0);  // Typo.
+  ASSERT_FALSE(mech.ok());
+  EXPECT_EQ(mech.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, GlobalListsTheSevenCompetitors) {
+  // Six baselines in Figure 1 legend order, then the paper's mechanism.
+  std::vector<std::string> expected = StandardBaselineNames();
+  expected.push_back("Optimized");
+  const std::vector<std::string> names =
+      MechanismRegistry::Global().ListMechanisms();
+  ASSERT_GE(names.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(names[i], expected[i]);
+    EXPECT_TRUE(MechanismRegistry::Global().Contains(expected[i]));
+  }
+}
+
+TEST(RegistryTest, UnknownNameErrorListsWhatIsRegistered) {
+  WorkloadStats stats;
+  stats.n = 8;
+  const auto mech =
+      MechanismRegistry::Global().Create("No Such Mechanism", stats, 1.0);
+  ASSERT_FALSE(mech.ok());
+  EXPECT_EQ(mech.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(mech.status().message().find("Hadamard"), std::string::npos);
+}
+
+TEST(RegistryTest, OptimizedRequiresFullWorkloadStats) {
+  WorkloadStats shape_only;
+  shape_only.n = 8;
+  const auto mech =
+      MechanismRegistry::Global().Create("Optimized", shape_only, 1.0);
+  ASSERT_FALSE(mech.ok());
+  EXPECT_EQ(mech.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RegistryTest, CustomRegistrationsCreateAndListInOrder) {
+  MechanismRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("RR Clone",
+                            [](const WorkloadStats& w, double eps,
+                               const MechanismOptions&)
+                                -> StatusOr<std::unique_ptr<Mechanism>> {
+                              return std::unique_ptr<Mechanism>(
+                                  std::make_unique<RandomizedResponseMechanism>(
+                                      w.n, eps));
+                            })
+                  .ok());
+  EXPECT_EQ(registry.Register("RR Clone", nullptr).code(),
+            StatusCode::kInvalidArgument);  // Null factory.
+  EXPECT_EQ(registry
+                .Register("RR Clone",
+                          [](const WorkloadStats&, double,
+                             const MechanismOptions&)
+                              -> StatusOr<std::unique_ptr<Mechanism>> {
+                            return Status::Internal("unreachable");
+                          })
+                .code(),
+            StatusCode::kInvalidArgument);  // Duplicate name.
+  EXPECT_EQ(registry.ListMechanisms(), std::vector<std::string>{"RR Clone"});
+
+  WorkloadStats stats;
+  stats.n = 6;
+  const auto mech = registry.Create("RR Clone", stats, 1.0);
+  ASSERT_TRUE(mech.ok()) << mech.status().ToString();
+  EXPECT_EQ(mech.value()->Name(), "Randomized Response");
+}
+
+TEST(RegistryTest, AutoSelectPicksTheMinimumVarianceEntry) {
+  // A two-entry registry where the entries are strictly ordered on the
+  // Histogram workload: RR (tight) vs Hierarchical (pays for the tree).
+  MechanismRegistry registry;
+  auto rr_factory = [](const WorkloadStats& w, double eps,
+                       const MechanismOptions&)
+      -> StatusOr<std::unique_ptr<Mechanism>> {
+    return std::unique_ptr<Mechanism>(
+        std::make_unique<RandomizedResponseMechanism>(w.n, eps));
+  };
+  auto hier_factory = [](const WorkloadStats& w, double eps,
+                         const MechanismOptions&)
+      -> StatusOr<std::unique_ptr<Mechanism>> {
+    return std::unique_ptr<Mechanism>(
+        std::make_unique<HierarchicalMechanism>(w.n, eps));
+  };
+  ASSERT_TRUE(registry.Register("Hier", hier_factory).ok());
+  ASSERT_TRUE(registry.Register("RR", rr_factory).ok());
+
+  const auto histogram = CreateWorkload("Histogram", 16);
+  const WorkloadStats stats = WorkloadStats::From(*histogram);
+  const auto selected = registry.AutoSelect(stats, 1.0);
+  ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+  EXPECT_EQ(selected.value(), "RR");
+
+  const auto prefix = CreateWorkload("Prefix", 16);
+  const auto selected_prefix =
+      registry.AutoSelect(WorkloadStats::From(*prefix), 1.0);
+  ASSERT_TRUE(selected_prefix.ok());
+  EXPECT_EQ(selected_prefix.value(), "Hier");
+}
+
+TEST(RegistryTest, AutoSelectSkipsMechanismsThatCannotRun) {
+  // n = 12: Fourier cannot construct; AutoSelect must not fail, just skip.
+  const auto histogram = CreateWorkload("Histogram", 12);
+  const WorkloadStats stats = WorkloadStats::From(*histogram);
+  MechanismOptions options;
+  options.optimizer.iterations = 40;
+  options.optimizer.step_search_iterations = 10;
+  options.optimizer.seed = 3;
+  const auto selected =
+      MechanismRegistry::Global().AutoSelect(stats, 1.0, options);
+  ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+  EXPECT_TRUE(MechanismRegistry::Global().Contains(selected.value()));
 }
 
 TEST(ErrorProfileTest, SummariesConsistent) {
@@ -175,8 +296,8 @@ TEST(AllBaselinesTest, ProfilesArePositiveOnAllWorkloads) {
     const WorkloadStats stats = WorkloadStats::From(*w);
     for (const auto& mname : StandardBaselineNames()) {
       const auto mech = CreateBaseline(mname, n, eps);
-      ASSERT_NE(mech, nullptr);
-      const ErrorProfile profile = mech->Analyze(stats);
+      ASSERT_TRUE(mech.ok()) << mech.status().ToString();
+      const ErrorProfile profile = mech.value()->Analyze(stats);
       EXPECT_GT(profile.WorstUnitVariance(), 0.0) << mname << " on " << wname;
       EXPECT_TRUE(std::isfinite(profile.SampleComplexity(0.01)));
     }
@@ -198,8 +319,8 @@ TEST(OptimizedMechanismTest, NeverWorseThanBaselinesOnTargetWorkload) {
     const double opt_sc = optimized.Analyze(stats).SampleComplexity(0.01);
     for (const auto& mname : StandardBaselineNames()) {
       const auto mech = CreateBaseline(mname, n, eps);
-      ASSERT_NE(mech, nullptr);
-      const double sc = mech->Analyze(stats).SampleComplexity(0.01);
+      ASSERT_TRUE(mech.ok()) << mech.status().ToString();
+      const double sc = mech.value()->Analyze(stats).SampleComplexity(0.01);
       EXPECT_LE(opt_sc, sc * 1.05) << mname << " on " << wname;
     }
   }

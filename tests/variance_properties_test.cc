@@ -34,8 +34,9 @@ TEST_P(BaselineWorkloadMatrix, Theorem51SandwichHolds) {
   const int n = 16;
   const double num_users = 100.0;
   for (double eps : {0.5, 1.0, 2.0}) {
-    const auto mech = CreateBaseline(GetParam().mechanism, n, eps);
-    ASSERT_NE(mech, nullptr);
+    const auto created = CreateBaseline(GetParam().mechanism, n, eps);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    const auto& mech = created.value();
     const auto w = CreateWorkload(GetParam().workload, n);
     const WorkloadStats stats = WorkloadStats::From(*w);
     const ErrorProfile profile = mech->Analyze(stats);
@@ -53,8 +54,9 @@ TEST_P(BaselineWorkloadMatrix, SampleComplexityDecreasesInEpsilon) {
   const int n = 16;
   double prev = 1e300;
   for (double eps : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-    const auto mech = CreateBaseline(GetParam().mechanism, n, eps);
-    ASSERT_NE(mech, nullptr);
+    const auto created = CreateBaseline(GetParam().mechanism, n, eps);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    const auto& mech = created.value();
     const auto w = CreateWorkload(GetParam().workload, n);
     const double sc = mech->Analyze(WorkloadStats::From(*w)).SampleComplexity(0.01);
     EXPECT_LE(sc, prev * (1 + 1e-9)) << "eps " << eps;
@@ -144,7 +146,8 @@ TEST(VariancePropertiesTest, FourierSimulationUnbiased) {
 TEST(VariancePropertiesTest, EmpiricalVarianceMatchesAnalyticForHadamard) {
   const int n = 6;
   const auto mech = CreateBaseline("Hadamard", n, 1.0);
-  const auto* strat = dynamic_cast<const StrategyMechanism*>(mech.get());
+  ASSERT_TRUE(mech.ok()) << mech.status().ToString();
+  const auto* strat = dynamic_cast<const StrategyMechanism*>(mech.value().get());
   ASSERT_NE(strat, nullptr);
   const auto workload = CreateWorkload("Histogram", n);
   FactorizationAnalysis fa(strat->strategy(), WorkloadStats::From(*workload));

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Normalizes the whole tree with the pinned clang-format version (the same
+# one the CI `format` job enforces). Run from anywhere inside the repo:
+#
+#   tools/format.sh            # rewrite files in place
+#   tools/format.sh --check    # dry-run, non-zero exit on any diff
+#
+# The version is pinned so formatting is reproducible across machines; a
+# different major version may disagree with CI about line breaks.
+set -euo pipefail
+
+PINNED_MAJOR=18
+
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+CLANG_FORMAT=""
+for candidate in "clang-format-${PINNED_MAJOR}" clang-format; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    CLANG_FORMAT="$candidate"
+    break
+  fi
+done
+if [[ -z "$CLANG_FORMAT" ]]; then
+  echo "error: clang-format not found; install clang-format-${PINNED_MAJOR}" >&2
+  exit 2
+fi
+
+version=$("$CLANG_FORMAT" --version)
+if [[ "$version" != *"version ${PINNED_MAJOR}."* ]]; then
+  echo "warning: $version is not the pinned major ${PINNED_MAJOR}; CI may disagree" >&2
+fi
+
+mode="-i"
+if [[ "${1:-}" == "--check" ]]; then
+  mode="--dry-run --Werror"
+fi
+
+# shellcheck disable=SC2086
+find src tests bench examples \
+  \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0 |
+  xargs -0 "$CLANG_FORMAT" $mode
