@@ -1,0 +1,237 @@
+// Performance-trajectory suite: times the dense kernels (tiled/pooled vs the
+// retained pre-PR reference), one objective+gradient evaluation, a full
+// Optimize() run, and a WNNLS decode, then writes the measurements to a JSON
+// file so CI can accumulate a per-commit perf trajectory.
+//
+// Output schema (BENCH_perf.json): a JSON array of
+//   {"kernel": <name>, "shape": <"MxKxN" or parameter string>,
+//    "ns_per_op": <best-of-reps wall time per op>, "gflops": <rate, 0 for
+//    composite ops where a flop count is not meaningful>}
+// `<name>_ref` rows are the pre-PR kernels on identical inputs; the ratio
+// ns_per_op(ref) / ns_per_op(new) is the speedup this PR's acceptance
+// criteria track.
+//
+// Flags: --quick (smaller shapes + fewer reps; what the perf-smoke CI job
+// runs), --reps=N, --out=path.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/objective.h"
+#include "core/optimizer.h"
+#include "estimation/wnnls.h"
+#include "linalg/matrix.h"
+#include "linalg/reference_kernels.h"
+#include "linalg/rng.h"
+#include "linalg/thread_pool.h"
+#include "workload/workload.h"
+
+namespace {
+
+struct Entry {
+  std::string kernel;
+  std::string shape;
+  double ns_per_op = 0.0;
+  double gflops = 0.0;
+};
+
+wfm::Matrix RandomMatrix(int rows, int cols, wfm::Rng& rng) {
+  wfm::Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    double* row = m.RowPtr(r);
+    for (int c = 0; c < cols; ++c) row[c] = rng.Uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+/// Best-of-reps wall time of fn() in seconds. fn must do the full op.
+template <typename Fn>
+double TimeBest(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    wfm::Stopwatch timer;
+    fn();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+std::string ShapeString(int m, int k, int n) {
+  return std::to_string(m) + "x" + std::to_string(k) + "x" + std::to_string(n);
+}
+
+void WriteJson(const std::string& path, const std::vector<Entry>& entries) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::fprintf(f,
+                 "  {\"kernel\": \"%s\", \"shape\": \"%s\", "
+                 "\"ns_per_op\": %.1f, \"gflops\": %.3f}%s\n",
+                 e.kernel.c_str(), e.shape.c_str(), e.ns_per_op, e.gflops,
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu entries to %s\n", entries.size(), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wfm::FlagParser flags(argc, argv);
+  const wfm::bench::UnusedFlagWarner warn_unused(flags);
+  const bool quick = flags.GetBool("quick", false);
+  const int reps = flags.GetInt("reps", quick ? 3 : 5);
+  const std::string out = flags.GetString("out", "BENCH_perf.json");
+
+  wfm::bench::PrintHeader(
+      "Perf trajectory suite: dense kernels, optimizer, WNNLS",
+      "no paper analogue; feeds BENCH_perf.json per commit",
+      std::string("reps = ") + std::to_string(reps) +
+          (quick ? ", --quick shapes" : ", full shapes") + ", " +
+          std::to_string(wfm::ThreadPool::Global().num_threads()) + " threads");
+
+  std::vector<Entry> entries;
+  wfm::TablePrinter table({"kernel", "shape", "ms/op", "GFLOP/s", "speedup"});
+  double sink = 0.0;  // Defeats dead-code elimination of the timed products.
+
+  auto record = [&](const std::string& kernel, const std::string& shape,
+                    double seconds, double flops, double ref_seconds) {
+    const double gflops = flops > 0 ? flops / seconds / 1e9 : 0.0;
+    entries.push_back({kernel, shape, seconds * 1e9, gflops});
+    table.AddRow({kernel, shape, wfm::TablePrinter::Num(seconds * 1e3),
+                  flops > 0 ? wfm::TablePrinter::Num(gflops) : "-",
+                  ref_seconds > 0
+                      ? wfm::TablePrinter::Num(ref_seconds / seconds)
+                      : "-"});
+  };
+
+  wfm::Rng rng(42);
+
+  // --- GEMM kernels vs the pre-PR reference --------------------------------
+  const std::vector<int> gemm_sizes =
+      quick ? std::vector<int>{256, 1024} : std::vector<int>{256, 512, 1024};
+  for (int n : gemm_sizes) {
+    const wfm::Matrix a = RandomMatrix(n, n, rng);
+    const wfm::Matrix b = RandomMatrix(n, n, rng);
+    const double flops = 2.0 * n * n * static_cast<double>(n);
+    const std::string shape = ShapeString(n, n, n);
+
+    const double t_new =
+        TimeBest(reps, [&] { sink += wfm::Multiply(a, b)(0, 0); });
+    const double t_ref =
+        TimeBest(reps, [&] { sink += wfm::reference::Multiply(a, b)(0, 0); });
+    record("multiply_ref", shape, t_ref, flops, 0.0);
+    record("multiply", shape, t_new, flops, t_ref);
+
+    const double t_atb_new =
+        TimeBest(reps, [&] { sink += wfm::MultiplyATB(a, b)(0, 0); });
+    const double t_atb_ref = TimeBest(
+        reps, [&] { sink += wfm::reference::MultiplyATB(a, b)(0, 0); });
+    record("multiply_atb_ref", shape, t_atb_ref, flops, 0.0);
+    record("multiply_atb", shape, t_atb_new, flops, t_atb_ref);
+
+    const double t_abt_new =
+        TimeBest(reps, [&] { sink += wfm::MultiplyABT(a, b)(0, 0); });
+    const double t_abt_ref = TimeBest(
+        reps, [&] { sink += wfm::reference::MultiplyABT(a, b)(0, 0); });
+    record("multiply_abt_ref", shape, t_abt_ref, flops, 0.0);
+    record("multiply_abt", shape, t_abt_new, flops, t_abt_ref);
+  }
+
+  // --- Matrix-vector -------------------------------------------------------
+  {
+    const int n = quick ? 1024 : 2048;
+    const wfm::Matrix a = RandomMatrix(n, n, rng);
+    wfm::Vector x(n);
+    for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+    const double flops = 2.0 * n * static_cast<double>(n);
+    const std::string shape = ShapeString(n, n, 1);
+    // One matvec is microseconds; batch 50 per timed op for a stable clock.
+    const int batch = 50;
+    wfm::Vector y;
+    const double t_new = TimeBest(reps, [&] {
+                           for (int i = 0; i < batch; ++i) {
+                             wfm::MultiplyVecInto(a, x, y);
+                             sink += y[0];
+                           }
+                         }) /
+                         batch;
+    const double t_ref = TimeBest(reps, [&] {
+                           for (int i = 0; i < batch; ++i) {
+                             sink += wfm::reference::MultiplyVec(a, x)[0];
+                           }
+                         }) /
+                         batch;
+    record("multiply_vec_ref", shape, t_ref, flops, 0.0);
+    record("multiply_vec", shape, t_new, flops, t_ref);
+  }
+
+  // --- One objective + gradient evaluation (the PGD hot path) --------------
+  {
+    const int n = quick ? 128 : 256;
+    const int m = 4 * n;
+    const double eps = 1.0;
+    wfm::Rng init_rng(7);
+    wfm::Vector z;
+    const wfm::ProjectionResult proj =
+        wfm::RandomInitialStrategy(m, n, eps, init_rng, &z);
+    const wfm::Matrix w = RandomMatrix(n, n, rng);
+    const wfm::Matrix gram = wfm::MultiplyATB(w, w);
+    wfm::ObjectiveWorkspace ws;
+    wfm::EvalObjectiveAndGradient(proj.q, gram, ws);  // Warm the workspace.
+    const double t = TimeBest(reps, [&] {
+      sink += wfm::EvalObjectiveAndGradient(proj.q, gram, ws).value;
+    });
+    record("objective_eval", ShapeString(m, n, n), t, 0.0, 0.0);
+  }
+
+  // --- Full Optimize() run (the ablation_optimizer end-to-end path) --------
+  {
+    const int n = 32;
+    const auto workload = wfm::CreateWorkload("Prefix", n);
+    const wfm::WorkloadStats stats = wfm::WorkloadStats::From(*workload);
+    wfm::OptimizerConfig config;
+    config.iterations = quick ? 100 : 300;
+    config.step_search_iterations = 20;
+    config.seed = 7;
+    const double t = TimeBest(std::max(1, reps / 2), [&] {
+      sink += wfm::OptimizeStrategy(stats.gram, 1.0, config).objective;
+    });
+    record("optimize",
+           "n=" + std::to_string(n) + ",iters=" +
+               std::to_string(config.iterations),
+           t, 0.0, 0.0);
+  }
+
+  // --- WNNLS decode --------------------------------------------------------
+  {
+    const int n = quick ? 256 : 512;
+    const auto workload = wfm::CreateWorkload("Prefix", n);
+    const wfm::WorkloadStats stats = wfm::WorkloadStats::From(*workload);
+    wfm::Vector x_true(n);
+    for (double& v : x_true) v = std::max(0.0, rng.Uniform(-0.5, 1.0));
+    wfm::Vector rhs = wfm::MultiplyVec(stats.gram, x_true);
+    for (double& v : rhs) v += rng.Normal(0.0, 0.01);
+    wfm::WnnlsOptions options;
+    const double t = TimeBest(reps, [&] {
+      sink += wfm::SolveWnnlsFromGram(stats.gram, rhs, options).objective;
+    });
+    record("wnnls_decode", "n=" + std::to_string(n), t, 0.0, 0.0);
+  }
+
+  table.Print();
+  std::printf("\n(sink %g; *_ref rows are the pre-PR kernels — 'speedup' is "
+              "ref/new on identical inputs)\n",
+              sink);
+  WriteJson(out, entries);
+  return 0;
+}

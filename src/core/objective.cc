@@ -2,29 +2,24 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
-#include "linalg/cholesky.h"
 #include "linalg/pseudo_inverse.h"
 
 namespace wfm {
 namespace {
 
-struct Prepared {
-  Vector dinv;   // 1/d with 0 for zero-mass rows.
-  Matrix a;      // Qᵀ D⁻¹ Q.
-};
-
-Prepared Prepare(const Matrix& q) {
-  Prepared p;
-  const Vector d = q.RowSums();
-  p.dinv.resize(d.size());
-  for (std::size_t o = 0; o < d.size(); ++o) {
-    p.dinv[o] = d[o] > 1e-300 ? 1.0 / d[o] : 0.0;
+/// Fills ws.row_sums / ws.dinv / ws.dq / ws.a for the strategy q:
+/// A = Qᵀ D⁻¹ Q with D = Diag(Q 1). All outputs live in the workspace.
+void PrepareInto(const Matrix& q, ObjectiveWorkspace& ws) {
+  q.RowSumsInto(ws.row_sums);
+  ws.dinv.resize(ws.row_sums.size());
+  for (std::size_t o = 0; o < ws.row_sums.size(); ++o) {
+    ws.dinv[o] = ws.row_sums[o] > 1e-300 ? 1.0 / ws.row_sums[o] : 0.0;
   }
-  Matrix dq = q;
-  ScaleRows(dq, p.dinv);
-  p.a = MultiplyATB(q, dq);
-  return p;
+  ws.dq = q;
+  ScaleRows(ws.dq, ws.dinv);
+  MultiplyATBInto(q, ws.dq, ws.a);
 }
 
 /// On the pseudo-inverse path A is rank deficient; the objective is finite
@@ -41,43 +36,45 @@ bool RangeCovered(const Matrix& a, const Matrix& x_pinv_g, const Matrix& gram) {
 
 }  // namespace
 
-ObjectiveEvaluation EvalObjectiveAndGradient(const Matrix& q, const Matrix& gram) {
+ObjectiveValue EvalObjectiveAndGradient(const Matrix& q, const Matrix& gram,
+                                        ObjectiveWorkspace& ws) {
   WFM_CHECK_EQ(q.cols(), gram.rows());
   const int m = q.rows();
   const int n = q.cols();
-  const Prepared prep = Prepare(q);
+  PrepareInto(q, ws);
 
-  ObjectiveEvaluation out;
+  ObjectiveValue out;
 
-  // X = A† G and S = A† G A†. On the Cholesky path two triangular solves; on
-  // the fallback path two products with the spectral pseudo-inverse.
-  Matrix x_mat, s_mat;
-  Cholesky chol;
-  if (chol.Factorize(prep.a)) {
-    x_mat = chol.Solve(gram);                 // A⁻¹ G.
-    s_mat = chol.Solve(x_mat.Transpose());    // A⁻¹ (GA⁻¹) = A⁻¹GA⁻¹.
+  // X = A† G and S = A† G A†. On the Cholesky path two in-place triangular
+  // solves; on the (rare, allocating) fallback path two products with the
+  // spectral pseudo-inverse.
+  if (ws.chol.Factorize(ws.a)) {
+    ws.x = gram;
+    ws.chol.SolveInPlace(ws.x);      // A⁻¹ G.
+    TransposeInto(ws.x, ws.s);
+    ws.chol.SolveInPlace(ws.s);      // A⁻¹ (GA⁻¹) = A⁻¹GA⁻¹.
     out.used_cholesky = true;
   } else {
-    const Matrix pinv = SymmetricPseudoInverse(prep.a);
-    x_mat = Multiply(pinv, gram);
+    const Matrix pinv = SymmetricPseudoInverse(ws.a);
+    MultiplyInto(pinv, gram, ws.x);
     out.used_cholesky = false;
-    if (!RangeCovered(prep.a, x_mat, gram)) {
+    if (!RangeCovered(ws.a, ws.x, gram)) {
       out.value = std::numeric_limits<double>::infinity();
-      out.gradient = Matrix(m, n);
+      ws.gradient.Resize(m, n);
       return out;
     }
-    s_mat = Multiply(x_mat, pinv);            // A†G A†.
+    MultiplyInto(ws.x, pinv, ws.s);  // A†G A†.
   }
-  out.value = x_mat.Trace();
+  out.value = ws.x.Trace();
 
   // QS (m x n) drives both gradient terms.
-  const Matrix qs = Multiply(q, s_mat);
-  out.gradient = Matrix(m, n);
+  MultiplyInto(q, ws.s, ws.qs);
+  ws.gradient.ResizeUninitialized(m, n);  // Every entry written below.
   for (int o = 0; o < m; ++o) {
-    const double* qs_row = qs.RowPtr(o);
+    const double* qs_row = ws.qs.RowPtr(o);
     const double* q_row = q.RowPtr(o);
-    double* g_row = out.gradient.RowPtr(o);
-    const double dinv_o = prep.dinv[o];
+    double* g_row = ws.gradient.RowPtr(o);
+    const double dinv_o = ws.dinv[o];
     // h_o = (QS · Q)_o / d_o² — the row-wise inner product.
     double h = 0.0;
     for (int u = 0; u < n; ++u) h += qs_row[u] * q_row[u];
@@ -89,19 +86,37 @@ ObjectiveEvaluation EvalObjectiveAndGradient(const Matrix& q, const Matrix& gram
   return out;
 }
 
-double EvalObjective(const Matrix& q, const Matrix& gram) {
+ObjectiveEvaluation EvalObjectiveAndGradient(const Matrix& q,
+                                             const Matrix& gram) {
+  ObjectiveWorkspace ws;
+  const ObjectiveValue v = EvalObjectiveAndGradient(q, gram, ws);
+  ObjectiveEvaluation out;
+  out.value = v.value;
+  out.used_cholesky = v.used_cholesky;
+  out.gradient = std::move(ws.gradient);
+  return out;
+}
+
+double EvalObjective(const Matrix& q, const Matrix& gram,
+                     ObjectiveWorkspace& ws) {
   WFM_CHECK_EQ(q.cols(), gram.rows());
-  const Prepared prep = Prepare(q);
-  Cholesky chol;
-  if (chol.Factorize(prep.a)) {
-    return chol.Solve(gram).Trace();
+  PrepareInto(q, ws);
+  if (ws.chol.Factorize(ws.a)) {
+    ws.x = gram;
+    ws.chol.SolveInPlace(ws.x);
+    return ws.x.Trace();
   }
-  const Matrix pinv = SymmetricPseudoInverse(prep.a);
-  const Matrix x_mat = Multiply(pinv, gram);
-  if (!RangeCovered(prep.a, x_mat, gram)) {
+  const Matrix pinv = SymmetricPseudoInverse(ws.a);
+  MultiplyInto(pinv, gram, ws.x);
+  if (!RangeCovered(ws.a, ws.x, gram)) {
     return std::numeric_limits<double>::infinity();
   }
-  return x_mat.Trace();
+  return ws.x.Trace();
+}
+
+double EvalObjective(const Matrix& q, const Matrix& gram) {
+  ObjectiveWorkspace ws;
+  return EvalObjective(q, gram, ws);
 }
 
 }  // namespace wfm

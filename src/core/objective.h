@@ -13,6 +13,7 @@
 #ifndef WFM_CORE_OBJECTIVE_H_
 #define WFM_CORE_OBJECTIVE_H_
 
+#include "linalg/cholesky.h"
 #include "linalg/matrix.h"
 
 namespace wfm {
@@ -23,11 +24,44 @@ struct ObjectiveEvaluation {
   bool used_cholesky = true;
 };
 
+/// Scratch buffers for the objective evaluation, owned by the caller so the
+/// gram (Qᵀ D⁻¹ Q), the scaled strategy, the Cholesky factor, the X/S/QS
+/// temporaries, and the gradient are allocated once and reused across every
+/// PGD iteration and restart. After a warm-up evaluation at a given (m, n),
+/// the Cholesky path performs no heap allocation (the rare pseudo-inverse
+/// fallback still allocates). Buffers resize transparently if the shape
+/// changes, so one workspace can serve a whole optimizer run.
+struct ObjectiveWorkspace {
+  Vector row_sums;  ///< d = Q 1.
+  Vector dinv;      ///< 1/d with 0 for zero-mass rows.
+  Matrix dq;        ///< D⁻¹ Q.
+  Matrix a;         ///< A = Qᵀ D⁻¹ Q.
+  Matrix x;         ///< X = A⁻¹ G (trace of this is the objective).
+  Matrix s;         ///< S = A⁻¹ G A⁻¹.
+  Matrix qs;        ///< Q S, the gradient driver.
+  Matrix gradient;  ///< m x n, valid after EvalObjectiveAndGradient.
+  Cholesky chol;
+};
+
+struct ObjectiveValue {
+  double value = 0.0;
+  bool used_cholesky = true;
+};
+
 /// Value + gradient. `gram` is the workload Gram matrix G = WᵀW.
 ObjectiveEvaluation EvalObjectiveAndGradient(const Matrix& q, const Matrix& gram);
 
+/// Workspace form: identical numerics, but every temporary (including the
+/// returned gradient, left in ws.gradient) lives in `ws`.
+ObjectiveValue EvalObjectiveAndGradient(const Matrix& q, const Matrix& gram,
+                                        ObjectiveWorkspace& ws);
+
 /// Value only (cheaper: skips S and the gradient products).
 double EvalObjective(const Matrix& q, const Matrix& gram);
+
+/// Workspace form of the value-only evaluation.
+double EvalObjective(const Matrix& q, const Matrix& gram,
+                     ObjectiveWorkspace& ws);
 
 }  // namespace wfm
 

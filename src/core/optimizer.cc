@@ -17,12 +17,12 @@ namespace {
 ///   ∂λ_u /∂z_o   = -s_o / |F|           (o clipped)
 ///   ∂q_o'u/∂z_o  = ∂λ_u/∂z_o            (o' free)
 /// so (∇_z)_o = Σ_u s_o [o clipped] (g_ou - mean_{o'∈F} g_o'u).
-Vector BackpropZGradient(const Matrix& q_grad, const ProjectionResult& proj,
-                         double eps) {
+/// `scale_up` is e^ε; `gz` is caller-owned and overwritten.
+void BackpropZGradientInto(const Matrix& q_grad, const ProjectionResult& proj,
+                           double scale_up, Vector& gz) {
   const int m = q_grad.rows();
   const int n = q_grad.cols();
-  const double scale_up = std::exp(eps);
-  Vector gz(m, 0.0);
+  gz.assign(m, 0.0);
 
   for (int u = 0; u < n; ++u) {
     double free_sum = 0.0;
@@ -41,7 +41,6 @@ Vector BackpropZGradient(const Matrix& q_grad, const ProjectionResult& proj,
       gz[o] += s * (q_grad(o, u) - free_mean);
     }
   }
-  return gz;
 }
 
 /// Keeps z inside the projection's feasibility region
@@ -50,22 +49,23 @@ void RepairZFeasibility(Vector& z, double eps, int m) {
   for (double& v : z) v = std::min(std::max(v, 0.0), 1.0);
   const double kLowMargin = 0.98;   // Σz must stay below this.
   const double kHighMargin = 1.02;  // e^ε Σz must stay above this.
+  const double scale_up = std::exp(eps);
   double s = Sum(z);
   if (s > kLowMargin) {
     const double f = kLowMargin / s;
     for (double& v : z) v *= f;
     s = kLowMargin;
   }
-  if (std::exp(eps) * s < kHighMargin) {
+  if (scale_up * s < kHighMargin) {
     if (s <= 0.0) {
       // Degenerate: reset to the canonical initialization.
       const double init = (1.0 + std::exp(-eps)) / (2.0 * m);
       z.assign(m, init);
       return;
     }
-    const double f = kHighMargin / (std::exp(eps) * s);
+    const double f = kHighMargin / (scale_up * s);
     for (double& v : z) v = std::min(v * f, 1.0);
-    if (std::exp(eps) * Sum(z) < 1.0) {
+    if (scale_up * Sum(z) < 1.0) {
       const double init = (1.0 + std::exp(-eps)) / (2.0 * m);
       z.assign(m, init);
     }
@@ -88,55 +88,71 @@ struct InitialPoint {
   Vector z;
 };
 
+/// Every buffer the PGD loop touches, allocated once per OptimizeStrategy
+/// call and reused across iterations, restarts, and the step-size search.
+/// After the first iteration at a given (m, n) warms the buffers, the loop
+/// body performs no heap allocation on the Cholesky path.
+struct PgdWorkspace {
+  ObjectiveWorkspace obj;
+  ProjectionWorkspace proj_ws;
+  ProjectionResult proj;
+  Matrix r;   ///< Pre-projection gradient step Q - β∇.
+  Vector z;
+  Vector gz;  ///< Backpropagated ∇_z.
+};
+
 RunResult RunOnce(const Matrix& gram, double eps, const OptimizerConfig& config,
                   int m, double step, int iterations, Rng& rng,
-                  bool record_history, const InitialPoint* initial = nullptr) {
+                  bool record_history, PgdWorkspace& ws,
+                  const InitialPoint* initial = nullptr) {
   const int n = gram.rows();
   RunResult run;
-  Vector z;
-  ProjectionResult proj;
+  Vector& z = ws.z;
+  ProjectionResult& proj = ws.proj;
   if (initial != nullptr) {
     z = initial->z;
     m = initial->q.rows();
     // Re-projecting the seed records its clipping pattern for ∇_z.
-    proj = ProjectOntoLdpPolytope(initial->q, z, eps);
+    ProjectOntoLdpPolytope(initial->q, z, eps, ws.proj_ws, proj);
   } else {
     proj = RandomInitialStrategy(m, n, eps, rng, &z);
   }
 
-  ObjectiveEvaluation eval = EvalObjectiveAndGradient(proj.q, gram);
+  ObjectiveValue eval = EvalObjectiveAndGradient(proj.q, gram, ws.obj);
   run.initial_objective = eval.value;
   run.q = proj.q;
   run.z = z;
   run.objective = eval.value;
+  if (record_history) run.history.reserve(iterations);
 
-  const double alpha_ratio = 1.0 / (n * std::exp(eps));  // α = β/(n e^ε).
+  const double scale_up = std::exp(eps);
+  const double alpha_ratio = 1.0 / (n * scale_up);  // α = β/(n e^ε).
   double beta = step;
 
   for (int t = 0; t < iterations; ++t) {
     if (!eval.used_cholesky) ++run.cholesky_failures;
 
     // z step with backprop through the previous projection.
-    const Vector gz = BackpropZGradient(eval.gradient, proj, eps);
-    for (int o = 0; o < m; ++o) z[o] -= beta * alpha_ratio * gz[o];
+    BackpropZGradientInto(ws.obj.gradient, proj, scale_up, ws.gz);
+    for (int o = 0; o < m; ++o) z[o] -= beta * alpha_ratio * ws.gz[o];
     RepairZFeasibility(z, eps, m);
 
     // Q step + projection.
-    Matrix r = proj.q;
+    ws.r = proj.q;
     for (int o = 0; o < m; ++o) {
-      double* rrow = r.RowPtr(o);
-      const double* grow = eval.gradient.RowPtr(o);
+      double* rrow = ws.r.RowPtr(o);
+      const double* grow = ws.obj.gradient.RowPtr(o);
       for (int u = 0; u < n; ++u) rrow[u] -= beta * grow[u];
     }
-    proj = ProjectOntoLdpPolytope(r, z, eps);
+    ProjectOntoLdpPolytope(ws.r, z, eps, ws.proj_ws, proj);
 
-    eval = EvalObjectiveAndGradient(proj.q, gram);
+    eval = EvalObjectiveAndGradient(proj.q, gram, ws.obj);
     if (!std::isfinite(eval.value)) {
       // Step too aggressive: halve and restart from the best iterate.
       beta *= 0.5;
       proj.q = run.q;
       std::fill(proj.pattern.begin(), proj.pattern.end(), ClipState::kFree);
-      eval = EvalObjectiveAndGradient(proj.q, gram);
+      eval = EvalObjectiveAndGradient(proj.q, gram, ws.obj);
       continue;
     }
     if (eval.value < run.objective) {
@@ -179,14 +195,18 @@ OptimizerResult OptimizeStrategy(const Matrix& gram, double eps,
 
   Rng rng(config.seed);
 
+  // One workspace serves the probe, the step search, and every restart; its
+  // buffers are the reason the PGD loop below never allocates.
+  PgdWorkspace ws;
+
   // Normalize step candidates by the RMS gradient magnitude at a fresh
   // initialization so the candidates are problem-scale free.
   double grad_rms = 1.0;
   {
     Rng probe = rng.Fork();
     ProjectionResult proj = RandomInitialStrategy(m, n, eps, probe, nullptr);
-    ObjectiveEvaluation eval = EvalObjectiveAndGradient(proj.q, gram);
-    grad_rms = std::sqrt(eval.gradient.FrobeniusNormSq() /
+    EvalObjectiveAndGradient(proj.q, gram, ws.obj);
+    grad_rms = std::sqrt(ws.obj.gradient.FrobeniusNormSq() /
                          (static_cast<double>(m) * n));
     if (!(grad_rms > 0.0) || !std::isfinite(grad_rms)) grad_rms = 1.0;
   }
@@ -200,7 +220,7 @@ OptimizerResult OptimizeStrategy(const Matrix& gram, double eps,
       const double beta = candidate / grad_rms;
       RunResult run = RunOnce(gram, eps, config, m, beta,
                               config.step_search_iterations, trial_rng,
-                              /*record_history=*/false);
+                              /*record_history=*/false, ws);
       if (config.verbose) {
         std::printf("  [step search] candidate %.1e -> objective %.6g\n",
                     candidate, run.objective);
@@ -240,7 +260,7 @@ OptimizerResult OptimizeStrategy(const Matrix& gram, double eps,
   for (int restart = 0; restart < config.restarts; ++restart) {
     Rng run_rng = rng.Fork();
     consider(RunOnce(gram, eps, config, m, step, config.iterations, run_rng,
-                     /*record_history=*/true),
+                     /*record_history=*/true, ws),
              "restart", restart);
   }
 
@@ -262,7 +282,7 @@ OptimizerResult OptimizeStrategy(const Matrix& gram, double eps,
     }
     Rng run_rng = rng.Fork();
     consider(RunOnce(gram, eps, config, m, step, config.iterations, run_rng,
-                     /*record_history=*/true, &init),
+                     /*record_history=*/true, ws, &init),
              "seed", static_cast<int>(i));
   }
   return out;

@@ -126,6 +126,14 @@ bool ProjectionFeasible(const Vector& z, double eps, double tol) {
 
 ProjectionResult ProjectOntoLdpPolytope(const Matrix& r, const Vector& z,
                                         double eps) {
+  ProjectionWorkspace ws;
+  ProjectionResult out;
+  ProjectOntoLdpPolytope(r, z, eps, ws, out);
+  return out;
+}
+
+void ProjectOntoLdpPolytope(const Matrix& r, const Vector& z, double eps,
+                            ProjectionWorkspace& ws, ProjectionResult& out) {
   const int m = r.rows();
   const int n = r.cols();
   WFM_CHECK_EQ(static_cast<int>(z.size()), m);
@@ -133,37 +141,37 @@ ProjectionResult ProjectOntoLdpPolytope(const Matrix& r, const Vector& z,
       << "infeasible z: sum =" << Sum(z) << ", e^eps*sum =" << std::exp(eps) * Sum(z);
 
   const double scale = std::exp(eps);
-  Vector ub(m);
-  for (int o = 0; o < m; ++o) ub[o] = scale * std::max(z[o], 0.0);
-  Vector zlo(m);
-  for (int o = 0; o < m; ++o) zlo[o] = std::max(z[o], 0.0);
+  ws.ub.resize(m);
+  for (int o = 0; o < m; ++o) ws.ub[o] = scale * std::max(z[o], 0.0);
+  ws.lo.resize(m);
+  for (int o = 0; o < m; ++o) ws.lo[o] = std::max(z[o], 0.0);
 
-  ProjectionResult out;
-  out.q = Matrix(m, n);
+  out.q.ResizeUninitialized(m, n);  // Every entry written below.
   out.pattern.assign(static_cast<std::size_t>(m) * n, ClipState::kFree);
 
-  // Work column-by-column on a transposed copy for contiguous access.
-  const Matrix rt = r.Transpose();  // n x m.
-  std::vector<Breakpoint> scratch;
+  // Work column-by-column on a transposed copy for contiguous access. The
+  // breakpoint scratch persists per thread so repeated projections (one per
+  // PGD iteration) reuse its capacity.
+  TransposeInto(r, ws.rt);  // n x m.
+  thread_local std::vector<Breakpoint> scratch;
   for (int u = 0; u < n; ++u) {
-    const double* col = rt.RowPtr(u);
-    const double lambda = SolveLambdaRobust(col, zlo, ub, scratch);
+    const double* col = ws.rt.RowPtr(u);
+    const double lambda = SolveLambdaRobust(col, ws.lo, ws.ub, scratch);
     for (int o = 0; o < m; ++o) {
       const double raw = col[o] + lambda;
       double val = raw;
       ClipState state = ClipState::kFree;
-      if (raw <= zlo[o]) {
-        val = zlo[o];
+      if (raw <= ws.lo[o]) {
+        val = ws.lo[o];
         state = ClipState::kAtLower;
-      } else if (raw >= ub[o]) {
-        val = ub[o];
+      } else if (raw >= ws.ub[o]) {
+        val = ws.ub[o];
         state = ClipState::kAtUpper;
       }
       out.q(o, u) = val;
       out.pattern[static_cast<std::size_t>(o) * n + u] = state;
     }
   }
-  return out;
 }
 
 Vector ProjectColumn(const Vector& r, const Vector& z, double eps) {

@@ -39,6 +39,16 @@ struct ProjectionResult {
   }
 };
 
+/// Caller-owned scratch for the projection: the transposed input and the
+/// clamped bound vectors are reused across calls (the per-column breakpoint
+/// scratch is thread-local inside the implementation). With a warmed
+/// workspace and a same-shape `out`, the projection allocates nothing.
+struct ProjectionWorkspace {
+  Matrix rt;  ///< n x m transposed copy of the input, for contiguous columns.
+  Vector lo;  ///< max(z, 0).
+  Vector ub;  ///< e^ε · max(z, 0).
+};
+
 /// Feasibility of the column constraint set {q : z <= q <= e^ε z, 1ᵀq = 1}:
 /// requires Σ z <= 1 <= e^ε Σ z.
 bool ProjectionFeasible(const Vector& z, double eps, double tol = 1e-9);
@@ -48,6 +58,11 @@ bool ProjectionFeasible(const Vector& z, double eps, double tol = 1e-9);
 /// feasibility of z between iterations.
 ProjectionResult ProjectOntoLdpPolytope(const Matrix& r, const Vector& z,
                                         double eps);
+
+/// Workspace form: identical output, but all buffers (including `out`) are
+/// caller-owned and reused — the optimizer inner loop's allocation-free path.
+void ProjectOntoLdpPolytope(const Matrix& r, const Vector& z, double eps,
+                            ProjectionWorkspace& ws, ProjectionResult& out);
 
 /// Single-column variant used by tests: returns clip(r + λ, z, e^ε z) with
 /// 1ᵀ result = 1.

@@ -1,5 +1,7 @@
 #include "estimation/decoder.h"
 
+#include "linalg/symmetric_eigen.h"
+
 namespace wfm {
 
 ReportDecoder::ReportDecoder(Matrix b, WorkloadStats stats)
@@ -7,6 +9,40 @@ ReportDecoder::ReportDecoder(Matrix b, WorkloadStats stats)
   WFM_CHECK_GT(b_.rows(), 0);
   WFM_CHECK_GT(b_.cols(), 0);
   WFM_CHECK_EQ(b_.rows(), stats_.n);
+}
+
+ReportDecoder::ReportDecoder(const ReportDecoder& other)
+    : b_(other.b_),
+      stats_(other.stats_),
+      gram_lipschitz_(other.gram_lipschitz_.load(std::memory_order_relaxed)) {}
+
+ReportDecoder& ReportDecoder::operator=(const ReportDecoder& other) {
+  b_ = other.b_;
+  stats_ = other.stats_;
+  gram_lipschitz_.store(other.gram_lipschitz_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  return *this;
+}
+
+ReportDecoder::ReportDecoder(ReportDecoder&& other) noexcept
+    : b_(std::move(other.b_)),
+      stats_(std::move(other.stats_)),
+      gram_lipschitz_(other.gram_lipschitz_.load(std::memory_order_relaxed)) {}
+
+ReportDecoder& ReportDecoder::operator=(ReportDecoder&& other) noexcept {
+  b_ = std::move(other.b_);
+  stats_ = std::move(other.stats_);
+  gram_lipschitz_.store(other.gram_lipschitz_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  return *this;
+}
+
+double ReportDecoder::GramLipschitz() const {
+  double cached = gram_lipschitz_.load(std::memory_order_acquire);
+  if (cached >= 0.0) return cached;
+  cached = 2.0 * PowerIterationLargestEigenvalue(stats_.gram);
+  gram_lipschitz_.store(cached, std::memory_order_release);
+  return cached;
 }
 
 ReportDecoder ReportDecoder::FromAnalysis(const FactorizationAnalysis& analysis) {

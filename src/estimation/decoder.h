@@ -14,6 +14,8 @@
 #ifndef WFM_ESTIMATION_DECODER_H_
 #define WFM_ESTIMATION_DECODER_H_
 
+#include <atomic>
+
 #include "core/factorization.h"
 #include "linalg/matrix.h"
 
@@ -24,6 +26,13 @@ class ReportDecoder {
   /// `b` is the n x m linear decode factor; `stats` supplies the Gram matrix
   /// for consistent (WNNLS) estimation on the same workload.
   ReportDecoder(Matrix b, WorkloadStats stats);
+
+  // Copies and moves carry the cached Lipschitz constant along (the atomic
+  // member deletes the defaults).
+  ReportDecoder(const ReportDecoder& other);
+  ReportDecoder& operator=(const ReportDecoder& other);
+  ReportDecoder(ReportDecoder&& other) noexcept;
+  ReportDecoder& operator=(ReportDecoder&& other) noexcept;
 
   /// Decoder of a strategy factorization: B = analysis.ReconstructionB().
   /// Bit-identical to estimating through the analysis directly.
@@ -37,9 +46,17 @@ class ReportDecoder {
   /// Unbiased estimate x_hat = B y of the data vector from the aggregate.
   Vector EstimateDataVector(const Vector& aggregate) const;
 
+  /// 2·λ_max(G): the Lipschitz constant of the WNNLS gradient for this
+  /// deployment's workload. Computed by power iteration on first use and
+  /// cached, so repeated consistent decodes (one per served estimate) pay
+  /// for it once. Thread-safe; a racing first call recomputes the same value.
+  double GramLipschitz() const;
+
  private:
   Matrix b_;
   WorkloadStats stats_;
+  /// Negative means "not computed yet".
+  mutable std::atomic<double> gram_lipschitz_{-1.0};
 };
 
 }  // namespace wfm

@@ -2,25 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "linalg/symmetric_eigen.h"
 
 namespace wfm {
 namespace {
-
-/// Largest eigenvalue of a PSD matrix by power iteration (Lipschitz constant
-/// of the gradient is 2 lambda_max(G)).
-double LargestEigenvalue(const Matrix& g, int iterations = 100) {
-  const int n = g.rows();
-  Vector v(n, 1.0 / std::sqrt(static_cast<double>(n)));
-  double lambda = 0.0;
-  for (int it = 0; it < iterations; ++it) {
-    Vector gv = MultiplyVec(g, v);
-    const double norm = std::sqrt(NormSq(gv));
-    if (norm <= 0.0) return 0.0;
-    for (int i = 0; i < n; ++i) v[i] = gv[i] / norm;
-    lambda = norm;
-  }
-  return lambda;
-}
 
 double Objective(const Matrix& g, const Vector& r, const Vector& x) {
   const Vector gx = MultiplyVec(g, x);
@@ -50,7 +37,11 @@ WnnlsResult SolveWnnlsFromGram(const Matrix& gram, const Vector& rhs,
   WFM_CHECK_EQ(gram.cols(), n);
   WFM_CHECK_EQ(static_cast<int>(rhs.size()), n);
 
-  const double lip = 2.0 * LargestEigenvalue(gram);
+  // Lipschitz constant of the gradient: 2 λ_max(G). Callers with a cached
+  // value (ReportDecoder) pass it in and skip the power iteration.
+  const double lip = options.lipschitz > 0.0
+                         ? options.lipschitz
+                         : 2.0 * PowerIterationLargestEigenvalue(gram);
   WnnlsResult result;
   if (lip <= 0.0) {
     // G = 0: any non-negative x is optimal.
@@ -71,12 +62,13 @@ WnnlsResult SolveWnnlsFromGram(const Matrix& gram, const Vector& rhs,
   // Tolerance scaled to the problem: gradient entries are O(||r||_inf).
   const double tol = options.tolerance * std::max(1.0, MaxAbsVec(rhs));
 
-  Vector x_prev = x;
+  // Iteration buffers, hoisted so the loop reuses them (the matvec uses the
+  // pooled kernel for large grams).
+  Vector grad(n), x_next(n), gx(n);
   for (int it = 0; it < options.max_iterations; ++it) {
     // Gradient step at the extrapolated point.
-    Vector grad = MultiplyVec(gram, momentum);
+    MultiplyVecInto(gram, momentum, grad);
     for (int i = 0; i < n; ++i) grad[i] = 2.0 * (grad[i] - rhs[i]);
-    Vector x_next(n);
     for (int i = 0; i < n; ++i) {
       x_next[i] = std::max(0.0, momentum[i] - step * grad[i]);
     }
@@ -94,19 +86,17 @@ WnnlsResult SolveWnnlsFromGram(const Matrix& gram, const Vector& rhs,
     } else {
       t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t_prev * t_prev));
       const double gamma = (t_prev - 1.0) / t_next;
-      momentum.resize(n);
       for (int i = 0; i < n; ++i) {
         momentum[i] = x_next[i] + gamma * (x_next[i] - x[i]);
       }
     }
-    x_prev = x;
-    x = x_next;
+    std::swap(x, x_next);
     t_prev = t_next;
     result.iterations = it + 1;
 
     // Check KKT at x every few iterations (gradient at x, not momentum).
     if ((it & 15) == 0 || it + 1 == options.max_iterations) {
-      Vector gx = MultiplyVec(gram, x);
+      MultiplyVecInto(gram, x, gx);
       for (int i = 0; i < n; ++i) gx[i] = 2.0 * (gx[i] - rhs[i]);
       result.kkt_residual = KktResidual(x, gx);
       if (result.kkt_residual <= tol) {
@@ -115,8 +105,8 @@ WnnlsResult SolveWnnlsFromGram(const Matrix& gram, const Vector& rhs,
       }
     }
   }
-  result.x = x;
-  result.objective = Objective(gram, rhs, x);
+  result.x = std::move(x);
+  result.objective = Objective(gram, rhs, result.x);
   return result;
 }
 
@@ -125,7 +115,9 @@ WnnlsResult WnnlsEstimate(const ReportDecoder& decoder, const Vector& aggregate,
   const Vector unbiased = decoder.EstimateDataVector(aggregate);
   const Matrix& gram = decoder.workload_stats().gram;
   const Vector rhs = MultiplyVec(gram, unbiased);
-  return SolveWnnlsFromGram(gram, rhs, options, &unbiased);
+  WnnlsOptions opts = options;
+  if (opts.lipschitz <= 0.0) opts.lipschitz = decoder.GramLipschitz();
+  return SolveWnnlsFromGram(gram, rhs, opts, &unbiased);
 }
 
 WnnlsResult WnnlsEstimate(const FactorizationAnalysis& analysis,

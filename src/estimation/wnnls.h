@@ -27,6 +27,10 @@ struct WnnlsOptions {
   int max_iterations = 3000;
   /// KKT tolerance relative to the gradient scale.
   double tolerance = 1e-8;
+  /// Known Lipschitz constant 2·λ_max(G) of the gradient; values <= 0 mean
+  /// "estimate by power iteration". ReportDecoder::GramLipschitz() caches
+  /// this per deployment so repeated decodes skip the estimation entirely.
+  double lipschitz = 0.0;
 };
 
 struct WnnlsResult {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/thread_pool.h"
+
 namespace wfm {
 
 bool Cholesky::Factorize(const Matrix& a, double rel_tol) {
@@ -60,37 +62,66 @@ Vector Cholesky::Solve(const Vector& b) const {
 }
 
 Matrix Cholesky::Solve(const Matrix& b) const {
+  Matrix x(b);
+  SolveInPlace(x);
+  return x;
+}
+
+void Cholesky::SolveInPlace(Matrix& b) const {
   WFM_CHECK(ok_);
   const int n = l_.rows();
   WFM_CHECK_EQ(b.rows(), n);
   const int k_cols = b.cols();
-  Matrix x(b);
-  // Forward substitution on all columns simultaneously (row-major friendly).
-  for (int i = 0; i < n; ++i) {
-    const double* li = l_.RowPtr(i);
-    double* xi = x.RowPtr(i);
-    for (int k = 0; k < i; ++k) {
-      const double lik = li[k];
-      if (lik == 0.0) continue;
-      const double* xk = x.RowPtr(k);
-      for (int c = 0; c < k_cols; ++c) xi[c] -= lik * xk[c];
+  // Rows are sequentially dependent but columns are independent, so threads
+  // own disjoint column stripes and run the full forward + backward
+  // substitution on their stripe (row-major friendly within each stripe).
+  auto stripe = [&](int col_begin, int col_end) {
+    // Forward: L Y = B.
+    for (int i = 0; i < n; ++i) {
+      const double* li = l_.RowPtr(i);
+      double* xi = b.RowPtr(i);
+      for (int k = 0; k < i; ++k) {
+        const double lik = li[k];
+        if (lik == 0.0) continue;
+        const double* xk = b.RowPtr(k);
+        for (int c = col_begin; c < col_end; ++c) xi[c] -= lik * xk[c];
+      }
+      const double inv = 1.0 / li[i];
+      for (int c = col_begin; c < col_end; ++c) xi[c] *= inv;
     }
-    const double inv = 1.0 / li[i];
-    for (int c = 0; c < k_cols; ++c) xi[c] *= inv;
-  }
-  // Backward substitution.
-  for (int i = n - 1; i >= 0; --i) {
-    double* xi = x.RowPtr(i);
-    for (int k = i + 1; k < n; ++k) {
-      const double lki = l_(k, i);
-      if (lki == 0.0) continue;
-      const double* xk = x.RowPtr(k);
-      for (int c = 0; c < k_cols; ++c) xi[c] -= lki * xk[c];
+    // Backward: Lᵀ X = Y.
+    for (int i = n - 1; i >= 0; --i) {
+      double* xi = b.RowPtr(i);
+      for (int k = i + 1; k < n; ++k) {
+        const double lki = l_(k, i);
+        if (lki == 0.0) continue;
+        const double* xk = b.RowPtr(k);
+        for (int c = col_begin; c < col_end; ++c) xi[c] -= lki * xk[c];
+      }
+      const double inv = 1.0 / l_(i, i);
+      for (int c = col_begin; c < col_end; ++c) xi[c] *= inv;
     }
-    const double inv = 1.0 / l_(i, i);
-    for (int c = 0; c < k_cols; ++c) xi[c] *= inv;
+  };
+  // Two triangular solves: ~2 n² flops per column. Every stripe re-streams
+  // the whole factor L, so the column range is split into exactly one
+  // contiguous stripe per thread (not the pool's finer default chunking,
+  // which would multiply L traffic by the chunk count).
+  const double flops = 2.0 * n * n * k_cols;
+  ThreadPool& pool = ThreadPool::Global();
+  const int stripes = std::min(pool.num_threads(), k_cols);
+  if (flops >= kPoolFlopThreshold && stripes >= 2) {
+    pool.ParallelFor(stripes, [&](int begin, int end) {
+      for (int s = begin; s < end; ++s) {
+        const int col_begin = static_cast<int>(
+            static_cast<long long>(k_cols) * s / stripes);
+        const int col_end = static_cast<int>(
+            static_cast<long long>(k_cols) * (s + 1) / stripes);
+        stripe(col_begin, col_end);
+      }
+    });
+  } else {
+    stripe(0, k_cols);
   }
-  return x;
 }
 
 double Cholesky::LogDet() const {

@@ -27,6 +27,11 @@ class Cholesky {
   Vector Solve(const Vector& b) const;
   /// Solves A X = B column-wise (B is n x k).
   Matrix Solve(const Matrix& b) const;
+  /// Solves A X = B overwriting `b` with the solution — the allocation-free
+  /// form the optimizer workspace uses. Column stripes split across the
+  /// thread pool for wide right-hand sides (columns are independent, so the
+  /// result is bit-identical across thread counts).
+  void SolveInPlace(Matrix& b) const;
 
   /// log(det(A)) from the factor diagonals (used in tests/diagnostics).
   double LogDet() const;

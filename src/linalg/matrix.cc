@@ -2,40 +2,172 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <sstream>
-#include <thread>
 #include <vector>
+
+#include "linalg/thread_pool.h"
 
 namespace wfm {
 namespace {
 
-/// Work size (output cells x inner length) above which the product kernels
-/// split across threads. Small products stay single-threaded: thread startup
-/// costs more than the multiply.
-constexpr double kParallelFlopThreshold = 4e6;
+/// Below this flop count the packed GEMM path is skipped entirely: for tiny
+/// products the packing traffic exceeds the multiply itself, so a scalar
+/// loop wins. Chosen so the unit-test sizes exercise both paths.
+constexpr double kPackedFlopThreshold = 32.0 * 1024;
 
-/// Runs fn(begin, end) over [0, total) split across hardware threads.
+/// Runs fn(begin, end) over [0, total) on the global pool when the work is
+/// large enough, inline otherwise.
 template <typename Fn>
-void ParallelFor(int total, double flops, Fn fn) {
-  const unsigned hw = std::thread::hardware_concurrency();
-  if (hw <= 1 || flops < kParallelFlopThreshold || total < 2) {
+void PoolParallelFor(int total, double flops, Fn&& fn) {
+  if (flops < kPoolFlopThreshold || total < 2) {
     fn(0, total);
     return;
   }
-  const int num_threads = static_cast<int>(std::min<unsigned>(hw, total));
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads - 1);
-  const int chunk = (total + num_threads - 1) / num_threads;
-  for (int t = 1; t < num_threads; ++t) {
-    const int begin = t * chunk;
-    const int end = std::min(total, begin + chunk);
-    if (begin >= end) break;
-    threads.emplace_back(fn, begin, end);
-  }
-  fn(0, std::min(total, chunk));
-  for (auto& th : threads) th.join();
+  ThreadPool::Global().ParallelFor(total, fn);
 }
+
+// ---- Packed, register-tiled GEMM core -------------------------------------
+//
+// C (m x n, row-major) += op(A) (m x k) * op(B) (k x n), where op is encoded
+// by the (row, col) strides of a ConstView — so the same core serves A*B,
+// AᵀB, and ABᵀ; strided access happens only inside the O(mk + kn) packing,
+// never in the O(mnk) inner loop.
+//
+// Blocking: k in panels of kKc, n in panels of kNc (the packed B panel then
+// stays cache-resident), and the m dimension in kMr-row micro-tiles that are
+// the unit of thread-pool parallelism. The micro-kernel accumulates a
+// kMr x kNr tile in registers over the whole k panel before touching C.
+
+constexpr int kMr = 4;    // Micro-tile rows.
+constexpr int kNr = 8;    // Micro-tile columns.
+// Panel sizes tuned empirically (perf_suite, 1024³ shapes): the B panel
+// (kKc * kNc doubles = 576 KiB) stays L2/L3-resident; larger panels lost
+// 10-20% on both the dev container and CI-class runners.
+constexpr int kKc = 192;  // k-panel depth (packed micro-panels span it).
+constexpr int kNc = 384;  // n-panel width.
+
+struct ConstView {
+  const double* p;
+  std::ptrdiff_t row_stride;
+  std::ptrdiff_t col_stride;
+  double at(int r, int c) const { return p[r * row_stride + c * col_stride]; }
+};
+
+/// Reused across calls so steady-state GEMMs allocate nothing. tl_pack_b
+/// grows to the largest kKc * kNc panel seen by this thread (at most 576 KiB);
+/// tl_pack_a holds every micro-panel of the current k panel (m/kMr tiles),
+/// packed once per k panel and reused across all n panels. Both belong to
+/// the dispatching thread; pool workers read them via captured pointers
+/// (writes are synchronized by the fork-join barrier between dispatches).
+thread_local std::vector<double> tl_pack_b;
+thread_local std::vector<double> tl_pack_a;
+
+/// Packs op(B)[kk : kk+kc, jj : jj+nc] as kNr-wide panels, each panel laid
+/// out k-major so the micro-kernel streams it unit-stride. Ragged right
+/// panels are zero-padded to kNr.
+void PackB(const ConstView& b, int kk, int kc, int jj, int nc, double* dst) {
+  for (int j0 = 0; j0 < nc; j0 += kNr) {
+    const int nr = std::min(kNr, nc - j0);
+    for (int p = 0; p < kc; ++p) {
+      for (int j = 0; j < nr; ++j) *dst++ = b.at(kk + p, jj + j0 + j);
+      for (int j = nr; j < kNr; ++j) *dst++ = 0.0;
+    }
+  }
+}
+
+/// Packs op(A)[i0 : i0+mr, kk : kk+kc] k-major, zero-padded to kMr rows.
+void PackA(const ConstView& a, int i0, int mr, int kk, int kc, double* dst) {
+  for (int p = 0; p < kc; ++p) {
+    for (int r = 0; r < mr; ++r) dst[p * kMr + r] = a.at(i0 + r, kk + p);
+    for (int r = mr; r < kMr; ++r) dst[p * kMr + r] = 0.0;
+  }
+}
+
+/// C[0:mr, 0:nr] += packed-A x packed-B over the k panel. The accumulator is
+/// always the full kMr x kNr tile (padding lanes multiply zeros), so the loop
+/// nest is fully unrollable; only the write-back respects the ragged edge.
+void MicroKernel(int kc, const double* pa, const double* pb, double* c,
+                 int ldc, int mr, int nr) {
+  double acc[kMr][kNr] = {};
+  for (int p = 0; p < kc; ++p) {
+    const double* a = pa + p * kMr;
+    const double* b = pb + p * kNr;
+    for (int r = 0; r < kMr; ++r) {
+      const double ar = a[r];
+      for (int j = 0; j < kNr; ++j) acc[r][j] += ar * b[j];
+    }
+  }
+  for (int r = 0; r < mr; ++r) {
+    double* crow = c + static_cast<std::ptrdiff_t>(r) * ldc;
+    for (int j = 0; j < nr; ++j) crow[j] += acc[r][j];
+  }
+}
+
+/// Scalar fallback for products too small to amortize packing. Same
+/// ascending-k accumulation order as the packed path.
+void GemmSmall(const ConstView& a, const ConstView& b, Matrix& c, int m, int n,
+               int k) {
+  for (int i = 0; i < m; ++i) {
+    double* crow = c.RowPtr(i);
+    for (int p = 0; p < k; ++p) {
+      const double aip = a.at(i, p);
+      if (aip == 0.0) continue;
+      for (int j = 0; j < n; ++j) crow[j] += aip * b.at(p, j);
+    }
+  }
+}
+
+/// c (pre-zeroed m x n) += op(a) * op(b). Bit-identical across thread counts:
+/// every output tile is produced by one thread, accumulating k panels in
+/// ascending order.
+void Gemm(const ConstView& a, const ConstView& b, Matrix& c, int m, int n,
+          int k) {
+  if (m == 0 || n == 0 || k == 0) return;
+  const double flops = static_cast<double>(m) * n * k;
+  if (flops < kPackedFlopThreshold) {
+    GemmSmall(a, b, c, m, n, k);
+    return;
+  }
+  const int ldc = c.cols();
+  const int row_tiles = (m + kMr - 1) / kMr;
+  for (int kk = 0; kk < k; kk += kKc) {
+    const int kc = std::min(kKc, k - kk);
+    tl_pack_a.resize(static_cast<std::size_t>(row_tiles) * kMr * kc);
+    double* pack_a = tl_pack_a.data();
+    for (int jj = 0; jj < n; jj += kNc) {
+      const int nc = std::min(kNc, n - jj);
+      const int panels = (nc + kNr - 1) / kNr;
+      tl_pack_b.resize(static_cast<std::size_t>(panels) * kc * kNr);
+      PackB(b, kk, kc, jj, nc, tl_pack_b.data());
+      const double* pack_b = tl_pack_b.data();
+
+      // A micro-panels are packed by whichever thread first owns the tile
+      // (jj == 0) and reused for the remaining n panels of this k panel.
+      const bool pack_a_pass = jj == 0;
+      auto tile_range = [&](int tile_begin, int tile_end) {
+        for (int t = tile_begin; t < tile_end; ++t) {
+          const int i0 = t * kMr;
+          const int mr = std::min(kMr, m - i0);
+          double* pa = pack_a + static_cast<std::size_t>(t) * kMr * kc;
+          if (pack_a_pass) PackA(a, i0, mr, kk, kc, pa);
+          double* ctile_row = c.RowPtr(i0) + jj;
+          for (int j0 = 0; j0 < nc; j0 += kNr) {
+            const int nr = std::min(kNr, nc - j0);
+            MicroKernel(kc, pa,
+                        pack_b + static_cast<std::size_t>(j0 / kNr) * kc * kNr,
+                        ctile_row + j0, ldc, mr, nr);
+          }
+        }
+      };
+      PoolParallelFor(row_tiles, flops, tile_range);
+    }
+  }
+}
+
+ConstView RowMajor(const Matrix& m) { return {m.data(), m.cols(), 1}; }
+ConstView Transposed(const Matrix& m) { return {m.data(), 1, m.cols()}; }
 
 }  // namespace
 
@@ -93,20 +225,9 @@ void Matrix::SetCol(int c, const Vector& v) {
 }
 
 Matrix Matrix::Transpose() const {
-  Matrix t(cols_, rows_);
   // Blocked transpose for cache friendliness on large matrices.
-  constexpr int kBlock = 32;
-  for (int rb = 0; rb < rows_; rb += kBlock) {
-    const int rmax = std::min(rb + kBlock, rows_);
-    for (int cb = 0; cb < cols_; cb += kBlock) {
-      const int cmax = std::min(cb + kBlock, cols_);
-      for (int r = rb; r < rmax; ++r) {
-        for (int c = cb; c < cmax; ++c) {
-          t(c, r) = (*this)(r, c);
-        }
-      }
-    }
-  }
+  Matrix t;
+  TransposeInto(*this, t);
   return t;
 }
 
@@ -119,14 +240,19 @@ Matrix Matrix::RowSlice(int begin, int end) const {
 }
 
 Vector Matrix::RowSums() const {
-  Vector sums(rows_, 0.0);
+  Vector sums;
+  RowSumsInto(sums);
+  return sums;
+}
+
+void Matrix::RowSumsInto(Vector& out) const {
+  out.resize(rows_);
   for (int r = 0; r < rows_; ++r) {
     const double* row = RowPtr(r);
     double s = 0.0;
     for (int c = 0; c < cols_; ++c) s += row[c];
-    sums[r] = s;
+    out[r] = s;
   }
-  return sums;
 }
 
 Vector Matrix::ColSums() const {
@@ -218,90 +344,107 @@ Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
 Matrix operator*(Matrix a, double s) { return a *= s; }
 Matrix operator*(double s, Matrix a) { return a *= s; }
 
-Matrix Multiply(const Matrix& a, const Matrix& b) {
+void MultiplyInto(const Matrix& a, const Matrix& b, Matrix& c) {
   WFM_CHECK_EQ(a.cols(), b.rows());
-  Matrix c(a.rows(), b.cols());
-  const int n = b.cols();
-  // i-k-j loop order: streams rows of B and C, vectorizes the inner loop.
-  // Output rows are independent, so they partition across threads.
-  const double flops = static_cast<double>(a.rows()) * a.cols() * n;
-  ParallelFor(a.rows(), flops, [&](int row_begin, int row_end) {
-    for (int i = row_begin; i < row_end; ++i) {
-      double* crow = c.RowPtr(i);
-      const double* arow = a.RowPtr(i);
-      for (int k = 0; k < a.cols(); ++k) {
-        const double aik = arow[k];
-        if (aik == 0.0) continue;
-        const double* brow = b.RowPtr(k);
-        for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
-    }
-  });
+  WFM_DCHECK(&c != &a && &c != &b);
+  c.Resize(a.rows(), b.cols());
+  Gemm(RowMajor(a), RowMajor(b), c, a.rows(), b.cols(), a.cols());
+}
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MultiplyInto(a, b, c);
   return c;
+}
+
+void MultiplyATBInto(const Matrix& a, const Matrix& b, Matrix& c) {
+  WFM_CHECK_EQ(a.rows(), b.rows());
+  WFM_DCHECK(&c != &a && &c != &b);
+  c.Resize(a.cols(), b.cols());
+  Gemm(Transposed(a), RowMajor(b), c, a.cols(), b.cols(), a.rows());
 }
 
 Matrix MultiplyATB(const Matrix& a, const Matrix& b) {
-  WFM_CHECK_EQ(a.rows(), b.rows());
-  Matrix c(a.cols(), b.cols());
-  const int n = b.cols();
-  // For each shared row k, C += a_kᵀ b_k (rank-1 update); streams all inputs.
-  // Threads partition the *output rows* (columns of A) so no two threads
-  // write the same cell; each still streams the full A and B once.
-  const double flops = static_cast<double>(a.rows()) * a.cols() * n;
-  ParallelFor(a.cols(), flops, [&](int out_begin, int out_end) {
-    for (int k = 0; k < a.rows(); ++k) {
-      const double* arow = a.RowPtr(k);
-      const double* brow = b.RowPtr(k);
-      for (int i = out_begin; i < out_end; ++i) {
-        const double aki = arow[i];
-        if (aki == 0.0) continue;
-        double* crow = c.RowPtr(i);
-        for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
-      }
-    }
-  });
+  Matrix c;
+  MultiplyATBInto(a, b, c);
   return c;
+}
+
+void MultiplyABTInto(const Matrix& a, const Matrix& b, Matrix& c) {
+  WFM_CHECK_EQ(a.cols(), b.cols());
+  WFM_DCHECK(&c != &a && &c != &b);
+  c.Resize(a.rows(), b.rows());
+  Gemm(RowMajor(a), Transposed(b), c, a.rows(), b.rows(), a.cols());
 }
 
 Matrix MultiplyABT(const Matrix& a, const Matrix& b) {
-  WFM_CHECK_EQ(a.cols(), b.cols());
-  Matrix c(a.rows(), b.rows());
-  const int k_len = a.cols();
-  for (int i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    double* crow = c.RowPtr(i);
-    for (int j = 0; j < b.rows(); ++j) {
-      const double* brow = b.RowPtr(j);
-      double s = 0.0;
-      for (int k = 0; k < k_len; ++k) s += arow[k] * brow[k];
-      crow[j] = s;
-    }
-  }
+  Matrix c;
+  MultiplyABTInto(a, b, c);
   return c;
 }
 
-Vector MultiplyVec(const Matrix& a, const Vector& x) {
+void MultiplyVecInto(const Matrix& a, const Vector& x, Vector& y) {
   WFM_CHECK_EQ(a.cols(), static_cast<int>(x.size()));
-  Vector y(a.rows(), 0.0);
-  for (int i = 0; i < a.rows(); ++i) {
-    const double* row = a.RowPtr(i);
-    double s = 0.0;
-    for (int j = 0; j < a.cols(); ++j) s += row[j] * x[j];
-    y[i] = s;
-  }
+  WFM_DCHECK(&y != &x);
+  y.resize(a.rows());
+  const double* xp = x.data();
+  const int n = a.cols();
+  const double flops = static_cast<double>(a.rows()) * n;
+  PoolParallelFor(a.rows(), flops, [&](int row_begin, int row_end) {
+    for (int i = row_begin; i < row_end; ++i) {
+      const double* row = a.RowPtr(i);
+      double s = 0.0;
+      for (int j = 0; j < n; ++j) s += row[j] * xp[j];
+      y[i] = s;
+    }
+  });
+}
+
+Vector MultiplyVec(const Matrix& a, const Vector& x) {
+  Vector y;
+  MultiplyVecInto(a, x, y);
   return y;
 }
 
-Vector MultiplyTVec(const Matrix& a, const Vector& x) {
+void MultiplyTVecInto(const Matrix& a, const Vector& x, Vector& y) {
   WFM_CHECK_EQ(a.rows(), static_cast<int>(x.size()));
-  Vector y(a.cols(), 0.0);
-  for (int i = 0; i < a.rows(); ++i) {
-    const double xi = x[i];
-    if (xi == 0.0) continue;
-    const double* row = a.RowPtr(i);
-    for (int j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
-  }
+  WFM_DCHECK(&y != &x);
+  y.assign(a.cols(), 0.0);
+  const int rows = a.rows();
+  const double flops = static_cast<double>(rows) * a.cols();
+  // Threads own disjoint output-column ranges; each streams only its column
+  // stripe of A, so A is read once in total.
+  PoolParallelFor(a.cols(), flops, [&](int col_begin, int col_end) {
+    for (int i = 0; i < rows; ++i) {
+      const double xi = x[i];
+      if (xi == 0.0) continue;
+      const double* row = a.RowPtr(i);
+      for (int j = col_begin; j < col_end; ++j) y[j] += xi * row[j];
+    }
+  });
+}
+
+Vector MultiplyTVec(const Matrix& a, const Vector& x) {
+  Vector y;
+  MultiplyTVecInto(a, x, y);
   return y;
+}
+
+void TransposeInto(const Matrix& a, Matrix& out) {
+  WFM_DCHECK(&out != &a);
+  out.ResizeUninitialized(a.cols(), a.rows());
+  constexpr int kBlock = 32;
+  for (int rb = 0; rb < a.rows(); rb += kBlock) {
+    const int rmax = std::min(rb + kBlock, a.rows());
+    for (int cb = 0; cb < a.cols(); cb += kBlock) {
+      const int cmax = std::min(cb + kBlock, a.cols());
+      for (int r = rb; r < rmax; ++r) {
+        for (int c = cb; c < cmax; ++c) {
+          out(c, r) = a(r, c);
+        }
+      }
+    }
+  }
 }
 
 void ScaleRows(Matrix& a, const Vector& s) {

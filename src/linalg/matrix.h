@@ -30,6 +30,28 @@ class Matrix {
     WFM_CHECK_GE(cols, 0);
   }
 
+  /// Reshapes to rows x cols and zero-fills, reusing the existing capacity
+  /// when it suffices. The workspace-based kernels (*Into) use this so a
+  /// buffer sized once on warm-up never reallocates in steady state.
+  void Resize(int rows, int cols) {
+    WFM_CHECK_GE(rows, 0);
+    WFM_CHECK_GE(cols, 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<std::size_t>(rows) * cols, 0.0);
+  }
+
+  /// Resize without the zero-fill pass: contents are unspecified. For
+  /// consumers that overwrite every element anyway (transpose targets,
+  /// gradient buffers) — skips a full-matrix write in the optimizer loop.
+  void ResizeUninitialized(int rows, int cols) {
+    WFM_CHECK_GE(rows, 0);
+    WFM_CHECK_GE(cols, 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<std::size_t>(rows) * cols);
+  }
+
   /// Creates a matrix from nested initializer lists (test convenience):
   ///   Matrix m{{1, 2}, {3, 4}};
   Matrix(std::initializer_list<std::initializer_list<double>> rows);
@@ -71,6 +93,8 @@ class Matrix {
   Matrix RowSlice(int begin, int end) const;
 
   Vector RowSums() const;
+  /// Allocation-free variant: writes the row sums into `out` (resized).
+  void RowSumsInto(Vector& out) const;
   Vector ColSums() const;
   Vector DiagonalVector() const;
 
@@ -101,17 +125,43 @@ Matrix operator-(Matrix a, const Matrix& b);
 Matrix operator*(Matrix a, double s);
 Matrix operator*(double s, Matrix a);
 
+// ---- Product kernels ------------------------------------------------------
+//
+// All three dense products share one register-tiled, cache-blocked GEMM core:
+// panels of B (and the transposed operand, where one is involved) are packed
+// into contiguous buffers so the k-loop streams unit-stride regardless of the
+// product flavor, and 4x8 output tiles accumulate in registers instead of
+// re-writing C rows per k step. Large products split row tiles across the
+// persistent ThreadPool (linalg/thread_pool.h); results are bit-identical
+// across thread counts because each output tile is computed by exactly one
+// thread in a fixed k order. Small products take a scalar fast path — packing
+// overhead would dominate.
+//
+// The *Into variants write into a caller-owned matrix/vector (resized,
+// capacity reused) and perform no heap allocation in steady state beyond a
+// thread-local packing buffer that grows once; they are the building blocks
+// of the optimizer's zero-allocation inner loop. The output must not alias
+// either input. Value-returning forms are thin wrappers.
+
 /// C = A * B.
 Matrix Multiply(const Matrix& a, const Matrix& b);
-/// C = Aᵀ * B without materializing Aᵀ (streaming-friendly kernel).
+void MultiplyInto(const Matrix& a, const Matrix& b, Matrix& c);
+/// C = Aᵀ * B without materializing Aᵀ.
 Matrix MultiplyATB(const Matrix& a, const Matrix& b);
+void MultiplyATBInto(const Matrix& a, const Matrix& b, Matrix& c);
 /// C = A * Bᵀ without materializing Bᵀ.
 Matrix MultiplyABT(const Matrix& a, const Matrix& b);
+void MultiplyABTInto(const Matrix& a, const Matrix& b, Matrix& c);
 
-/// y = A x.
+/// y = A x. Rows split across the thread pool for large matrices.
 Vector MultiplyVec(const Matrix& a, const Vector& x);
-/// y = Aᵀ x.
+void MultiplyVecInto(const Matrix& a, const Vector& x, Vector& y);
+/// y = Aᵀ x. Output columns split across the thread pool for large matrices.
 Vector MultiplyTVec(const Matrix& a, const Vector& x);
+void MultiplyTVecInto(const Matrix& a, const Vector& x, Vector& y);
+
+/// out = aᵀ (blocked transpose into a caller-owned matrix, resized).
+void TransposeInto(const Matrix& a, Matrix& out);
 
 /// Scales row r of `a` by s[r] in place (equivalent to Diag(s) * A).
 void ScaleRows(Matrix& a, const Vector& s);

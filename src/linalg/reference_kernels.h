@@ -1,0 +1,37 @@
+// The pre-tiling product kernels, retained verbatim as a baseline.
+//
+// These are the exact scalar loops (and the per-call std::thread splitting)
+// that matrix.cc shipped before the tiled/pooled kernel layer. They serve two
+// purposes:
+//   - tests/matrix_kernels_test.cc validates the tiled kernels against them
+//     on ragged and tail-size shapes, and
+//   - bench/perf_suite.cc times them side by side with the current kernels so
+//     BENCH_perf.json records the speedup over the pre-PR implementation on
+//     every run.
+//
+// They are compiled into wfm_linalg but are not part of the public API
+// surface (nothing in src/ outside the linalg tests should call them).
+
+#ifndef WFM_LINALG_REFERENCE_KERNELS_H_
+#define WFM_LINALG_REFERENCE_KERNELS_H_
+
+#include "linalg/matrix.h"
+
+namespace wfm {
+namespace reference {
+
+/// C = A * B (i-k-j scalar loops, per-call thread splitting above 4e6 flops).
+Matrix Multiply(const Matrix& a, const Matrix& b);
+/// C = Aᵀ * B (rank-1 update loops, per-call thread splitting).
+Matrix MultiplyATB(const Matrix& a, const Matrix& b);
+/// C = A * Bᵀ (row-dot loops, single-threaded).
+Matrix MultiplyABT(const Matrix& a, const Matrix& b);
+/// y = A x (single-threaded).
+Vector MultiplyVec(const Matrix& a, const Vector& x);
+/// y = Aᵀ x (single-threaded).
+Vector MultiplyTVec(const Matrix& a, const Vector& x);
+
+}  // namespace reference
+}  // namespace wfm
+
+#endif  // WFM_LINALG_REFERENCE_KERNELS_H_

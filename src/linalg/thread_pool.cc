@@ -1,0 +1,103 @@
+#include "linalg/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace wfm {
+namespace {
+
+std::atomic<ThreadPool*> g_injected{nullptr};
+
+int ThreadCountFromEnv() {
+  const char* env = std::getenv("WFM_NUM_THREADS");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 0;  // Fall through to hardware_concurrency.
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = num_threads;
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0) n = 1;
+  }
+  workers_.reserve(n - 1);
+  for (int i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunChunks() {
+  for (;;) {
+    const int begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= total_) return;
+    fn_(ctx_, begin, std::min(total_, begin + chunk_));
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    lk.unlock();
+    RunChunks();
+    lk.lock();
+    if (--active_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::Dispatch(int total, RangeFn fn, void* ctx) {
+  if (total <= 0) return;
+  // Inline when splitting cannot help or the pool is busy (which also makes
+  // nested ParallelFor calls from inside a task safe).
+  if (total == 1 || workers_.empty() || !dispatch_mu_.try_lock()) {
+    fn(ctx, 0, total);
+    return;
+  }
+  std::lock_guard<std::mutex> dispatch_lk(dispatch_mu_, std::adopt_lock);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_ = fn;
+    ctx_ = ctx;
+    total_ = total;
+    // A few chunks per thread balances uneven ranges without contending on
+    // the chunk counter.
+    chunk_ = std::max(1, total / (4 * num_threads()));
+    next_.store(0, std::memory_order_relaxed);
+    active_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunChunks();
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return active_ == 0; });
+}
+
+ThreadPool& ThreadPool::Global() {
+  ThreadPool* injected = g_injected.load(std::memory_order_acquire);
+  if (injected != nullptr) return *injected;
+  static ThreadPool pool(ThreadCountFromEnv());
+  return pool;
+}
+
+void ThreadPool::SetGlobal(ThreadPool* pool) {
+  g_injected.store(pool, std::memory_order_release);
+}
+
+}  // namespace wfm

@@ -1,0 +1,110 @@
+// Persistent worker-thread pool for the dense linear-algebra kernels.
+//
+// The product kernels used to spawn fresh std::threads on every call; for the
+// optimizer — thousands of GEMMs per Optimize() — the spawn/join cost and the
+// cold stacks dominated at mid sizes. This pool starts its workers once and
+// parks them on a condition variable between calls.
+//
+// Usage model:
+//   - Kernels call ThreadPool::Global().ParallelFor(total, fn). The global
+//     pool is created lazily on first use with WFM_NUM_THREADS threads (the
+//     environment knob; unset or 0 means std::thread::hardware_concurrency).
+//   - Tests and embedders can construct their own instance and inject it with
+//     ThreadPool::SetGlobal(&pool) (non-owning; nullptr restores the default).
+//   - ParallelFor is a blocking fork-join: fn(begin, end) partitions [0,
+//     total) into chunks claimed from an atomic counter, the calling thread
+//     participates, and the call returns only when every chunk has run.
+//   - The pool never allocates per call and never wraps fn in std::function,
+//     so kernels on the optimizer's zero-allocation path can use it freely.
+//   - Nested or concurrent ParallelFor calls are safe: if the pool is already
+//     busy (or has no workers), the caller simply runs its range inline.
+
+#ifndef WFM_LINALG_THREAD_POOL_H_
+#define WFM_LINALG_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace wfm {
+
+/// Work size (output cells x inner length, i.e. flops) above which the
+/// linalg kernels split across the pool; below it, dispatch latency costs
+/// more than the work. Shared by the GEMM core, the matvecs, and the
+/// Cholesky stripe solves so the kernels agree on when to go parallel.
+inline constexpr double kPoolFlopThreshold = 4e6;
+
+class ThreadPool {
+ public:
+  /// Starts num_threads - 1 workers (the caller of ParallelFor is the extra
+  /// thread). num_threads <= 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total worker count including the calling thread.
+  int num_threads() const { return 1 + static_cast<int>(workers_.size()); }
+
+  /// Runs fn(begin, end) over a partition of [0, total) and blocks until all
+  /// of it has executed. fn must be safe to call concurrently on disjoint
+  /// ranges. Runs inline when total <= 1, when the pool has no workers, or
+  /// when the pool is already mid-dispatch (nested/concurrent callers).
+  template <typename Fn>
+  void ParallelFor(int total, Fn&& fn) {
+    using Decayed = std::remove_reference_t<Fn>;
+    Dispatch(
+        total,
+        [](void* ctx, int begin, int end) {
+          (*static_cast<Decayed*>(ctx))(begin, end);
+        },
+        &fn);
+  }
+
+  /// The process-wide pool used by the matrix kernels. Created lazily on
+  /// first use; honors the WFM_NUM_THREADS environment variable.
+  static ThreadPool& Global();
+
+  /// Injects a replacement for Global() (not owned; pass nullptr to restore
+  /// the default). Intended for tests that pin the thread count.
+  static void SetGlobal(ThreadPool* pool);
+
+ private:
+  using RangeFn = void (*)(void* ctx, int begin, int end);
+
+  void Dispatch(int total, RangeFn fn, void* ctx);
+  void WorkerLoop();
+  /// Claims and runs chunks of the current task until none remain.
+  void RunChunks();
+
+  std::vector<std::thread> workers_;
+
+  /// Serializes dispatches; acquired with try_lock so busy pools degrade to
+  /// inline execution instead of queueing (or deadlocking on nested calls).
+  std::mutex dispatch_mu_;
+
+  /// Guards the task fields and the wake/done handshake below.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  ///< Bumped per dispatch to wake workers.
+  int active_ = 0;                ///< Workers still inside the current task.
+  bool stop_ = false;
+
+  // Current task. Written under mu_ by Dispatch before the generation bump,
+  // read by workers after observing the bump under mu_ (happens-before).
+  RangeFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  int total_ = 0;
+  int chunk_ = 1;
+  std::atomic<int> next_{0};
+};
+
+}  // namespace wfm
+
+#endif  // WFM_LINALG_THREAD_POOL_H_

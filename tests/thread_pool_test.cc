@@ -1,0 +1,93 @@
+// ThreadPool correctness and determinism under concurrency; runs in the tsan
+// CI job (with matrix_kernels_test) to certify the fork-join handshake.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "linalg/thread_pool.h"
+
+namespace wfm {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const int total = 10000;
+  std::vector<std::atomic<int>> hits(total);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(total, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (int i = 0; i < total; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int sum = 0;  // No synchronization needed: everything runs on this thread.
+  pool.ParallelFor(100, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingletonRangesWork) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](int, int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.ParallelFor(1, [&](int begin, int end) {
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 1);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(8, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      // The pool is mid-dispatch, so this must degrade to inline execution.
+      pool.ParallelFor(10, [&](int b, int e) { inner_total.fetch_add(e - b); });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersShareOnePool) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 50;
+  constexpr int kRange = 1000;
+  std::atomic<long> grand_total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::atomic<int> local{0};
+        pool.ParallelFor(kRange,
+                         [&](int b, int e) { local.fetch_add(e - b); });
+        grand_total.fetch_add(local.load());
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(grand_total.load(), static_cast<long>(kCallers) * kRounds * kRange);
+}
+
+TEST(ThreadPoolTest, GlobalIsInjectable) {
+  ThreadPool mine(2);
+  ThreadPool::SetGlobal(&mine);
+  EXPECT_EQ(&ThreadPool::Global(), &mine);
+  ThreadPool::SetGlobal(nullptr);
+  EXPECT_NE(&ThreadPool::Global(), &mine);
+}
+
+}  // namespace
+}  // namespace wfm
