@@ -1,41 +1,114 @@
 #include "api/plan.h"
 
+#include <cmath>
 #include <utility>
 
 #include "common/check.h"
 #include "core/strategy.h"
 
 namespace wfm {
+namespace {
+
+/// Shape validation for reports arriving from untrusted devices, shared by
+/// the serial PlanServer and the concurrent PlanSession so both serving
+/// surfaces reject the same malformed inputs instead of aborting. `kind` is
+/// the deployment's report kind; a report of any other shape is rejected
+/// before it can reach a kind-checking abort (or silently skew a histogram).
+Status ValidateReport(const Report& report, int m, ReportKind kind) {
+  const ReportKind shape = report.is_bits()    ? ReportKind::kBitVector
+                           : report.is_dense() ? ReportKind::kDense
+                                               : ReportKind::kCategorical;
+  if (shape != kind) {
+    return Status::InvalidArgument(
+        std::string("report shape is ") + KindName(shape) +
+        ", deployment expects " + KindName(kind));
+  }
+  if (report.is_bits()) {
+    if (static_cast<int>(report.bits.size()) != m) {
+      return Status::InvalidArgument(
+          "bit-vector report has dimension " +
+          std::to_string(report.bits.size()) + ", deployment expects m = " +
+          std::to_string(m));
+    }
+    for (int o = 0; o < m; ++o) {
+      if (report.bits[o] > 1) {
+        return Status::InvalidArgument(
+            "bit-vector report entry out of range: " +
+            std::to_string(static_cast<int>(report.bits[o])) +
+            " at coordinate " + std::to_string(o));
+      }
+    }
+  } else if (report.is_dense()) {
+    if (static_cast<int>(report.dense.size()) != m) {
+      return Status::InvalidArgument(
+          "dense report has dimension " + std::to_string(report.dense.size()) +
+          ", deployment expects m = " + std::to_string(m));
+    }
+    for (int o = 0; o < m; ++o) {
+      // One NaN/Inf entry would poison the aggregate for every later
+      // estimate, so non-finite reports are as malformed as wrong-size ones.
+      if (!std::isfinite(report.dense[o])) {
+        return Status::InvalidArgument(
+            "dense report entry is not finite at coordinate " +
+            std::to_string(o));
+      }
+    }
+  } else if (report.index < 0 || report.index >= m) {
+    return Status::InvalidArgument(
+        "response out of range: " + std::to_string(report.index) +
+        " for m = " + std::to_string(m));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 PlanBuilder Plan::For(std::shared_ptr<const Workload> workload) {
   return PlanBuilder(std::move(workload));
 }
 
-std::unique_ptr<PlanSession> Plan::StartSession(int num_shards) const {
-  const ReportKind kind = deployment_.reporter->dense_reports()
-                              ? ReportKind::kDense
-                              : ReportKind::kCategorical;
-  // PlanSession's constructor is private; the session pins an internal
-  // pointer (server -> session), hence the unique_ptr.
-  return std::unique_ptr<PlanSession>(
-      new PlanSession(deployment_.decoder, workload_, num_shards, kind));
+ReportKind Plan::report_kind() const {
+  return deployment_.reporter->bit_vector_reports() ? ReportKind::kBitVector
+         : deployment_.reporter->dense_reports()    ? ReportKind::kDense
+                                                    : ReportKind::kCategorical;
 }
 
-void PlanServer::Accept(const Report& report) {
-  if (report.is_dense()) {
-    WFM_CHECK_EQ(static_cast<int>(report.dense.size()), decoder_.m());
-    for (int o = 0; o < decoder_.m(); ++o) aggregate_[o] += report.dense[o];
+std::unique_ptr<PlanSession> Plan::StartSession(int num_shards) const {
+  // PlanSession's constructor is private; the session pins an internal
+  // pointer (server -> session), hence the unique_ptr.
+  return std::unique_ptr<PlanSession>(new PlanSession(
+      deployment_.decoder, workload_, num_shards, report_kind()));
+}
+
+Status PlanServer::Accept(const Report& report) {
+  const int m = decoder_.m();
+  if (Status valid = ValidateReport(report, m, kind_); !valid.ok()) {
+    return valid;
+  }
+  if (report.is_bits()) {
+    for (int o = 0; o < m; ++o) aggregate_[o] += report.bits[o];
+  } else if (report.is_dense()) {
+    for (int o = 0; o < m; ++o) aggregate_[o] += report.dense[o];
   } else {
-    WFM_CHECK(report.index >= 0 && report.index < decoder_.m())
-        << "response out of range:" << report.index
-        << "for m =" << decoder_.m();
     aggregate_[report.index] += 1.0;
   }
   ++count_;
+  return Status::Ok();
+}
+
+Status PlanSession::Accept(int shard, const Report& report) {
+  if (Status valid = ValidateReport(report, session_.num_outputs(),
+                                    session_.report_kind());
+      !valid.ok()) {
+    return valid;
+  }
+  session_.Accept(shard, report);
+  return Status::Ok();
 }
 
 WorkloadEstimate PlanServer::Estimate(EstimatorKind kind) const {
-  return EstimateWorkloadAnswers(decoder_, *workload_, aggregate_, kind);
+  return EstimateWorkloadAnswers(decoder_, *workload_, aggregate_, count_,
+                                 kind);
 }
 
 StatusOr<Plan> PlanBuilder::Build() const {

@@ -16,8 +16,9 @@
 //                             sharded over k workers + cached EstimateServer
 //
 // Mechanism names resolve through MechanismRegistry::Global(), so every
-// registered mechanism — the six Section 6.1 baselines, "Optimized", and
-// anything user-registered — deploys through the same three calls.
+// registered mechanism — the six Section 6.1 baselines, "Optimized", the
+// "RAPPOR"/"OUE" frequency oracles, and anything user-registered — deploys
+// through the same three calls.
 // Mechanism(Auto()) cross-evaluates the whole registry against the workload
 // (Section 6.1) and picks the minimum-variance entry. All runtime-reachable
 // failures (unknown name, unsupported domain shape, workload outside a
@@ -63,6 +64,8 @@ class PlanClient {
   int num_types() const { return reporter_->num_types(); }
   /// True when reports are dense vectors (additive mechanisms).
   bool dense_reports() const { return reporter_->dense_reports(); }
+  /// True when reports are n-bit vectors (RAPPOR/OUE frequency oracles).
+  bool bit_vector_reports() const { return reporter_->bit_vector_reports(); }
 
   /// One user's privatized report.
   Report Respond(int user_type, Rng& rng) const {
@@ -83,12 +86,17 @@ class PlanClient {
 /// Plan::StartSession for the concurrent epoch-based service.
 class PlanServer {
  public:
-  /// Accumulates one report (either shape; aborts on corrupt reports, the
-  /// same contract as the collect/ ingestion path).
-  void Accept(const Report& report);
+  /// Accumulates one report. Reports arrive from untrusted devices, so
+  /// malformed ones — a shape that does not match the deployment's report
+  /// kind, a dense or bit-vector report whose dimension mismatches the
+  /// deployment's m, a bit entry outside {0, 1}, an out-of-range categorical
+  /// index — are rejected with kInvalidArgument and leave the aggregate
+  /// untouched, rather than aborting the server.
+  Status Accept(const Report& report);
 
   /// Current m-dimensional aggregate (response histogram / report sum).
   const Vector& aggregate() const { return aggregate_; }
+  /// Reports accepted so far — the N that affine decoders debias against.
   std::int64_t num_reports() const { return count_; }
 
   /// Workload answers from everything accepted so far.
@@ -96,13 +104,16 @@ class PlanServer {
 
  private:
   friend class Plan;
-  PlanServer(ReportDecoder decoder, std::shared_ptr<const Workload> workload)
+  PlanServer(ReportDecoder decoder, std::shared_ptr<const Workload> workload,
+             ReportKind kind)
       : decoder_(std::move(decoder)),
         workload_(std::move(workload)),
+        kind_(kind),
         aggregate_(decoder_.m(), 0.0) {}
 
   ReportDecoder decoder_;
   std::shared_ptr<const Workload> workload_;
+  ReportKind kind_;
   Vector aggregate_;
   std::int64_t count_ = 0;
 };
@@ -112,9 +123,13 @@ class PlanServer {
 /// deployment. Create via Plan::StartSession.
 class PlanSession {
  public:
-  /// Ingests one report on the given shard; thread-safe.
-  void Accept(int shard, const Report& report) { session_.Accept(shard, report); }
-  /// Categorical batched hot path.
+  /// Ingests one report on the given shard; thread-safe. Same contract as
+  /// PlanServer::Accept: malformed reports from untrusted devices are
+  /// rejected with kInvalidArgument (never ingested), not a process abort.
+  /// Shard ids are caller-controlled, so an out-of-range shard still aborts.
+  Status Accept(int shard, const Report& report);
+  /// Categorical batched hot path (trusted, pre-validated streams; aborts on
+  /// out-of-range responses like the collect/ ingestion contract).
   void AcceptBatch(int shard, std::span<const int> responses) {
     session_.Accept(shard, responses);
   }
@@ -177,9 +192,12 @@ class Plan {
     return num_users * Profile().WorstUnitVariance();
   }
 
+  /// Report shape this deployment's clients emit and its servers ingest.
+  ReportKind report_kind() const;
+
   PlanClient Client() const { return PlanClient(deployment_.reporter); }
   PlanServer Server() const {
-    return PlanServer(deployment_.decoder, workload_);
+    return PlanServer(deployment_.decoder, workload_, report_kind());
   }
   std::unique_ptr<PlanSession> StartSession(int num_shards) const;
 

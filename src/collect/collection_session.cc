@@ -42,8 +42,16 @@ void CollectionSession::AcceptDense(int shard, std::span<const double> report) {
   active_->AddDense(shard, report);
 }
 
+void CollectionSession::AcceptBits(int shard,
+                                   std::span<const std::uint8_t> report) {
+  std::shared_lock<std::shared_mutex> lock(ingest_mutex_);
+  active_->AddBits(shard, report);
+}
+
 void CollectionSession::Accept(int shard, const Report& report) {
-  if (report.is_dense()) {
+  if (report.is_bits()) {
+    AcceptBits(shard, report.bits);
+  } else if (report.is_dense()) {
     AcceptDense(shard, report.dense);
   } else {
     Accept(shard, report.index);

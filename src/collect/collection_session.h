@@ -14,16 +14,25 @@
 // report participates in at most one epoch.
 //
 // A session ingests whatever report shape its mechanism emits
-// (ldp/reporter.h): categorical response indices for strategy mechanisms, or
-// dense m-vectors for additive ones. api/Plan::StartSession wires a
-// mechanism's Deployment into a session + EstimateServer pair.
+// (ldp/reporter.h): categorical response indices for strategy mechanisms,
+// dense m-vectors for additive ones, or n-bit vectors for unary-encoding
+// frequency oracles (RAPPOR/OUE). api/Plan::StartSession wires a mechanism's
+// Deployment into a session + EstimateServer pair.
 //
-// Concurrency contract: Accept()/AcceptDense() may be called from any number
-// of threads (each worker passing its own shard id keeps shards
-// contention-free, but any shard id is safe); Seal(), snapshot accessors,
-// and WindowTotal() may run concurrently with ingestion. A reader/writer
-// lock around the active aggregator makes the epoch cut exact: Seal() waits
-// for in-flight batches, so every report lands in exactly one epoch.
+// Each EpochSnapshot carries the exact report count of its epoch alongside
+// the histogram. For linear decoders the count is bookkeeping; for affine
+// decoders it is load-bearing — the debias x̂ = (y − N·q)/(p − q) needs the
+// N behind each aggregate, so the epoch cut must assign every report's
+// histogram contribution and its count increment to the same epoch (which
+// the exclusive seal section guarantees).
+//
+// Concurrency contract: Accept()/AcceptDense()/AcceptBits() may be called
+// from any number of threads (each worker passing its own shard id keeps
+// shards contention-free, but any shard id is safe); Seal(), snapshot
+// accessors, and WindowTotal() may run concurrently with ingestion. A
+// reader/writer lock around the active aggregator makes the epoch cut exact:
+// Seal() waits for in-flight batches, so every report lands in exactly one
+// epoch.
 
 #ifndef WFM_COLLECT_COLLECTION_SESSION_H_
 #define WFM_COLLECT_COLLECTION_SESSION_H_
@@ -80,8 +89,11 @@ class CollectionSession {
   /// Ingests one dense m-vector report (kDense sessions).
   void AcceptDense(int shard, std::span<const double> report);
 
-  /// Ingests one report of either shape (dispatches on Report::is_dense();
-  /// the shape must match the session's report_kind()).
+  /// Ingests one m-bit report (kBitVector sessions).
+  void AcceptBits(int shard, std::span<const std::uint8_t> report);
+
+  /// Ingests one report of any shape (dispatches on Report::is_bits() /
+  /// is_dense(); the shape must match the session's report_kind()).
   void Accept(int shard, const Report& report);
 
   /// Freezes the current epoch and starts a new one. Returns the sealed

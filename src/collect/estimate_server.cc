@@ -34,8 +34,11 @@ StatusOr<WorkloadEstimate> EstimateServer::ServeWindow(int window,
   const auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
   ++solves_;
-  WorkloadEstimate estimate = EstimateWorkloadAnswers(
-      session_->decoder(), session_->workload(), total.histogram, kind);
+  // The window total carries the exact report count of the summed epochs,
+  // which affine decoders (RAPPOR/OUE) need to debias the aggregate.
+  WorkloadEstimate estimate =
+      EstimateWorkloadAnswers(session_->decoder(), session_->workload(),
+                              total.histogram, total.count, kind);
   cache_.emplace(key, estimate);
   return estimate;
 }

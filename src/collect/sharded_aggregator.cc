@@ -16,6 +16,18 @@ void AtomicAdd(std::atomic<double>& target, double value) {
 
 }  // namespace
 
+const char* KindName(ReportKind kind) {
+  switch (kind) {
+    case ReportKind::kCategorical:
+      return "categorical";
+    case ReportKind::kDense:
+      return "dense";
+    case ReportKind::kBitVector:
+      return "bit-vector";
+  }
+  return "unknown";
+}
+
 ShardedAggregator::ShardedAggregator(int num_outputs, int num_shards,
                                      ReportKind kind)
     : num_outputs_(num_outputs), kind_(kind) {
@@ -41,7 +53,7 @@ const ShardedAggregator::Shard& ShardedAggregator::GetShard(int shard) const {
 
 void ShardedAggregator::Add(int shard, int response) {
   WFM_CHECK(kind_ == ReportKind::kCategorical)
-      << "categorical Add on a dense aggregator";
+      << "categorical Add on a" << KindName(kind_) << "aggregator";
   Shard& s = GetShard(shard);
   WFM_CHECK(response >= 0 && response < num_outputs_)
       << "response out of range:" << response << "for m =" << num_outputs_;
@@ -51,7 +63,7 @@ void ShardedAggregator::Add(int shard, int response) {
 
 void ShardedAggregator::AddBatch(int shard, std::span<const int> responses) {
   WFM_CHECK(kind_ == ReportKind::kCategorical)
-      << "categorical AddBatch on a dense aggregator";
+      << "categorical AddBatch on a" << KindName(kind_) << "aggregator";
   // Below this size the scratch histogram costs more than it saves.
   constexpr std::size_t kScatterThreshold = 16;
   Shard& s = GetShard(shard);
@@ -80,7 +92,7 @@ void ShardedAggregator::AddBatch(int shard, std::span<const int> responses) {
 
 void ShardedAggregator::AddDense(int shard, std::span<const double> report) {
   WFM_CHECK(kind_ == ReportKind::kDense)
-      << "dense AddDense on a categorical aggregator";
+      << "dense AddDense on a" << KindName(kind_) << "aggregator";
   Shard& s = GetShard(shard);
   WFM_CHECK_EQ(static_cast<int>(report.size()), num_outputs_);
   for (int o = 0; o < num_outputs_; ++o) {
@@ -89,10 +101,25 @@ void ShardedAggregator::AddDense(int shard, std::span<const double> report) {
   s.total.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ShardedAggregator::AddBits(int shard, std::span<const std::uint8_t> report) {
+  WFM_CHECK(kind_ == ReportKind::kBitVector)
+      << "bit-vector AddBits on a" << KindName(kind_) << "aggregator";
+  Shard& s = GetShard(shard);
+  WFM_CHECK_EQ(static_cast<int>(report.size()), num_outputs_);
+  for (int o = 0; o < num_outputs_; ++o) {
+    const std::uint8_t bit = report[o];
+    WFM_CHECK_LE(bit, 1) << "bit report entry out of range:"
+                         << static_cast<int>(bit) << "at coordinate" << o;
+    if (bit != 0) s.counts[o].fetch_add(1, std::memory_order_relaxed);
+  }
+  // One n-bit report is one user; the total feeds the affine debias N.
+  s.total.fetch_add(1, std::memory_order_relaxed);
+}
+
 Vector ShardedAggregator::Merge() const {
   Vector y(num_outputs_, 0.0);
   for (const auto& shard : shards_) {
-    if (kind_ == ReportKind::kCategorical) {
+    if (kind_ != ReportKind::kDense) {
       for (int o = 0; o < num_outputs_; ++o) {
         const std::int64_t c = shard->counts[o].load(std::memory_order_relaxed);
         y[o] += static_cast<double>(c);

@@ -10,13 +10,18 @@
 // one per report. The server folds shards together with an O(shards x m)
 // Merge() when it wants the aggregate.
 //
-// Two report kinds cover every deployable mechanism (ldp/reporter.h):
+// Three report kinds cover every deployable mechanism (ldp/reporter.h):
 //   * kCategorical — strategy mechanisms; Add()/AddBatch() count response
 //     indices. Counts are kept as integers, so Merge() over a quiescent
 //     aggregator is *exactly* the Vector a serial ResponseAggregator would
 //     produce for the same report stream, independent of shard assignment
 //     and thread interleaving (integer sums are associative; doubles
 //     represent them exactly below 2^53).
+//   * kBitVector — unary-encoding frequency oracles (RAPPOR, OUE);
+//     AddBits() counts the set bits of each n-bit report per coordinate.
+//     Same integer counters as kCategorical, so the exactness guarantee
+//     carries over; one report bumps up to m counters but the report total
+//     by exactly one (the count feeds the affine debias x̂ = (y − Nq)/(p−q)).
 //   * kDense — additive mechanisms (distributed Matrix Mechanism);
 //     AddDense() sums real m-vector reports with atomic compare-exchange
 //     adds. Still linear and thread-safe, but floating-point addition is not
@@ -42,7 +47,12 @@ namespace wfm {
 enum class ReportKind {
   kCategorical,  ///< Response indices in [0, m); aggregate is a histogram.
   kDense,        ///< Real m-vectors; aggregate is the coordinatewise sum.
+  kBitVector,    ///< m-bit vectors; aggregate counts set bits per coordinate.
 };
+
+/// Human-readable kind name for diagnostics ("categorical" / "dense" /
+/// "bit-vector").
+const char* KindName(ReportKind kind);
 
 class ShardedAggregator {
  public:
@@ -67,6 +77,11 @@ class ShardedAggregator {
   /// Records one dense m-vector report on the given shard (kDense only).
   void AddDense(int shard, std::span<const double> report);
 
+  /// Records one m-bit report on the given shard (kBitVector only). Entries
+  /// must be 0 or 1; anything else aborts (corrupt report stream). Counts
+  /// one report toward num_responses().
+  void AddBits(int shard, std::span<const std::uint8_t> report);
+
   /// Folds all shards into one aggregate, O(num_shards x num_outputs).
   /// Categorical: exact (bit-identical to serial aggregation) once ingestion
   /// has stopped. Dense: exact up to floating-point commutation.
@@ -79,10 +94,11 @@ class ShardedAggregator {
   // One worker's partial aggregate. alignas keeps the hot `total` counters
   // of different shards on different cache lines; the count arrays live in
   // separate heap blocks and do not interfere. Exactly one of
-  // `counts`/`dense` is populated, per the aggregator's ReportKind.
+  // `counts`/`dense` is populated, per the aggregator's ReportKind (the
+  // integer `counts` serve both the categorical and bit-vector kinds).
   struct alignas(64) Shard {
     Shard(int num_outputs, ReportKind kind)
-        : counts(kind == ReportKind::kCategorical ? num_outputs : 0),
+        : counts(kind != ReportKind::kDense ? num_outputs : 0),
           dense(kind == ReportKind::kDense ? num_outputs : 0) {}
     std::vector<std::atomic<std::int64_t>> counts;
     std::vector<std::atomic<double>> dense;

@@ -1,24 +1,45 @@
 #include "estimation/decoder.h"
 
+#include <string>
+
 #include "linalg/symmetric_eigen.h"
 
 namespace wfm {
 
 ReportDecoder::ReportDecoder(Matrix b, WorkloadStats stats)
-    : b_(std::move(b)), stats_(std::move(stats)) {
+    : b_(std::move(b)), stats_(std::move(stats)), m_(b_.cols()) {
   WFM_CHECK_GT(b_.rows(), 0);
   WFM_CHECK_GT(b_.cols(), 0);
   WFM_CHECK_EQ(b_.rows(), stats_.n);
 }
 
+ReportDecoder::ReportDecoder(AffineDebias debias, WorkloadStats stats)
+    : stats_(std::move(stats)),
+      m_(stats_.n),
+      affine_mode_(true),
+      affine_(debias) {
+  WFM_CHECK_GT(stats_.n, 0);
+  // Unbiased debiasing needs p > q (the map is not invertible at p == q) and
+  // both must be probabilities.
+  WFM_CHECK(affine_.q >= 0.0 && affine_.q < affine_.p && affine_.p <= 1.0)
+      << "affine debias requires 0 <= q < p <= 1, got p =" << affine_.p
+      << "q =" << affine_.q;
+}
+
 ReportDecoder::ReportDecoder(const ReportDecoder& other)
     : b_(other.b_),
       stats_(other.stats_),
+      m_(other.m_),
+      affine_mode_(other.affine_mode_),
+      affine_(other.affine_),
       gram_lipschitz_(other.gram_lipschitz_.load(std::memory_order_relaxed)) {}
 
 ReportDecoder& ReportDecoder::operator=(const ReportDecoder& other) {
   b_ = other.b_;
   stats_ = other.stats_;
+  m_ = other.m_;
+  affine_mode_ = other.affine_mode_;
+  affine_ = other.affine_;
   gram_lipschitz_.store(other.gram_lipschitz_.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
   return *this;
@@ -27,14 +48,25 @@ ReportDecoder& ReportDecoder::operator=(const ReportDecoder& other) {
 ReportDecoder::ReportDecoder(ReportDecoder&& other) noexcept
     : b_(std::move(other.b_)),
       stats_(std::move(other.stats_)),
+      m_(other.m_),
+      affine_mode_(other.affine_mode_),
+      affine_(other.affine_),
       gram_lipschitz_(other.gram_lipschitz_.load(std::memory_order_relaxed)) {}
 
 ReportDecoder& ReportDecoder::operator=(ReportDecoder&& other) noexcept {
   b_ = std::move(other.b_);
   stats_ = std::move(other.stats_);
+  m_ = other.m_;
+  affine_mode_ = other.affine_mode_;
+  affine_ = other.affine_;
   gram_lipschitz_.store(other.gram_lipschitz_.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
   return *this;
+}
+
+const AffineDebias& ReportDecoder::affine_debias() const {
+  WFM_CHECK(affine_mode_) << "affine_debias() on a linear decoder";
+  return affine_;
 }
 
 double ReportDecoder::GramLipschitz() const {
@@ -49,9 +81,32 @@ ReportDecoder ReportDecoder::FromAnalysis(const FactorizationAnalysis& analysis)
   return ReportDecoder(analysis.ReconstructionB(), analysis.workload());
 }
 
-Vector ReportDecoder::EstimateDataVector(const Vector& aggregate) const {
-  WFM_CHECK_EQ(static_cast<int>(aggregate.size()), m());
-  return MultiplyVec(b_, aggregate);
+Vector ReportDecoder::EstimateDataVector(const Vector& aggregate,
+                                         std::int64_t num_reports) const {
+  StatusOr<Vector> estimate = TryEstimateDataVector(aggregate, num_reports);
+  WFM_CHECK(estimate.ok()) << estimate.status().ToString();
+  return std::move(estimate).value();
+}
+
+StatusOr<Vector> ReportDecoder::TryEstimateDataVector(
+    const Vector& aggregate, std::int64_t num_reports) const {
+  if (static_cast<int>(aggregate.size()) != m_) {
+    return Status::InvalidArgument(
+        "aggregate has dimension " + std::to_string(aggregate.size()) +
+        ", decoder expects m = " + std::to_string(m_));
+  }
+  if (!affine_mode_) return MultiplyVec(b_, aggregate);
+  if (num_reports < 0) {
+    return Status::InvalidArgument("report count must be non-negative, got " +
+                                   std::to_string(num_reports));
+  }
+  const double shift = static_cast<double>(num_reports) * affine_.q;
+  const double inv_gap = 1.0 / (affine_.p - affine_.q);
+  Vector estimate(m_);
+  for (int u = 0; u < m_; ++u) {
+    estimate[u] = (aggregate[u] - shift) * inv_gap;
+  }
+  return estimate;
 }
 
 }  // namespace wfm

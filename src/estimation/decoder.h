@@ -1,31 +1,57 @@
 // The server half of a deployed mechanism: reconstruct the data vector from
 // the m-dimensional aggregate of all reports.
 //
-// Every deployable mechanism in this library decodes linearly: the unbiased
-// estimate is x_hat = B y, where y sums the reports (response histogram for
-// categorical mechanisms, coordinatewise sum for additive ones) and B is the
-// mechanism's n x m reconstruction factor — Theorem 3.10's optimal
-// B = (Qᵀ D_Q⁻¹ Q)† Qᵀ D_Q⁻¹ for strategy mechanisms, the pseudo-inverse A†
-// for the distributed Matrix Mechanism. The WNNLS consistent estimate
-// (Appendix A) additionally needs only the workload Gram matrix, so
-// (B, WorkloadStats) is the complete server-side description of any
-// deployment and is what collect/CollectionSession carries.
+// Two decode families cover every deployable mechanism in this library:
+//
+//   * linear — the unbiased estimate is x_hat = B y, where y sums the
+//     reports (response histogram for categorical mechanisms, coordinatewise
+//     sum for additive ones) and B is the mechanism's n x m reconstruction
+//     factor: Theorem 3.10's optimal B = (Qᵀ D_Q⁻¹ Q)† Qᵀ D_Q⁻¹ for strategy
+//     mechanisms, the pseudo-inverse A† for the distributed Matrix
+//     Mechanism;
+//   * affine — unary-encoding frequency oracles (RAPPOR, OUE) report n-bit
+//     vectors whose per-coordinate debiasing needs the report count N:
+//     x_hat = (y - N q 1) / (p - q), with p = P(bit = 1 | true bit = 1) and
+//     q = P(bit = 1 | true bit = 0). The map is affine in y, not linear, so
+//     the decoder carries (p, q) and callers supply N at decode time
+//     (EpochSnapshot::count / PlanServer::num_reports()).
+//
+// The WNNLS consistent estimate (Appendix A) additionally needs only the
+// workload Gram matrix, so (decode factor, WorkloadStats) is the complete
+// server-side description of any deployment and is what
+// collect/CollectionSession carries.
 
 #ifndef WFM_ESTIMATION_DECODER_H_
 #define WFM_ESTIMATION_DECODER_H_
 
 #include <atomic>
+#include <cstdint>
 
+#include "common/status.h"
 #include "core/factorization.h"
 #include "linalg/matrix.h"
 
 namespace wfm {
 
+/// Parameters of the affine debias x_hat = (y - N q 1)/(p - q) used by
+/// unary-encoding frequency oracles. `p` is the probability a true bit is
+/// reported as 1, `q` the probability a false bit is; unbiased decoding
+/// requires p > q.
+struct AffineDebias {
+  double p = 1.0;  ///< P(reported bit = 1 | true bit = 1).
+  double q = 0.0;  ///< P(reported bit = 1 | true bit = 0).
+};
+
 class ReportDecoder {
  public:
-  /// `b` is the n x m linear decode factor; `stats` supplies the Gram matrix
-  /// for consistent (WNNLS) estimation on the same workload.
+  /// Linear decoder: `b` is the n x m decode factor; `stats` supplies the
+  /// Gram matrix for consistent (WNNLS) estimation on the same workload.
   ReportDecoder(Matrix b, WorkloadStats stats);
+
+  /// Affine decoder (m = n = stats.n): debiases n-bit-vector aggregates as
+  /// x_hat = (y - N q 1)/(p - q). Decoding requires the report count N, so
+  /// callers must use the count-taking EstimateDataVector overload.
+  ReportDecoder(AffineDebias debias, WorkloadStats stats);
 
   // Copies and moves carry the cached Lipschitz constant along (the atomic
   // member deletes the defaults).
@@ -38,13 +64,35 @@ class ReportDecoder {
   /// Bit-identical to estimating through the analysis directly.
   static ReportDecoder FromAnalysis(const FactorizationAnalysis& analysis);
 
-  int n() const { return b_.rows(); }
-  int m() const { return b_.cols(); }
+  int n() const { return stats_.n; }
+  int m() const { return m_; }
+  /// Linear decode factor; empty for affine decoders.
   const Matrix& b() const { return b_; }
   const WorkloadStats& workload_stats() const { return stats_; }
 
-  /// Unbiased estimate x_hat = B y of the data vector from the aggregate.
-  Vector EstimateDataVector(const Vector& aggregate) const;
+  /// True when this decoder debiases affinely and therefore needs the report
+  /// count N alongside the aggregate.
+  bool needs_report_count() const { return affine_mode_; }
+  /// The affine parameters; call only when needs_report_count() is true.
+  const AffineDebias& affine_debias() const;
+
+  /// Unbiased estimate of the data vector from the aggregate: B y for linear
+  /// decoders, (y - N q 1)/(p - q) for affine ones. `num_reports` is the
+  /// report count N behind the aggregate; linear decoders ignore it, affine
+  /// decoders require the true count (deliberately no default — an affine
+  /// decode without its N would compile and silently return estimates
+  /// shifted by N q/(p - q)). Aborts on dimension mismatch — use
+  /// TryEstimateDataVector where the aggregate arrives from an untrusted
+  /// source.
+  Vector EstimateDataVector(const Vector& aggregate,
+                            std::int64_t num_reports) const;
+
+  /// EstimateDataVector with runtime-reachable failures as Status:
+  /// kInvalidArgument when the aggregate's dimension does not match the
+  /// decoder's m (a corrupt or mismatched report stream) or the report count
+  /// is negative.
+  StatusOr<Vector> TryEstimateDataVector(const Vector& aggregate,
+                                         std::int64_t num_reports) const;
 
   /// 2·λ_max(G): the Lipschitz constant of the WNNLS gradient for this
   /// deployment's workload. Computed by power iteration on first use and
@@ -53,8 +101,11 @@ class ReportDecoder {
   double GramLipschitz() const;
 
  private:
-  Matrix b_;
+  Matrix b_;  ///< Empty in affine mode.
   WorkloadStats stats_;
+  int m_ = 0;
+  bool affine_mode_ = false;
+  AffineDebias affine_;
   /// Negative means "not computed yet".
   mutable std::atomic<double> gram_lipschitz_{-1.0};
 };

@@ -5,19 +5,30 @@ namespace wfm {
 WorkloadEstimate EstimateWorkloadAnswers(const ReportDecoder& decoder,
                                          const Workload& workload,
                                          const Vector& aggregate,
+                                         std::int64_t num_reports,
                                          EstimatorKind kind) {
   WFM_CHECK_EQ(workload.domain_size(), decoder.n());
   WorkloadEstimate out;
   switch (kind) {
     case EstimatorKind::kUnbiased:
-      out.data_vector = decoder.EstimateDataVector(aggregate);
+      out.data_vector = decoder.EstimateDataVector(aggregate, num_reports);
       break;
     case EstimatorKind::kWnnls:
-      out.data_vector = WnnlsEstimate(decoder, aggregate).x;
+      out.data_vector = WnnlsEstimate(decoder, aggregate, num_reports).x;
       break;
   }
   out.query_answers = workload.Apply(out.data_vector);
   return out;
+}
+
+WorkloadEstimate EstimateWorkloadAnswers(const ReportDecoder& decoder,
+                                         const Workload& workload,
+                                         const Vector& aggregate,
+                                         EstimatorKind kind) {
+  WFM_CHECK(!decoder.needs_report_count())
+      << "affine decoder: use the overload taking the report count";
+  return EstimateWorkloadAnswers(decoder, workload, aggregate,
+                                 /*num_reports=*/0, kind);
 }
 
 WorkloadEstimate EstimateWorkloadAnswers(const FactorizationAnalysis& analysis,

@@ -5,9 +5,14 @@
 // The ReportDecoder overload is the general entry point (any deployable
 // mechanism, see estimation/decoder.h); the FactorizationAnalysis overload
 // is the strategy-mechanism special case and produces bit-identical output.
+// Affine decoders (RAPPOR/OUE bit-vector deployments) debias against the
+// report count N, so the count-taking overload is the one every serving path
+// (PlanServer, EstimateServer) routes through.
 
 #ifndef WFM_ESTIMATION_ESTIMATOR_H_
 #define WFM_ESTIMATION_ESTIMATOR_H_
+
+#include <cstdint>
 
 #include "core/factorization.h"
 #include "estimation/decoder.h"
@@ -27,6 +32,16 @@ struct WorkloadEstimate {
 };
 
 /// Produces workload answers from the aggregate of all reports.
+/// `num_reports` is the report count N behind the aggregate — ignored by
+/// linear decoders, required by affine ones (RAPPOR/OUE).
+WorkloadEstimate EstimateWorkloadAnswers(const ReportDecoder& decoder,
+                                         const Workload& workload,
+                                         const Vector& aggregate,
+                                         std::int64_t num_reports,
+                                         EstimatorKind kind);
+
+/// Count-free convenience for linear decoders; aborts on an affine decoder,
+/// whose debiasing would silently be wrong without N.
 WorkloadEstimate EstimateWorkloadAnswers(const ReportDecoder& decoder,
                                          const Workload& workload,
                                          const Vector& aggregate,

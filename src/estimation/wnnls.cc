@@ -111,13 +111,21 @@ WnnlsResult SolveWnnlsFromGram(const Matrix& gram, const Vector& rhs,
 }
 
 WnnlsResult WnnlsEstimate(const ReportDecoder& decoder, const Vector& aggregate,
+                          std::int64_t num_reports,
                           const WnnlsOptions& options) {
-  const Vector unbiased = decoder.EstimateDataVector(aggregate);
+  const Vector unbiased = decoder.EstimateDataVector(aggregate, num_reports);
   const Matrix& gram = decoder.workload_stats().gram;
   const Vector rhs = MultiplyVec(gram, unbiased);
   WnnlsOptions opts = options;
   if (opts.lipschitz <= 0.0) opts.lipschitz = decoder.GramLipschitz();
   return SolveWnnlsFromGram(gram, rhs, opts, &unbiased);
+}
+
+WnnlsResult WnnlsEstimate(const ReportDecoder& decoder, const Vector& aggregate,
+                          const WnnlsOptions& options) {
+  WFM_CHECK(!decoder.needs_report_count())
+      << "affine decoder: use the overload taking the report count";
+  return WnnlsEstimate(decoder, aggregate, /*num_reports=*/0, options);
 }
 
 WnnlsResult WnnlsEstimate(const FactorizationAnalysis& analysis,

@@ -17,6 +17,8 @@
 #ifndef WFM_ESTIMATION_WNNLS_H_
 #define WFM_ESTIMATION_WNNLS_H_
 
+#include <cstdint>
+
 #include "core/factorization.h"
 #include "estimation/decoder.h"
 #include "linalg/matrix.h"
@@ -48,8 +50,15 @@ WnnlsResult SolveWnnlsFromGram(const Matrix& gram, const Vector& rhs,
                                const Vector* warm_start = nullptr);
 
 /// Convenience: consistent data-vector estimate from a report aggregate,
-/// r = G (B y), warm-started at clip(B y, 0, inf). Works for any deployable
-/// mechanism's decoder (estimation/decoder.h).
+/// r = G x_hat with x_hat the decoder's unbiased estimate, warm-started at
+/// clip(x_hat, 0, inf). Works for any deployable mechanism's decoder
+/// (estimation/decoder.h); `num_reports` is the report count N behind the
+/// aggregate, which affine decoders (RAPPOR/OUE) need to debias.
+WnnlsResult WnnlsEstimate(const ReportDecoder& decoder, const Vector& aggregate,
+                          std::int64_t num_reports,
+                          const WnnlsOptions& options = {});
+
+/// Count-free convenience for linear decoders (aborts on an affine one).
 WnnlsResult WnnlsEstimate(const ReportDecoder& decoder, const Vector& aggregate,
                           const WnnlsOptions& options = {});
 

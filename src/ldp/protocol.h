@@ -12,6 +12,23 @@
 //      WNNLS consistent estimate (Appendix A), then answers W x_hat
 //      (collect/EstimateServer caches this step per sealed epoch).
 //
+// Unary-encoding frequency oracles (RAPPOR, OUE) follow the same four steps
+// with one twist in step 4: their n-bit reports debias *affinely*, not
+// linearly —
+//
+//   x_hat = (y − N·q·1) / (p − q),
+//
+// where y counts set bits per coordinate, N is the number of reports behind
+// y, p = P(reported bit = 1 | true bit = 1) and q = P(reported bit = 1 |
+// true bit = 0). The formula applies exactly when every coordinate of the
+// report is an independent Bernoulli whose success probability depends only
+// on whether the one-hot bit is set (RAPPOR: p = 1−f, q = f with
+// f = 1/(1+e^{ε/2}); OUE: p = 1/2, q = 1/(e^ε+1)); it reduces to the linear
+// x_hat = B y when q = 0. Because N enters the decode, the server must track
+// report counts alongside aggregates — EpochSnapshot::count and
+// PlanServer::num_reports() carry exactly that, and ReportDecoder's
+// AffineDebias mode consumes it (estimation/decoder.h).
+//
 // api/plan.h is the front door over this whole pipeline: Plan::For(workload)
 // .Epsilon(eps).Mechanism(name).Build() performs step 1 and hands out
 // Client() (step 2) and Server()/StartSession() (steps 3-4) for any

@@ -8,4 +8,25 @@ Report StrategyReporter::Respond(int user_type, Rng& rng) const {
   return report;
 }
 
+BitVectorReporter::BitVectorReporter(int n, double prob_one_given_one,
+                                     double prob_one_given_zero)
+    : n_(n), p_(prob_one_given_one), q_(prob_one_given_zero) {
+  WFM_CHECK_GT(n, 0);
+  WFM_CHECK(q_ >= 0.0 && q_ < p_ && p_ <= 1.0)
+      << "bit-vector reporter requires 0 <= q < p <= 1, got p =" << p_
+      << "q =" << q_;
+}
+
+Report BitVectorReporter::Respond(int user_type, Rng& rng) const {
+  WFM_CHECK(user_type >= 0 && user_type < n_)
+      << "user type out of range:" << user_type << "for n =" << n_;
+  Report report;
+  report.bits.resize(n_);
+  for (int i = 0; i < n_; ++i) {
+    report.bits[i] =
+        static_cast<std::uint8_t>(rng.Bernoulli(i == user_type ? p_ : q_));
+  }
+  return report;
+}
+
 }  // namespace wfm

@@ -1,19 +1,29 @@
 // The client half of a deployed mechanism: turn one user's true type into
 // one privatized report.
 //
-// Two report shapes cover every mechanism in this library:
+// Three report shapes cover every mechanism in this library:
 //   * categorical — strategy-matrix mechanisms (Definition 2.5) emit an
 //     output index o in [0, m); the server-side aggregate is the response
 //     histogram y with y_o = #{reports == o};
 //   * dense — additive-noise mechanisms (the distributed Matrix Mechanism)
 //     emit a real m-vector A e_u + xi; the aggregate is the coordinatewise
-//     sum.
-// Both are the same operation once a categorical report is read as the
-// one-hot vector e_o: the server only ever needs the sum of reports, which
-// is why one Reporter interface (and one collect/ pipeline) serves both.
+//     sum;
+//   * bit vector — unary-encoding frequency oracles (RAPPOR, OUE) emit n
+//     independently randomized bits of the one-hot encoding e_u; the
+//     aggregate is the per-coordinate count of set bits.
+// All three are the same operation once a categorical report is read as the
+// one-hot vector e_o and a bit vector as a 0/1 m-vector: the server only
+// ever needs the sum of reports, which is why one Reporter interface (and
+// one collect/ pipeline) serves them all. The decode differs: categorical
+// and dense aggregates reconstruct linearly (x_hat = B y), bit-vector
+// aggregates affinely against the report count N (x_hat = (y - N q)/(p - q),
+// estimation/decoder.h).
 
 #ifndef WFM_LDP_REPORTER_H_
 #define WFM_LDP_REPORTER_H_
+
+#include <cstdint>
+#include <vector>
 
 #include "ldp/local_randomizer.h"
 #include "linalg/matrix.h"
@@ -22,13 +32,20 @@
 namespace wfm {
 
 /// One user's privatized report — the only data that leaves the device.
+/// Exactly one shape is populated: `bits` for unary-encoding mechanisms,
+/// `dense` for additive ones, `index` otherwise.
 struct Report {
-  /// Categorical response index in [0, m); meaningful iff `dense` is empty.
+  /// Categorical response index in [0, m); meaningful iff the other shapes
+  /// are empty.
   int index = -1;
   /// Dense m-vector report; non-empty iff the mechanism is additive.
   Vector dense;
+  /// n-bit unary-encoding report; non-empty iff the mechanism is a
+  /// frequency oracle (RAPPOR/OUE).
+  std::vector<std::uint8_t> bits;
 
   bool is_dense() const { return !dense.empty(); }
+  bool is_bits() const { return !bits.empty(); }
 };
 
 /// Interface for the on-device half of a deployment (see Mechanism::Deploy).
@@ -37,7 +54,7 @@ class Reporter {
   virtual ~Reporter() = default;
 
   /// Report dimension m: the response alphabet size for categorical
-  /// reporters, the report vector length for dense ones.
+  /// reporters, the report vector length for dense and bit-vector ones.
   virtual int num_outputs() const = 0;
 
   /// Domain size n this reporter was built for.
@@ -45,6 +62,9 @@ class Reporter {
 
   /// True when Respond emits dense vectors instead of indices.
   virtual bool dense_reports() const = 0;
+
+  /// True when Respond emits n-bit vectors (unary-encoding mechanisms).
+  virtual bool bit_vector_reports() const { return false; }
 
   /// Privatizes one user's true type.
   virtual Report Respond(int user_type, Rng& rng) const = 0;
@@ -66,6 +86,34 @@ class StrategyReporter final : public Reporter {
 
  private:
   LocalRandomizer randomizer_;
+};
+
+/// Client half of unary-encoding frequency oracles (RAPPOR, OUE): one-hot
+/// encode the type into n bits, then report each bit independently as 1 with
+/// probability p if the true bit is 1 and q if it is 0 (one Bernoulli draw
+/// per bit, in coordinate order). The matching server half is
+/// ReportDecoder's AffineDebias{p, q} mode.
+class BitVectorReporter final : public Reporter {
+ public:
+  /// `prob_one_given_one` is p, `prob_one_given_zero` is q; unbiased
+  /// decoding requires p > q (RAPPOR: p = 1 - f, q = f; OUE: p = 1/2,
+  /// q = 1/(e^eps + 1)).
+  BitVectorReporter(int n, double prob_one_given_one,
+                    double prob_one_given_zero);
+
+  int num_outputs() const override { return n_; }  // m == n for bit vectors.
+  int num_types() const override { return n_; }
+  bool dense_reports() const override { return false; }
+  bool bit_vector_reports() const override { return true; }
+  Report Respond(int user_type, Rng& rng) const override;
+
+  double prob_one_given_one() const { return p_; }
+  double prob_one_given_zero() const { return q_; }
+
+ private:
+  int n_;
+  double p_;
+  double q_;
 };
 
 }  // namespace wfm

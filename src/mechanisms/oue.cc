@@ -39,14 +39,28 @@ ErrorProfile OueMechanism::Analyze(const WorkloadStats& workload) const {
   return profile;
 }
 
-std::vector<std::uint8_t> OueMechanism::SampleReport(int u, Rng& rng) const {
-  WFM_CHECK(u >= 0 && u < n_);
-  std::vector<std::uint8_t> bits(n_);
-  for (int i = 0; i < n_; ++i) {
-    const double p_one = (i == u) ? 0.5 : q_;
-    bits[i] = static_cast<std::uint8_t>(rng.Bernoulli(p_one));
+StatusOr<Deployment> OueMechanism::Deploy(const WorkloadStats& workload) const {
+  if (workload.n != n_) {
+    return Status::InvalidArgument(
+        Name() + " was built for domain size " + std::to_string(n_) +
+        ", workload has " + std::to_string(workload.n));
   }
-  return bits;
+  // Analyze reads the Gram diagonal, so a shape-only WorkloadStats (bare n)
+  // is a runtime-reachable misuse, not a programming error.
+  if (workload.gram.rows() != n_ || workload.gram.cols() != n_) {
+    return Status::FailedPrecondition(
+        Name() + " requires full workload statistics (Gram matrix); build "
+                 "the WorkloadStats with WorkloadStats::From");
+  }
+  return Deployment{std::make_shared<BitVectorReporter>(n_, 0.5, q_),
+                    ReportDecoder(AffineDebias{0.5, q_}, workload),
+                    Analyze(workload)};
+}
+
+std::vector<std::uint8_t> OueMechanism::SampleReport(int u, Rng& rng) const {
+  // Exactly the deployed client (same per-coordinate Bernoulli draws, same
+  // RNG consumption), so simulation and deployment cannot drift apart.
+  return BitVectorReporter(n_, 0.5, q_).Respond(u, rng).bits;
 }
 
 Vector OueMechanism::SimulateEstimate(const Vector& x, Rng& rng) const {

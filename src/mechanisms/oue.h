@@ -17,6 +17,10 @@
 // OUE dominates symmetric RAPPOR for histogram estimation at every ε, which
 // is why ref [41] recommends it; it is included here as an extension beyond
 // the paper's six plotted baselines.
+//
+// Deploy() runs the protocol end-to-end: a BitVectorReporter(p, q) on-device
+// and a ReportDecoder in AffineDebias{p, q} mode server-side, so the
+// deployed decode is exactly the debiased estimator analyzed above.
 
 #ifndef WFM_MECHANISMS_OUE_H_
 #define WFM_MECHANISMS_OUE_H_
@@ -35,6 +39,10 @@ class OueMechanism final : public Mechanism {
   double epsilon() const override { return eps_; }
 
   ErrorProfile Analyze(const WorkloadStats& workload) const override;
+
+  /// n-bit-vector reports through a BitVectorReporter, decoded with the
+  /// report-count-aware affine debias (p, q) = (1/2, 1/(e^ε+1)).
+  StatusOr<Deployment> Deploy(const WorkloadStats& workload) const override;
 
   /// p = 1/2 (true-bit retention) and q = 1/(e^ε+1) (false-bit flip-in).
   double prob_one_given_one() const { return 0.5; }

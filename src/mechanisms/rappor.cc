@@ -28,15 +28,30 @@ ErrorProfile RapporMechanism::Analyze(const WorkloadStats& workload) const {
   return profile;
 }
 
-std::vector<std::uint8_t> RapporMechanism::SampleReport(int u, Rng& rng) const {
-  WFM_CHECK(u >= 0 && u < n_);
-  std::vector<std::uint8_t> bits(n_);
-  for (int i = 0; i < n_; ++i) {
-    const bool truth = (i == u);
-    const bool flip = rng.Bernoulli(f_);
-    bits[i] = static_cast<std::uint8_t>(truth != flip);
+StatusOr<Deployment> RapporMechanism::Deploy(const WorkloadStats& workload) const {
+  if (workload.n != n_) {
+    return Status::InvalidArgument(
+        Name() + " was built for domain size " + std::to_string(n_) +
+        ", workload has " + std::to_string(workload.n));
   }
-  return bits;
+  // The deployment's consistent (WNNLS) decode path needs the Gram matrix,
+  // so a shape-only WorkloadStats (bare n) is a runtime-reachable misuse.
+  if (workload.gram.rows() != n_ || workload.gram.cols() != n_) {
+    return Status::FailedPrecondition(
+        Name() + " requires full workload statistics (Gram matrix); build "
+                 "the WorkloadStats with WorkloadStats::From");
+  }
+  const double p = 1.0 - f_;
+  return Deployment{std::make_shared<BitVectorReporter>(n_, p, f_),
+                    ReportDecoder(AffineDebias{p, f_}, workload),
+                    Analyze(workload)};
+}
+
+std::vector<std::uint8_t> RapporMechanism::SampleReport(int u, Rng& rng) const {
+  // Exactly the deployed client (bit i is 1 with probability 1-f when i == u
+  // and f otherwise, one Bernoulli per coordinate), so simulation and
+  // deployment cannot drift apart.
+  return BitVectorReporter(n_, 1.0 - f_, f_).Respond(u, rng).bits;
 }
 
 Vector RapporMechanism::SimulateEstimate(const Vector& x, Rng& rng) const {

@@ -14,6 +14,11 @@
 // closed form lets the library analyze RAPPOR at any domain size. Note the
 // estimator is the canonical RAPPOR decoder, not the Theorem 3.10-optimal V
 // (which is intractable at 2^n outputs).
+//
+// Deploy() runs exactly that protocol: a BitVectorReporter(p = 1-f, q = f)
+// on-device and a ReportDecoder in AffineDebias mode server-side — the
+// debias above is x_hat = (y - N f)/(1 - 2f) with (p, q) = (1-f, f), so the
+// deployed decode matches the analyzed variance coordinate for coordinate.
 
 #ifndef WFM_MECHANISMS_RAPPOR_H_
 #define WFM_MECHANISMS_RAPPOR_H_
@@ -32,6 +37,10 @@ class RapporMechanism final : public Mechanism {
   double epsilon() const override { return eps_; }
 
   ErrorProfile Analyze(const WorkloadStats& workload) const override;
+
+  /// n-bit-vector reports through a BitVectorReporter, decoded with the
+  /// report-count-aware affine debias (p, q) = (1-f, f).
+  StatusOr<Deployment> Deploy(const WorkloadStats& workload) const override;
 
   /// Bit-flip probability f = 1/(1 + e^{ε/2}).
   double flip_probability() const { return f_; }

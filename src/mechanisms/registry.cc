@@ -8,7 +8,9 @@
 #include "mechanisms/hierarchical.h"
 #include "mechanisms/matrix_mechanism.h"
 #include "mechanisms/optimized.h"
+#include "mechanisms/oue.h"
 #include "mechanisms/randomized_response.h"
+#include "mechanisms/rappor.h"
 
 namespace wfm {
 namespace {
@@ -83,6 +85,11 @@ void RegisterBuiltins(MechanismRegistry& registry) {
         return std::unique_ptr<Mechanism>(std::make_unique<OptimizedMechanism>(
             workload, eps, options.optimizer));
       });
+  // Unary-encoding frequency oracles: n-bit-vector reports, affine debias
+  // decode. Registered after the Figure 1 field so the legend-order prefix
+  // of ListMechanisms() stays stable.
+  must_register("RAPPOR", BaselineFactory<RapporMechanism>());
+  must_register("OUE", BaselineFactory<OueMechanism>());
 }
 
 }  // namespace

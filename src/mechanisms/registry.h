@@ -1,10 +1,14 @@
 // Name → factory registry over every runnable mechanism.
 //
-// The global registry is pre-seeded with the paper's Section 6.1 field: the
+// The global registry is pre-seeded with the paper's Section 6.1 field — the
 // six fixed competitors (Figure 1 legend order) plus "Optimized" (Algorithm
-// 2 run on the target workload). Downstream code can Register() additional
-// mechanisms; api/Plan resolves names through this registry, so a registered
-// mechanism is immediately deployable end-to-end.
+// 2 run on the target workload) — and the two unary-encoding frequency
+// oracles "RAPPOR" and "OUE" (n-bit-vector reports, affine debias decode).
+// Downstream code can Register() additional mechanisms; api/Plan resolves
+// names through this registry, so a registered mechanism is immediately
+// deployable end-to-end. Every registered mechanism must pass
+// tests/mechanism_conformance_test.cc, the statistical gate pinning its
+// deployed empirical error to its TryAnalyze() variance.
 //
 // All lookup/creation failures are reported as Status (kNotFound for unknown
 // names, kInvalidArgument for unsupported shapes such as Fourier on a

@@ -379,6 +379,149 @@ TEST(EstimateServerTest, ConcurrentServesAreConsistent) {
   EXPECT_EQ(server.num_serves(), 1 + kIngestThreads * 50);
 }
 
+TEST(CollectDeathTest, RejectsBitVectorKindMismatchesAndCorruptBits) {
+  ShardedAggregator bits(/*num_outputs=*/3, /*num_shards=*/1,
+                         ReportKind::kBitVector);
+  EXPECT_DEATH(bits.Add(0, 1), "bit-vector");
+  const Vector dense_report{1.0, 0.0, 0.5};
+  EXPECT_DEATH(bits.AddDense(0, dense_report), "bit-vector");
+
+  ShardedAggregator categorical(/*num_outputs=*/3, /*num_shards=*/1);
+  const std::vector<std::uint8_t> report{1, 0, 1};
+  EXPECT_DEATH(categorical.AddBits(0, report), "categorical");
+
+  const std::vector<std::uint8_t> short_report{1, 0};
+  EXPECT_DEATH(bits.AddBits(0, short_report), "WFM_CHECK");
+  // Entries beyond {0, 1} indicate a corrupt stream, validated before they
+  // can skew the per-coordinate counts.
+  const std::vector<std::uint8_t> corrupt{1, 2, 0};
+  EXPECT_DEATH(bits.AddBits(0, corrupt), "out of range");
+}
+
+TEST(ShardedAggregatorTest, BitVectorMergeCountsSetBitsPerCoordinate) {
+  ShardedAggregator agg(/*num_outputs=*/4, /*num_shards=*/2,
+                        ReportKind::kBitVector);
+  agg.AddBits(0, std::vector<std::uint8_t>{1, 0, 1, 0});
+  agg.AddBits(1, std::vector<std::uint8_t>{1, 1, 0, 0});
+  agg.AddBits(0, std::vector<std::uint8_t>{0, 0, 0, 1});
+  EXPECT_EQ(agg.Merge(), (Vector{2, 1, 1, 1}));
+  // One report = one response, no matter how many bits it sets: the total is
+  // the N that the affine debias divides against.
+  EXPECT_EQ(agg.num_responses(), 3);
+}
+
+TEST(CollectionSessionTest, BitVectorEpochCountAccountingUnderConcurrentSeals) {
+  // The count accounting the affine decode depends on: every bit-vector
+  // report must contribute its histogram mass and its count increment to the
+  // *same* epoch. Each synthetic report sets exactly kBitsPerReport bits, so
+  // per sealed epoch Sum(histogram) == kBitsPerReport * count holds exactly
+  // iff the epoch cut never splits a report — even with kIngestThreads
+  // writers racing Seal() calls mid-flight (run under TSan in CI).
+  const int n = 8;
+  constexpr int kBitsPerReport = 3;
+  const int reports_per_thread = 30000;
+
+  auto workload = std::make_shared<const HistogramWorkload>(n);
+  CollectionSession session(
+      ReportDecoder(AffineDebias{0.75, 0.25}, WorkloadStats::From(*workload)),
+      workload, kIngestThreads, ReportKind::kBitVector);
+  ASSERT_EQ(session.report_kind(), ReportKind::kBitVector);
+
+  // Pre-generate the streams so ingest threads share no RNG.
+  std::vector<std::vector<std::vector<std::uint8_t>>> streams(kIngestThreads);
+  Vector expected_total(n, 0.0);
+  for (int t = 0; t < kIngestThreads; ++t) {
+    Rng rng(700 + t);
+    streams[t].reserve(reports_per_thread);
+    for (int i = 0; i < reports_per_thread; ++i) {
+      std::vector<std::uint8_t> bits(n, 0);
+      int set = 0;
+      while (set < kBitsPerReport) {  // Exactly kBitsPerReport distinct bits.
+        const int o = rng.UniformInt(n);
+        if (bits[o]) continue;
+        bits[o] = 1;
+        ++set;
+        expected_total[o] += 1.0;
+      }
+      streams[t].push_back(std::move(bits));
+    }
+  }
+
+  std::atomic<int> threads_done{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kIngestThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (const auto& bits : streams[t]) session.AcceptBits(t, bits);
+      threads_done.fetch_add(1);
+    });
+  }
+  do {
+    session.Seal();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  } while (threads_done.load() < kIngestThreads);
+  for (std::thread& t : threads) t.join();
+  session.Seal();  // Flush the tail.
+
+  Vector sealed_total(n, 0.0);
+  std::int64_t sealed_count = 0;
+  for (int e = 0; e < session.epochs_sealed(); ++e) {
+    const auto snapshot = session.Snapshot(e);
+    // The per-epoch invariant: count and histogram cut at the same boundary.
+    EXPECT_EQ(Sum(snapshot->histogram),
+              static_cast<double>(kBitsPerReport * snapshot->count))
+        << "epoch " << e << " split a report across the seal";
+    for (int o = 0; o < n; ++o) sealed_total[o] += snapshot->histogram[o];
+    sealed_count += snapshot->count;
+  }
+  EXPECT_EQ(sealed_total, expected_total);
+  EXPECT_EQ(sealed_count,
+            static_cast<std::int64_t>(kIngestThreads) * reports_per_thread);
+  EXPECT_EQ(session.total_responses(), sealed_count);
+  EXPECT_EQ(session.pending_responses(), 0);
+}
+
+TEST(EstimateServerTest, AffineDecodeUsesPerEpochReportCounts) {
+  // Two epochs with different report counts: the served unbiased estimate
+  // must debias each window against that window's own N — the count plumbing
+  // from EpochSnapshot through EstimateServer into the affine decoder.
+  const int n = 4;
+  const double p = 0.75, q = 0.25;
+  auto workload = std::make_shared<const HistogramWorkload>(n);
+  CollectionSession session(
+      ReportDecoder(AffineDebias{p, q}, WorkloadStats::From(*workload)),
+      workload, /*num_shards=*/1, ReportKind::kBitVector);
+  EstimateServer server(&session);
+
+  auto debias = [&](const Vector& y, std::int64_t count) {
+    Vector x(n);
+    for (int u = 0; u < n; ++u) {
+      x[u] = (y[u] - static_cast<double>(count) * q) / (p - q);
+    }
+    return x;
+  };
+
+  // Epoch 0: 3 reports.
+  session.AcceptBits(0, std::vector<std::uint8_t>{1, 0, 1, 0});
+  session.AcceptBits(0, std::vector<std::uint8_t>{0, 1, 0, 0});
+  session.AcceptBits(0, std::vector<std::uint8_t>{1, 1, 1, 1});
+  const EpochSnapshot first = session.Seal();
+  ASSERT_EQ(first.count, 3);
+  EXPECT_EQ(server.Serve(EstimatorKind::kUnbiased).value().data_vector,
+            debias(first.histogram, first.count));
+
+  // Epoch 1: 1 report. Serving window 1 must use N = 1, window 2 N = 4.
+  session.AcceptBits(0, std::vector<std::uint8_t>{0, 0, 1, 1});
+  const EpochSnapshot second = session.Seal();
+  ASSERT_EQ(second.count, 1);
+  EXPECT_EQ(server.Serve(EstimatorKind::kUnbiased).value().data_vector,
+            debias(second.histogram, second.count));
+  const EpochSnapshot window = session.WindowTotal(2);
+  ASSERT_EQ(window.count, 4);
+  EXPECT_EQ(
+      server.ServeWindow(2, EstimatorKind::kUnbiased).value().data_vector,
+      debias(window.histogram, window.count));
+}
+
 TEST(ResponseParityTest, ShardedSessionMatchesSerialReferenceEndToEnd) {
   // Full-stack equivalence: randomize real users, feed the identical report
   // stream through the serial reference aggregator and a concurrent session,

@@ -7,12 +7,15 @@
 //      EstimateWorkloadAnswers) for a pinned RNG seed. The fluent API is a
 //      repackaging, not a reimplementation.
 //   2. Universality — every mechanism in the global registry (six Section
-//      6.1 baselines + Optimized) constructs through the registry and runs
-//      end-to-end through Plan: client reports -> sharded session -> sealed
-//      epoch -> WNNLS estimate, producing finite answers whose error is
-//      consistent with the mechanism's analytic profile.
+//      6.1 baselines + Optimized + the RAPPOR/OUE frequency oracles)
+//      constructs through the registry and runs end-to-end through Plan:
+//      client reports -> sharded session -> sealed epoch -> WNNLS estimate,
+//      producing finite answers whose error is consistent with the
+//      mechanism's analytic profile. (The statistical pinning of empirical
+//      error to analyzed variance lives in mechanism_conformance_test.cc.)
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -125,7 +128,7 @@ TEST(PlanParityTest, BitIdenticalToManualQuickstartWiring) {
 
 TEST(PlanDeployTest, EveryRegistryMechanismRunsEndToEnd) {
   // client reports -> sharded session -> sealed epoch -> WNNLS estimate for
-  // all seven registry entries (n = 8 so Fourier qualifies).
+  // all nine registry entries (n = 8 so Fourier qualifies).
   const int n = 8;
   const double eps = 2.0;
   const int num_users = 30000;
@@ -136,7 +139,7 @@ TEST(PlanDeployTest, EveryRegistryMechanismRunsEndToEnd) {
 
   const std::vector<std::string> names =
       MechanismRegistry::Global().ListMechanisms();
-  ASSERT_GE(names.size(), 7u);
+  ASSERT_GE(names.size(), 9u);
   std::uint64_t seed = 71;
   for (const std::string& name : names) {
     SCOPED_TRACE(name);
@@ -222,6 +225,147 @@ TEST(PlanDeployTest, DenseMatrixMechanismReportsFlowThroughBothServers) {
     // Identical sums up to floating-point commutation across shards.
     EXPECT_NEAR(serial.data_vector[i], sharded.value().data_vector[i], 1e-6);
   }
+}
+
+TEST(PlanDeployTest, BitVectorReportsFlowThroughBothServers) {
+  // The frequency-oracle path: RAPPOR's n-bit reports through the serial
+  // PlanServer and the sharded session must agree exactly (integer bit
+  // counts), and the unbiased decode must equal the hand-computed affine
+  // debias (y - N f)/(1 - 2f) of the same aggregate.
+  const int n = 8;
+  const double eps = 1.0;
+  auto workload = std::make_shared<HistogramWorkload>(n);
+  const StatusOr<Plan> built =
+      Plan::For(workload).Epsilon(eps).Mechanism("RAPPOR").Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const Plan& plan = built.value();
+  const PlanClient client = plan.Client();
+  EXPECT_TRUE(client.bit_vector_reports());
+  EXPECT_FALSE(client.dense_reports());
+  EXPECT_EQ(client.num_outputs(), n);  // m == n for unary encodings.
+
+  PlanServer server = plan.Server();
+  std::unique_ptr<PlanSession> session = plan.StartSession(/*num_shards=*/2);
+  Rng rng(77);
+  const int num_reports = 600;
+  for (int i = 0; i < num_reports; ++i) {
+    const Report report = client.Respond(i % n, rng);
+    ASSERT_TRUE(report.is_bits());
+    ASSERT_EQ(static_cast<int>(report.bits.size()), n);
+    ASSERT_TRUE(server.Accept(report).ok());
+    session->Accept(i % 2, report);
+  }
+  EXPECT_EQ(server.num_reports(), num_reports);
+  const EpochSnapshot sealed = session->Seal();
+  EXPECT_EQ(sealed.count, num_reports);
+  EXPECT_EQ(sealed.histogram, server.aggregate());  // Integer counts: exact.
+
+  // The decode is the textbook affine debias against the report count.
+  const double f = 1.0 / (1.0 + std::exp(eps / 2.0));
+  const WorkloadEstimate serial = server.Estimate(EstimatorKind::kUnbiased);
+  const StatusOr<WorkloadEstimate> sharded =
+      session->Estimate(EstimatorKind::kUnbiased);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(serial.data_vector, sharded.value().data_vector);
+  for (int u = 0; u < n; ++u) {
+    const double expected =
+        (server.aggregate()[u] - num_reports * f) / (1.0 - 2.0 * f);
+    EXPECT_NEAR(serial.data_vector[u], expected, 1e-9);
+  }
+}
+
+TEST(PlanServerTest, MalformedReportsAreInvalidArgumentNotFatal) {
+  // Reports arrive from untrusted devices: a dense report whose dimension
+  // mismatches the deployed strategy (and any other corrupt shape) must
+  // surface as kInvalidArgument and leave the aggregate untouched — a
+  // regression test for the CHECK-abort this used to be.
+  const int n = 8;
+  auto workload = std::make_shared<HistogramWorkload>(n);
+
+  // Dense deployment (Matrix Mechanism).
+  const StatusOr<Plan> dense_plan = Plan::For(workload)
+                                        .Epsilon(1.0)
+                                        .Mechanism("Matrix Mechanism (L1)")
+                                        .Build();
+  ASSERT_TRUE(dense_plan.ok()) << dense_plan.status().ToString();
+  PlanServer dense_server = dense_plan.value().Server();
+  Report wrong_dim;
+  wrong_dim.dense = Vector(dense_plan.value().Client().num_outputs() + 3, 1.0);
+  const Status rejected = dense_server.Accept(wrong_dim);
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  // A non-finite entry would poison the aggregate (NaN forever after).
+  Report poisoned;
+  poisoned.dense = Vector(dense_plan.value().Client().num_outputs(), 1.0);
+  poisoned.dense[2] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(dense_server.Accept(poisoned).code(),
+            StatusCode::kInvalidArgument);
+  poisoned.dense[2] = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(dense_server.Accept(poisoned).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(dense_server.num_reports(), 0);
+  EXPECT_EQ(dense_server.aggregate(),
+            Vector(dense_plan.value().Client().num_outputs(), 0.0));
+
+  // Categorical deployment: out-of-range index.
+  const StatusOr<Plan> cat_plan =
+      Plan::For(workload).Epsilon(1.0).Mechanism("Randomized Response").Build();
+  ASSERT_TRUE(cat_plan.ok());
+  PlanServer cat_server = cat_plan.value().Server();
+  Report bad_index;
+  bad_index.index = cat_plan.value().Client().num_outputs();
+  EXPECT_EQ(cat_server.Accept(bad_index).code(),
+            StatusCode::kInvalidArgument);
+  bad_index.index = -1;
+  EXPECT_EQ(cat_server.Accept(bad_index).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(cat_server.num_reports(), 0);
+
+  // Bit-vector deployment: wrong width and non-binary entries.
+  const StatusOr<Plan> bits_plan =
+      Plan::For(workload).Epsilon(1.0).Mechanism("OUE").Build();
+  ASSERT_TRUE(bits_plan.ok());
+  PlanServer bits_server = bits_plan.value().Server();
+  Report short_bits;
+  short_bits.bits.assign(n - 1, 0);
+  EXPECT_EQ(bits_server.Accept(short_bits).code(),
+            StatusCode::kInvalidArgument);
+  Report corrupt_bits;
+  corrupt_bits.bits.assign(n, 0);
+  corrupt_bits.bits[3] = 2;
+  EXPECT_EQ(bits_server.Accept(corrupt_bits).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(bits_server.num_reports(), 0);
+  EXPECT_EQ(bits_server.aggregate(), Vector(n, 0.0));
+
+  // A report whose *shape* mismatches the deployment is equally
+  // device-controlled: rejected, never forwarded to a kind-checking abort.
+  Report dense_into_bits;
+  dense_into_bits.dense = Vector(n, 1.0);
+  EXPECT_EQ(bits_server.Accept(dense_into_bits).code(),
+            StatusCode::kInvalidArgument);
+  Report index_into_dense;
+  index_into_dense.index = 0;
+  EXPECT_EQ(dense_server.Accept(index_into_dense).code(),
+            StatusCode::kInvalidArgument);
+
+  // The concurrent session surface enforces the same contract.
+  std::unique_ptr<PlanSession> session = bits_plan.value().StartSession(1);
+  EXPECT_EQ(session->Accept(0, short_bits).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session->Accept(0, corrupt_bits).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session->Accept(0, dense_into_bits).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session->session().total_responses(), 0);
+
+  // A well-formed report still lands after rejections, on both surfaces.
+  Rng rng(5);
+  ASSERT_TRUE(
+      bits_server.Accept(bits_plan.value().Client().Respond(0, rng)).ok());
+  EXPECT_EQ(bits_server.num_reports(), 1);
+  ASSERT_TRUE(
+      session->Accept(0, bits_plan.value().Client().Respond(0, rng)).ok());
+  EXPECT_EQ(session->session().total_responses(), 1);
 }
 
 TEST(PlanBuilderTest, UnknownMechanismIsNotFoundAndListsRegistry) {
