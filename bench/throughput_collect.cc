@@ -13,6 +13,12 @@
 // Defaults finish in a few seconds; scale with
 //   --reports=8000000 --threads=1,2,4,8 --batch=4096 --n=256 --trials=5
 // Shard count follows the thread count unless --shards is given.
+//
+// A second table covers the bit-vector (RAPPOR/OUE) ingest paths: per-report
+// AcceptBits (m atomic adds per report) against the batched AcceptBitsBatch
+// scratch-count path (the whole batch folds into private integers, then one
+// atomic add per touched counter) — the server-side half of the wire
+// format's packed reports. Disable with --bits=false.
 
 #include <algorithm>
 #include <cstdint>
@@ -71,6 +77,42 @@ double RunTrial(const wfm::FactorizationAnalysis& analysis,
   WFM_CHECK_EQ(session.total_responses(),
                static_cast<std::int64_t>(reports.size()));
   return ingest_seconds;
+}
+
+// One timed bit-vector trial: T threads stream disjoint slices of a
+// concatenated k x m bit stream into a fresh aggregator, per-report or
+// batched. Returns reports/sec.
+double RunBitsTrial(const std::vector<std::uint8_t>& stream, int m,
+                    int threads, int batch, bool batched) {
+  const int total_reports = static_cast<int>(stream.size()) / m;
+  wfm::ShardedAggregator agg(m, threads, wfm::ReportKind::kBitVector);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  wfm::Stopwatch timer;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const int begin = total_reports * t / threads;
+      const int end = total_reports * (t + 1) / threads;
+      for (int pos = begin; pos < end; pos += batch) {
+        const int k = std::min(batch, end - pos);
+        const std::span<const std::uint8_t> slice(
+            stream.data() + static_cast<std::size_t>(pos) * m,
+            static_cast<std::size_t>(k) * m);
+        if (batched) {
+          agg.AddBitsBatch(t, slice);
+        } else {
+          for (int i = 0; i < k; ++i) {
+            agg.AddBits(t, slice.subspan(static_cast<std::size_t>(i) * m, m));
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double seconds = timer.ElapsedSeconds();
+  WFM_CHECK_EQ(agg.num_responses(),
+               static_cast<std::int64_t>(total_reports));
+  return total_reports / seconds;
 }
 
 }  // namespace
@@ -139,5 +181,39 @@ int main(int argc, char** argv) {
                   wfm::TablePrinter::Num(best_rate / base_rate) + "x"});
   }
   table.Print();
+
+  if (flags.GetBool("bits", true)) {
+    // Bit-vector ingest: per-report AcceptBits vs the batched scratch-count
+    // path, at the same report volume over an m = n unary encoding.
+    const int bit_reports = std::max(1, num_reports / 8);
+    wfm::bench::PrintHeader(
+        "Bit-vector ingest: AcceptBits vs batched AddBitsBatch",
+        "one atomic per set bit vs one atomic per touched counter per batch",
+        "m = " + std::to_string(n) + ", " + std::to_string(bit_reports) +
+            " reports, batch " + std::to_string(batch) + ", best of " +
+            std::to_string(trials));
+    std::vector<std::uint8_t> stream(static_cast<std::size_t>(bit_reports) *
+                                     n);
+    for (std::uint8_t& bit : stream) {
+      bit = static_cast<std::uint8_t>(rng.UniformInt(2));
+    }
+    wfm::TablePrinter bits_table(
+        {"threads", "path", "reports/sec", "batched vs per-report"});
+    for (const int threads : thread_counts) {
+      double per_report = 0.0, batched = 0.0;
+      for (int trial = 0; trial < trials; ++trial) {
+        per_report = std::max(
+            per_report, RunBitsTrial(stream, n, threads, batch, false));
+        batched = std::max(batched,
+                           RunBitsTrial(stream, n, threads, batch, true));
+      }
+      bits_table.AddRow({std::to_string(threads), "per-report",
+                         wfm::TablePrinter::Num(per_report), "1.00x"});
+      bits_table.AddRow({std::to_string(threads), "batched",
+                         wfm::TablePrinter::Num(batched),
+                         wfm::TablePrinter::Num(batched / per_report) + "x"});
+    }
+    bits_table.Print();
+  }
   return 0;
 }

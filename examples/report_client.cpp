@@ -1,0 +1,126 @@
+// The device-fleet half of a networked deployment — and its own referee.
+//
+// The client rebuilds the server's plan from the same pinned optimizer seed,
+// privatizes a fleet of reports with a pinned RNG, and ships every report to
+// BOTH a local in-process PlanSession and the remote CollectionServer. After
+// sealing both sides it fetches the server's estimate over the wire and
+// compares it against the local one bit for bit: integer count aggregation
+// plus a deterministic decode means the two paths must agree exactly, so any
+// difference is a wire bug. Exits non-zero on mismatch (CI runs this as the
+// service smoke test).
+//
+// Build & run (against a running report_server with the same flags):
+//   ./build/examples/report_client [--port=7971] [--eps=1.0] [--n=16]
+//                                  [--devices=20000] [--epochs=2]
+//                                  [--shutdown=true]
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "wfm.h"  // Public umbrella API: all wfm modules.
+
+int main(int argc, char** argv) {
+  wfm::FlagParser flags(argc, argv);
+  const int port = flags.GetInt("port", 7971);
+  const double eps = flags.GetDouble("eps", 1.0);
+  const int n = flags.GetInt("n", 16);
+  const int devices = flags.GetInt("devices", 20000);
+  const int epochs = flags.GetInt("epochs", 2);
+  const bool shutdown = flags.GetBool("shutdown", true);
+  wfm::WarnUnusedFlags(flags);
+
+  // Same pinned seed as report_server: both processes derive the identical
+  // deployment, so the wire never needs to carry the strategy.
+  auto workload = std::make_shared<const wfm::HistogramWorkload>(n);
+  wfm::OptimizerConfig config;
+  config.iterations = 300;
+  config.seed = 5;
+  const wfm::StatusOr<wfm::Plan> built = wfm::Plan::For(workload)
+                                             .Epsilon(eps)
+                                             .Mechanism("Optimized")
+                                             .Optimizer(config)
+                                             .Build();
+  if (!built.ok()) {
+    std::printf("cannot build plan: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const wfm::Plan& plan = built.value();
+  const wfm::PlanClient device = plan.Client();
+
+  wfm::StatusOr<wfm::CollectionClient> connected =
+      wfm::CollectionClient::Connect(port);
+  if (!connected.ok()) {
+    std::printf("cannot connect: %s\n",
+                connected.status().ToString().c_str());
+    return 1;
+  }
+  wfm::CollectionClient& remote = connected.value();
+  if (wfm::Status ping = remote.Ping(); !ping.ok()) {
+    std::printf("ping failed: %s\n", ping.ToString().c_str());
+    return 1;
+  }
+
+  // The in-process reference the networked path must match bit for bit.
+  std::unique_ptr<wfm::PlanSession> local = plan.StartSession(1);
+
+  wfm::Rng rng(2026);
+  int mismatches = 0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (int u = 0; u < devices; ++u) {
+      const wfm::Report report = device.Respond(u % n, rng);
+      if (wfm::Status sent = remote.Accept(report); !sent.ok()) {
+        std::printf("accept failed: %s\n", sent.ToString().c_str());
+        return 1;
+      }
+      if (wfm::Status kept = local->Accept(0, report); !kept.ok()) {
+        std::printf("local accept failed: %s\n", kept.ToString().c_str());
+        return 1;
+      }
+    }
+    const wfm::EpochSnapshot local_sealed = local->Seal();
+    const wfm::StatusOr<wfm::EpochSnapshot> remote_sealed = remote.Seal();
+    if (!remote_sealed.ok()) {
+      std::printf("seal failed: %s\n",
+                  remote_sealed.status().ToString().c_str());
+      return 1;
+    }
+    const wfm::WorkloadEstimate mine =
+        local->Estimate(wfm::EstimatorKind::kWnnls).value();
+    const wfm::StatusOr<wfm::WorkloadEstimate> theirs =
+        remote.Estimate(wfm::EstimatorKind::kWnnls);
+    if (!theirs.ok()) {
+      std::printf("estimate failed: %s\n",
+                  theirs.status().ToString().c_str());
+      return 1;
+    }
+
+    // Bit-identical or bust: same integer aggregates, same decoder, same
+    // WNNLS — memcmp-grade equality, not a tolerance check.
+    bool equal =
+        remote_sealed.value().count == local_sealed.count &&
+        theirs.value().query_answers.size() == mine.query_answers.size();
+    for (std::size_t q = 0; equal && q < mine.query_answers.size(); ++q) {
+      equal = theirs.value().query_answers[q] == mine.query_answers[q];
+    }
+    if (!equal) ++mismatches;
+    std::printf("[epoch %d] %lld reports over the wire; networked estimate "
+                "%s the in-process one\n",
+                epoch, static_cast<long long>(remote_sealed.value().count),
+                equal ? "bit-identical to" : "DIVERGES from");
+  }
+
+  if (shutdown) {
+    if (wfm::Status stop = remote.Shutdown(); !stop.ok()) {
+      std::printf("shutdown failed: %s\n", stop.ToString().c_str());
+      return 1;
+    }
+  }
+  if (mismatches > 0) {
+    std::printf("FAILED: %d epoch(s) diverged\n", mismatches);
+    return 1;
+  }
+  std::printf("OK: %d epochs, networked == in-process\n", epochs);
+  return 0;
+}

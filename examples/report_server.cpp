@@ -1,0 +1,69 @@
+// The serving half of a networked deployment: bind a CollectionServer to a
+// TCP port and map every frame onto the plan's PlanSession. Run the matching
+// report_client against it (same flags) and the two processes reproduce the
+// in-process collection_service example over a socket.
+//
+// The plan is rebuilt from the same pinned optimizer seed on both sides, so
+// client and server agree on the deployment (strategy, m, decoder) without
+// shipping it — the wire only ever carries reports, snapshots, and
+// estimates.
+//
+// Build & run:
+//   ./build/examples/report_server [--port=7971] [--shards=4] [--eps=1.0]
+//                                  [--n=16] [--snapshot-dir=]
+//
+// With --snapshot-dir set, sealed epochs persist there and a restarted
+// server recovers them before accepting traffic (kill it mid-session and
+// rerun: estimates over sealed history are identical).
+
+#include <cstdio>
+#include <memory>
+
+#include "wfm.h"  // Public umbrella API: all wfm modules.
+
+int main(int argc, char** argv) {
+  wfm::FlagParser flags(argc, argv);
+  const int port = flags.GetInt("port", 7971);
+  const int shards = flags.GetInt("shards", 4);
+  const double eps = flags.GetDouble("eps", 1.0);
+  const int n = flags.GetInt("n", 16);
+  const std::string snapshot_dir = flags.GetString("snapshot-dir", "");
+  wfm::WarnUnusedFlags(flags);
+
+  auto workload = std::make_shared<const wfm::HistogramWorkload>(n);
+  wfm::OptimizerConfig config;
+  config.iterations = 300;
+  config.seed = 5;  // Pinned: the client rebuilds this exact plan.
+  const wfm::StatusOr<wfm::Plan> built = wfm::Plan::For(workload)
+                                             .Epsilon(eps)
+                                             .Mechanism("Optimized")
+                                             .Optimizer(config)
+                                             .Build();
+  if (!built.ok()) {
+    std::printf("cannot build plan: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+
+  wfm::ServiceOptions options;
+  options.port = port;
+  options.num_shards = shards;
+  options.snapshot_dir = snapshot_dir;
+  wfm::CollectionServer server(built.value(), options);
+  if (wfm::Status started = server.Start(); !started.ok()) {
+    std::printf("cannot start server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("[server] %.2f-LDP plan for n = %d; listening on 127.0.0.1:%d "
+              "(%d shards)%s\n",
+              eps, n, server.port(), shards,
+              snapshot_dir.empty() ? "" : ", persisting sealed epochs");
+  std::fflush(stdout);
+
+  server.WaitUntilShutdown();
+  server.Stop();
+  std::printf("[server] shutdown: %d epochs sealed, %lld reports total\n",
+              server.session().session().epochs_sealed(),
+              static_cast<long long>(
+                  server.session().session().total_responses()));
+  return 0;
+}

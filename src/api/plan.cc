@@ -106,6 +106,21 @@ Status PlanSession::Accept(int shard, const Report& report) {
   return Status::Ok();
 }
 
+Status PlanSession::AcceptBatch(int shard, std::span<const Report> reports) {
+  // Validate the whole batch before ingesting anything, so a malformed
+  // report rejects its batch atomically instead of leaving a prefix behind.
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (Status valid = ValidateReport(reports[i], session_.num_outputs(),
+                                      session_.report_kind());
+        !valid.ok()) {
+      return Status::InvalidArgument("report " + std::to_string(i) +
+                                     " of batch rejected: " + valid.message());
+    }
+  }
+  session_.AcceptBatch(shard, reports);
+  return Status::Ok();
+}
+
 WorkloadEstimate PlanServer::Estimate(EstimatorKind kind) const {
   return EstimateWorkloadAnswers(decoder_, *workload_, aggregate_, count_,
                                  kind);

@@ -128,6 +128,14 @@ class PlanSession {
   /// rejected with kInvalidArgument (never ingested), not a process abort.
   /// Shard ids are caller-controlled, so an out-of-range shard still aborts.
   Status Accept(int shard, const Report& report);
+
+  /// Batched untrusted ingest, any report kind: the whole batch is validated
+  /// first and rejected atomically — if any report is malformed, nothing is
+  /// ingested and the Status names the offending position. The accepted
+  /// batch lands via the scratch-count path (one atomic per touched counter
+  /// per batch), so network endpoints can hand over whole request bodies.
+  Status AcceptBatch(int shard, std::span<const Report> reports);
+
   /// Categorical batched hot path (trusted, pre-validated streams; aborts on
   /// out-of-range responses like the collect/ ingestion contract).
   void AcceptBatch(int shard, std::span<const int> responses) {
@@ -136,6 +144,19 @@ class PlanSession {
 
   /// Freezes the current epoch (see CollectionSession::Seal).
   EpochSnapshot Seal() { return session_.Seal(); }
+
+  /// Sealed-epoch snapshot by id; kNotFound when that epoch has not been
+  /// sealed (the wire layer's 404).
+  StatusOr<std::shared_ptr<const EpochSnapshot>> Snapshot(int epoch_id) const {
+    return session_.TrySnapshot(epoch_id);
+  }
+
+  /// Adopts a sealed epoch from a persisted store or another node; validated
+  /// like any untrusted input (see CollectionSession::RestoreSealedEpoch).
+  /// Returns the locally assigned epoch id.
+  StatusOr<int> RestoreSealedEpoch(const EpochSnapshot& snapshot) {
+    return session_.RestoreSealedEpoch(snapshot);
+  }
 
   /// Cached workload answers from the latest sealed epoch.
   /// kFailedPrecondition until the first Seal().

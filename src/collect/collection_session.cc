@@ -1,6 +1,8 @@
 #include "collect/collection_session.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -49,13 +51,20 @@ void CollectionSession::AcceptBits(int shard,
 }
 
 void CollectionSession::Accept(int shard, const Report& report) {
-  if (report.is_bits()) {
-    AcceptBits(shard, report.bits);
-  } else if (report.is_dense()) {
-    AcceptDense(shard, report.dense);
-  } else {
-    Accept(shard, report.index);
-  }
+  std::shared_lock<std::shared_mutex> lock(ingest_mutex_);
+  active_->Accept(shard, report);
+}
+
+void CollectionSession::AcceptBatch(int shard,
+                                    std::span<const Report> reports) {
+  std::shared_lock<std::shared_mutex> lock(ingest_mutex_);
+  active_->AcceptBatch(shard, reports);
+}
+
+void CollectionSession::AcceptBitsBatch(int shard,
+                                        std::span<const std::uint8_t> reports) {
+  std::shared_lock<std::shared_mutex> lock(ingest_mutex_);
+  active_->AddBitsBatch(shard, reports);
 }
 
 EpochSnapshot CollectionSession::Seal() {
@@ -96,6 +105,46 @@ std::shared_ptr<const EpochSnapshot> CollectionSession::Snapshot(
   WFM_CHECK(epoch_id >= 0 && epoch_id < static_cast<int>(snapshots_.size()))
       << "epoch" << epoch_id << "not sealed yet";
   return snapshots_[epoch_id];
+}
+
+StatusOr<std::shared_ptr<const EpochSnapshot>> CollectionSession::TrySnapshot(
+    int epoch_id) const {
+  std::lock_guard<std::mutex> lock(snapshots_mutex_);
+  if (epoch_id < 0 || epoch_id >= static_cast<int>(snapshots_.size())) {
+    return Status::NotFound("epoch " + std::to_string(epoch_id) +
+                            " has not been sealed (epochs sealed: " +
+                            std::to_string(snapshots_.size()) + ")");
+  }
+  return snapshots_[epoch_id];
+}
+
+StatusOr<int> CollectionSession::RestoreSealedEpoch(
+    const EpochSnapshot& snapshot) {
+  if (static_cast<int>(snapshot.histogram.size()) != decoder_.m()) {
+    return Status::InvalidArgument(
+        "snapshot histogram has dimension " +
+        std::to_string(snapshot.histogram.size()) +
+        ", session expects m = " + std::to_string(decoder_.m()));
+  }
+  if (snapshot.count < 0) {
+    return Status::InvalidArgument("snapshot report count is negative: " +
+                                   std::to_string(snapshot.count));
+  }
+  for (std::size_t o = 0; o < snapshot.histogram.size(); ++o) {
+    // A restored snapshot may arrive off the wire or disk; one NaN/Inf entry
+    // would poison every later windowed estimate.
+    if (!std::isfinite(snapshot.histogram[o])) {
+      return Status::InvalidArgument(
+          "snapshot histogram entry is not finite at coordinate " +
+          std::to_string(o));
+    }
+  }
+  EpochSnapshot adopted = snapshot;
+  std::lock_guard<std::mutex> lock(snapshots_mutex_);
+  adopted.epoch_id = static_cast<int>(snapshots_.size());
+  snapshots_.push_back(std::make_shared<const EpochSnapshot>(adopted));
+  sealed_count_ += adopted.count;
+  return adopted.epoch_id;
 }
 
 EpochSnapshot CollectionSession::WindowTotal(int last_k) const {

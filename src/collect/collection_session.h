@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "collect/sharded_aggregator.h"
+#include "common/status.h"
 #include "core/factorization.h"
 #include "estimation/decoder.h"
 #include "ldp/reporter.h"
@@ -59,6 +60,8 @@ struct EpochSnapshot {
   int epoch_id = -1;        ///< 0-based seal order; -1 means "no epoch".
   std::int64_t count = 0;   ///< Reports in this epoch.
   Vector histogram;         ///< m-dimensional report aggregate.
+
+  friend bool operator==(const EpochSnapshot&, const EpochSnapshot&) = default;
 };
 
 class CollectionSession {
@@ -81,20 +84,35 @@ class CollectionSession {
   int num_outputs() const { return decoder_.m(); }
   ReportKind report_kind() const { return report_kind_; }
 
+  /// Ingests one report of any shape — the single kind-dispatched entry
+  /// point (dispatches on Report::is_bits() / is_dense(); the shape must
+  /// match the session's report_kind()). Thread-safe; this layer ingests
+  /// pre-validated streams and aborts on malformed ones — untrusted reports
+  /// go through api/PlanSession::Accept (or the wire/ service), which
+  /// rejects them with kInvalidArgument first.
+  void Accept(int shard, const Report& report);
+
+  /// Kind-dispatched batched ingest: one report per element, scratch-count
+  /// aggregation per batch (see ShardedAggregator::AcceptBatch).
+  void AcceptBatch(int shard, std::span<const Report> reports);
+
   /// Ingests a batch of categorical responses into the current epoch.
   /// Thread-safe; aborts on out-of-range responses or shard ids.
   void Accept(int shard, std::span<const int> responses);
   void Accept(int shard, int response);
 
-  /// Ingests one dense m-vector report (kDense sessions).
+  /// Batched bit-vector hot path: k concatenated m-bit reports (size must be
+  /// a multiple of num_outputs()); one atomic add per touched counter per
+  /// batch (ShardedAggregator::AddBitsBatch).
+  void AcceptBitsBatch(int shard, std::span<const std::uint8_t> reports);
+
+  /// Deprecated: prefer Accept(shard, report). Ingests one dense m-vector
+  /// report (kDense sessions).
   void AcceptDense(int shard, std::span<const double> report);
 
-  /// Ingests one m-bit report (kBitVector sessions).
+  /// Deprecated: prefer Accept(shard, report) or AcceptBitsBatch. Ingests
+  /// one m-bit report (kBitVector sessions).
   void AcceptBits(int shard, std::span<const std::uint8_t> report);
-
-  /// Ingests one report of any shape (dispatches on Report::is_bits() /
-  /// is_dense(); the shape must match the session's report_kind()).
-  void Accept(int shard, const Report& report);
 
   /// Freezes the current epoch and starts a new one. Returns the sealed
   /// snapshot (also retained in the session's history). Waits for in-flight
@@ -111,6 +129,21 @@ class CollectionSession {
 
   /// Snapshot of a specific sealed epoch (0 <= epoch_id < epochs_sealed()).
   std::shared_ptr<const EpochSnapshot> Snapshot(int epoch_id) const;
+
+  /// Snapshot() with runtime-reachable failures as Status: kNotFound when
+  /// the epoch has not been sealed — the code the wire layer maps to an
+  /// HTTP-style 404 instead of the Snapshot() abort.
+  StatusOr<std::shared_ptr<const EpochSnapshot>> TrySnapshot(
+      int epoch_id) const;
+
+  /// Re-inserts a sealed epoch into the history — crash recovery (replaying
+  /// a persisted store) or multi-node operation (adopting another node's
+  /// sealed epoch). The snapshot is validated like any cross-boundary input
+  /// (histogram dimension must equal num_outputs(), entries finite, count
+  /// non-negative → kInvalidArgument otherwise) and is assigned the next
+  /// local epoch id, which is returned. Thread-safe; counts toward
+  /// WindowTotal()/total_responses() exactly like a locally sealed epoch.
+  StatusOr<int> RestoreSealedEpoch(const EpochSnapshot& snapshot);
 
   /// Sum of the last min(last_k, epochs_sealed()) sealed snapshots. The
   /// returned epoch_id is the newest epoch included (-1 if none sealed yet,

@@ -51,6 +51,82 @@ const ShardedAggregator::Shard& ShardedAggregator::GetShard(int shard) const {
   return *shards_[shard];
 }
 
+void ShardedAggregator::Accept(int shard, const Report& report) {
+  if (report.is_bits()) {
+    AddBits(shard, report.bits);
+  } else if (report.is_dense()) {
+    AddDense(shard, report.dense);
+  } else {
+    Add(shard, report.index);
+  }
+}
+
+void ShardedAggregator::AcceptBatch(int shard,
+                                    std::span<const Report> reports) {
+  // Small batches skip the scratch buffers (same break-even reasoning as
+  // AddBatch's kScatterThreshold; bit-vector and dense reports touch m
+  // counters each, so they amortize from the second report on).
+  if (reports.size() < 2) {
+    for (const Report& report : reports) Accept(shard, report);
+    return;
+  }
+  Shard& s = GetShard(shard);
+  switch (kind_) {
+    case ReportKind::kCategorical: {
+      std::vector<std::int64_t> local(num_outputs_, 0);
+      for (const Report& report : reports) {
+        WFM_CHECK(!report.is_bits() && !report.is_dense())
+            << "non-categorical report in a categorical batch";
+        WFM_CHECK(report.index >= 0 && report.index < num_outputs_)
+            << "response out of range:" << report.index
+            << "for m =" << num_outputs_;
+        ++local[report.index];
+      }
+      for (int o = 0; o < num_outputs_; ++o) {
+        if (local[o] != 0) {
+          s.counts[o].fetch_add(local[o], std::memory_order_relaxed);
+        }
+      }
+      break;
+    }
+    case ReportKind::kBitVector: {
+      std::vector<std::int64_t> local(num_outputs_, 0);
+      for (const Report& report : reports) {
+        WFM_CHECK(report.is_bits())
+            << "non-bit-vector report in a bit-vector batch";
+        WFM_CHECK_EQ(static_cast<int>(report.bits.size()), num_outputs_);
+        for (int o = 0; o < num_outputs_; ++o) {
+          const std::uint8_t bit = report.bits[o];
+          WFM_CHECK_LE(bit, 1)
+              << "bit report entry out of range:" << static_cast<int>(bit)
+              << "at coordinate" << o;
+          local[o] += bit;
+        }
+      }
+      for (int o = 0; o < num_outputs_; ++o) {
+        if (local[o] != 0) {
+          s.counts[o].fetch_add(local[o], std::memory_order_relaxed);
+        }
+      }
+      break;
+    }
+    case ReportKind::kDense: {
+      Vector local(num_outputs_, 0.0);
+      for (const Report& report : reports) {
+        WFM_CHECK(report.is_dense()) << "non-dense report in a dense batch";
+        WFM_CHECK_EQ(static_cast<int>(report.dense.size()), num_outputs_);
+        for (int o = 0; o < num_outputs_; ++o) local[o] += report.dense[o];
+      }
+      for (int o = 0; o < num_outputs_; ++o) {
+        if (local[o] != 0.0) AtomicAdd(s.dense[o], local[o]);
+      }
+      break;
+    }
+  }
+  s.total.fetch_add(static_cast<std::int64_t>(reports.size()),
+                    std::memory_order_relaxed);
+}
+
 void ShardedAggregator::Add(int shard, int response) {
   WFM_CHECK(kind_ == ReportKind::kCategorical)
       << "categorical Add on a" << KindName(kind_) << "aggregator";
@@ -114,6 +190,38 @@ void ShardedAggregator::AddBits(int shard, std::span<const std::uint8_t> report)
   }
   // One n-bit report is one user; the total feeds the affine debias N.
   s.total.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedAggregator::AddBitsBatch(int shard,
+                                     std::span<const std::uint8_t> reports) {
+  WFM_CHECK(kind_ == ReportKind::kBitVector)
+      << "bit-vector AddBitsBatch on a" << KindName(kind_) << "aggregator";
+  WFM_CHECK_EQ(static_cast<int>(reports.size()) % num_outputs_, 0)
+      << "bit batch of" << static_cast<int>(reports.size())
+      << "bytes is not a multiple of m =" << num_outputs_;
+  const std::int64_t k =
+      static_cast<std::int64_t>(reports.size()) / num_outputs_;
+  if (k == 1) {
+    AddBits(shard, reports);
+    return;
+  }
+  Shard& s = GetShard(shard);
+  // Per-batch scratch counts: the whole batch folds into private integers
+  // first, so the atomic traffic is one add per touched counter rather than
+  // one per set bit (the dense-AddBatch treatment, applied to bits).
+  std::vector<std::int64_t> local(num_outputs_, 0);
+  for (std::size_t pos = 0; pos < reports.size(); pos += num_outputs_) {
+    for (int o = 0; o < num_outputs_; ++o) {
+      const std::uint8_t bit = reports[pos + o];
+      WFM_CHECK_LE(bit, 1) << "bit report entry out of range:"
+                           << static_cast<int>(bit) << "at coordinate" << o;
+      local[o] += bit;
+    }
+  }
+  for (int o = 0; o < num_outputs_; ++o) {
+    if (local[o] != 0) s.counts[o].fetch_add(local[o], std::memory_order_relaxed);
+  }
+  s.total.fetch_add(k, std::memory_order_relaxed);
 }
 
 Vector ShardedAggregator::Merge() const {

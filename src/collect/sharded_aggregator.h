@@ -39,6 +39,7 @@
 #include <span>
 #include <vector>
 
+#include "ldp/reporter.h"
 #include "linalg/matrix.h"
 
 namespace wfm {
@@ -65,6 +66,19 @@ class ShardedAggregator {
   int num_shards() const { return static_cast<int>(shards_.size()); }
   ReportKind kind() const { return kind_; }
 
+  /// Records one report of any shape on the given shard — the single
+  /// kind-dispatched landing pad of this layer (the report's shape must
+  /// match kind(); a mismatch aborts, as do out-of-range entries and shard
+  /// ids: this layer ingests pre-validated streams, the api/ and wire/
+  /// layers reject untrusted malformed reports with Status first).
+  void Accept(int shard, const Report& report);
+
+  /// Batched kind-dispatched ingest: one report per element. Every kind gets
+  /// the scratch-counts treatment — the batch accumulates into private
+  /// buffers first, so the atomic traffic is one add per touched counter per
+  /// batch, not one per report (per bit, for bit vectors).
+  void AcceptBatch(int shard, std::span<const Report> reports);
+
   /// Records one categorical response in [0, num_outputs) on the given
   /// shard. Thread-safe; out-of-range responses, shard ids, and kind
   /// mismatches abort (they indicate a corrupt or malicious report stream,
@@ -74,9 +88,18 @@ class ShardedAggregator {
   /// Batched categorical hot path: validates and records every response.
   void AddBatch(int shard, std::span<const int> responses);
 
-  /// Records one dense m-vector report on the given shard (kDense only).
+  /// Batched bit-vector hot path: `reports` is k concatenated m-bit reports
+  /// (size must be a multiple of num_outputs()). The batch accumulates into
+  /// per-batch scratch counts, so the atomic traffic is one add per touched
+  /// counter — matching the dense AddBatch treatment — instead of one per
+  /// set bit. Counts k reports toward num_responses().
+  void AddBitsBatch(int shard, std::span<const std::uint8_t> reports);
+
+  /// Deprecated: prefer Accept(shard, report) (kind-dispatched). Records one
+  /// dense m-vector report on the given shard (kDense only).
   void AddDense(int shard, std::span<const double> report);
 
+  /// Deprecated: prefer Accept(shard, report) or the batched AddBitsBatch.
   /// Records one m-bit report on the given shard (kBitVector only). Entries
   /// must be 0 or 1; anything else aborts (corrupt report stream). Counts
   /// one report toward num_responses().

@@ -39,6 +39,29 @@
 // users of one type are exchangeable, so their response counts are a
 // multinomial draw — equivalent in distribution to looping over users, but
 // O(n * m) instead of O(N).
+//
+// Wire format (wire/wire_format.h). When steps 2-4 span processes — devices
+// reporting over a network, collector nodes shipping sealed epochs to a
+// coordinator, a server persisting epochs for crash recovery — the objects
+// crossing the boundary use one versioned little-endian envelope:
+//
+//   magic(4) | version(1) | kind(1) | reserved(2) | u32 dim | payload |
+//   u32 CRC-32
+//
+// Reports ("WFRP") come in the three shapes above: kind 0 categorical (a u32
+// response index), kind 1 dense (dim doubles), kind 2 packed bits — an n-bit
+// RAPPOR/OUE report occupies ceil(n/8) payload bytes, bit i stored LSB-first
+// at bit (i mod 8) of byte (i div 8), padding bits required zero so every
+// bit vector has exactly one encoding. Epoch snapshots ("WFSN") carry
+// epoch_id, the exact report count N (load-bearing for the affine debias
+// above), and the m-dim histogram; per-epoch histograms and counts add, so
+// wire-shipped snapshots merge across nodes bit-identically to single-node
+// aggregation. Served estimates ("WFES") carry x_hat and the workload
+// answers. Version bumps are breaking by design: decoders reject any version
+// they do not implement, plus any truncated, oversized, bit-flipped,
+// wrong-magic, or non-canonically padded buffer, with kInvalidArgument —
+// never an abort. wire/service.h speaks these encodings over TCP and maps
+// them onto api/PlanSession.
 
 #ifndef WFM_LDP_PROTOCOL_H_
 #define WFM_LDP_PROTOCOL_H_

@@ -46,6 +46,8 @@ struct Report {
 
   bool is_dense() const { return !dense.empty(); }
   bool is_bits() const { return !bits.empty(); }
+
+  friend bool operator==(const Report&, const Report&) = default;
 };
 
 /// Interface for the on-device half of a deployment (see Mechanism::Deploy).

@@ -84,4 +84,10 @@
 // and the Client()/Server()/StartSession() handles it returns.
 #include "api/plan.h"
 
+// wire: serialized report/snapshot/estimate encodings, durable epoch
+// snapshots, and the TCP service front end over a PlanSession.
+#include "wire/service.h"
+#include "wire/snapshot_store.h"
+#include "wire/wire_format.h"
+
 #endif  // WFM_WFM_H_

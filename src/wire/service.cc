@@ -1,0 +1,455 @@
+#include "wire/service.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "wire/snapshot_store.h"
+
+namespace wfm {
+namespace {
+
+// Frame bodies are reports/snapshots of a fixed deployment, so anything past
+// a few MB is a malformed or hostile length prefix, not a real request.
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+// ---- blocking socket I/O ---------------------------------------------------
+
+bool ReadExactly(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t got = ::recv(fd, data + done, size - done, 0);
+    if (got <= 0) return false;  // peer closed or error
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    // MSG_NOSIGNAL: a peer that hangs up mid-response must surface as an
+    // error return, not a process-killing SIGPIPE.
+    const ssize_t put = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (put <= 0) return false;
+    done += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+void PutU16LE(WireBytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void PutU32LE(WireBytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t GetU32LE(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+bool SendResponse(int fd, const WireResponse& response) {
+  WireBytes frame;
+  frame.reserve(4 + 2 + response.payload.size());
+  PutU32LE(frame, static_cast<std::uint32_t>(2 + response.payload.size()));
+  PutU16LE(frame, response.status);
+  frame.insert(frame.end(), response.payload.begin(), response.payload.end());
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+WireResponse OkResponse(WireBytes payload = {}) {
+  return WireResponse{kWireStatusOk, std::move(payload)};
+}
+
+WireResponse ErrorResponse(const Status& status) {
+  WireResponse response;
+  response.status = WireStatusCode(status);
+  const std::string& message = status.message();
+  response.payload.assign(message.begin(), message.end());
+  return response;
+}
+
+Status StatusFromResponse(const WireResponse& response) {
+  const std::string message(response.payload.begin(), response.payload.end());
+  switch (response.status) {
+    case kWireStatusOk:
+      return Status::Ok();
+    case kWireStatusBadRequest:
+      return Status::InvalidArgument(message);
+    case kWireStatusNotFound:
+      return Status::NotFound(message);
+    case kWireStatusConflict:
+      return Status::FailedPrecondition(message);
+    default:
+      return Status::Internal(message);
+  }
+}
+
+}  // namespace
+
+std::uint16_t WireStatusCode(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return kWireStatusOk;
+    case StatusCode::kInvalidArgument:
+      return kWireStatusBadRequest;
+    case StatusCode::kNotFound:
+      return kWireStatusNotFound;
+    case StatusCode::kFailedPrecondition:
+      return kWireStatusConflict;
+    case StatusCode::kInternal:
+      return kWireStatusInternal;
+  }
+  return kWireStatusInternal;
+}
+
+// ---- server ---------------------------------------------------------------
+
+CollectionServer::CollectionServer(const Plan& plan, ServiceOptions options)
+    : session_(plan.StartSession(options.num_shards)),
+      options_(std::move(options)) {}
+
+CollectionServer::~CollectionServer() { Stop(); }
+
+Status CollectionServer::Start() {
+  WFM_CHECK(!running_.load()) << "Start() called twice";
+  // Replay persisted history before the socket opens, so the first estimate
+  // a client sees already covers every epoch sealed before the crash.
+  if (!options_.snapshot_dir.empty()) {
+    SnapshotStore store(options_.snapshot_dir);
+    StatusOr<std::vector<EpochSnapshot>> persisted = store.LoadAll();
+    if (!persisted.ok()) return persisted.status();
+    for (const EpochSnapshot& snapshot : persisted.value()) {
+      StatusOr<int> restored = session_->RestoreSealedEpoch(snapshot);
+      if (!restored.ok()) return restored.status();
+    }
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind() failed on port " +
+                            std::to_string(options_.port));
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 128) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen() failed");
+  }
+
+  running_.store(true);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void CollectionServer::Stop() {
+  if (running_.exchange(false) && listen_fd_ >= 0) {
+    // Shutting down the listener unblocks accept(); the loop then exits.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    // Connection threads block in recv() until their client hangs up; a
+    // half-open shutdown unblocks them so the joins below cannot deadlock
+    // on a client that never disconnects.
+    for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+    to_join.swap(connection_threads_);
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void CollectionServer::WaitUntilShutdown() {
+  if (acceptor_.joinable()) acceptor_.join();
+}
+
+void CollectionServer::AcceptLoop() {
+  int next_connection_id = 0;
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // listener closed by Stop()/kShutdown
+    const int id = next_connection_id++;
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    live_fds_.push_back(fd);
+    connection_threads_.emplace_back(
+        [this, fd, id] { ServeConnection(fd, id); });
+  }
+}
+
+void CollectionServer::ServeConnection(int fd, int connection_id) {
+  // Each connection pins one shard; concurrent clients therefore spread
+  // round-robin over the session's sharded aggregator.
+  const int shard = connection_id % options_.num_shards;
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  WireBytes body;
+  for (;;) {
+    std::uint8_t length_bytes[4];
+    if (!ReadExactly(fd, length_bytes, 4)) break;
+    const std::uint32_t length = GetU32LE(length_bytes);
+    if (length < 1 || length > kMaxFrameBytes) {
+      // An unframeable length prefix is unrecoverable on a byte stream —
+      // answer 400 and drop the connection (resync is impossible).
+      SendResponse(fd, ErrorResponse(Status::InvalidArgument(
+                           "frame length " + std::to_string(length) +
+                           " outside [1, " + std::to_string(kMaxFrameBytes) +
+                           "]")));
+      break;
+    }
+    body.resize(length);
+    if (!ReadExactly(fd, body.data(), length)) break;
+    const std::uint8_t type = body[0];
+    const std::span<const std::uint8_t> payload(body.data() + 1, length - 1);
+    const WireResponse response = HandleRequest(type, payload, shard);
+    if (!SendResponse(fd, response)) break;
+    if (type == static_cast<std::uint8_t>(WireMessageType::kShutdown)) {
+      // Response is out; now unblock the acceptor. Other live connections
+      // drain naturally (Stop() joins them).
+      if (running_.exchange(false)) {
+        ::shutdown(listen_fd_, SHUT_RDWR);
+      }
+      break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    std::erase(live_fds_, fd);
+  }
+  ::close(fd);
+}
+
+WireResponse CollectionServer::HandleRequest(
+    std::uint8_t type, std::span<const std::uint8_t> payload, int shard) {
+  switch (static_cast<WireMessageType>(type)) {
+    case WireMessageType::kAccept: {
+      StatusOr<Report> report = DecodeReport(payload);
+      if (!report.ok()) return ErrorResponse(report.status());
+      if (Status accepted = session_->Accept(shard, report.value());
+          !accepted.ok()) {
+        return ErrorResponse(accepted);
+      }
+      return OkResponse();
+    }
+    case WireMessageType::kSeal: {
+      if (!payload.empty()) {
+        return ErrorResponse(
+            Status::InvalidArgument("seal request carries a payload"));
+      }
+      const EpochSnapshot snapshot = session_->Seal();
+      if (!options_.snapshot_dir.empty()) {
+        SnapshotStore store(options_.snapshot_dir);
+        if (Status saved = store.Append(snapshot); !saved.ok()) {
+          return ErrorResponse(saved);
+        }
+      }
+      return OkResponse(EncodeSnapshot(snapshot));
+    }
+    case WireMessageType::kEstimate: {
+      if (payload.size() != 1 || payload[0] > 1) {
+        return ErrorResponse(Status::InvalidArgument(
+            "estimate request payload must be one estimator-kind byte"));
+      }
+      const EstimatorKind kind = payload[0] == 0 ? EstimatorKind::kUnbiased
+                                                 : EstimatorKind::kWnnls;
+      StatusOr<WorkloadEstimate> estimate = session_->Estimate(kind);
+      if (!estimate.ok()) return ErrorResponse(estimate.status());
+      return OkResponse(EncodeEstimate(estimate.value()));
+    }
+    case WireMessageType::kGetSnapshot: {
+      if (payload.size() != 4) {
+        return ErrorResponse(Status::InvalidArgument(
+            "snapshot request payload must be a u32 epoch id"));
+      }
+      const std::uint32_t epoch_id = GetU32LE(payload.data());
+      if (epoch_id > static_cast<std::uint32_t>(INT32_MAX)) {
+        return ErrorResponse(Status::NotFound(
+            "epoch " + std::to_string(epoch_id) + " out of range"));
+      }
+      StatusOr<std::shared_ptr<const EpochSnapshot>> snapshot =
+          session_->Snapshot(static_cast<int>(epoch_id));
+      if (!snapshot.ok()) return ErrorResponse(snapshot.status());
+      return OkResponse(EncodeSnapshot(*snapshot.value()));
+    }
+    case WireMessageType::kPushSnapshot: {
+      StatusOr<EpochSnapshot> snapshot = DecodeSnapshot(payload);
+      if (!snapshot.ok()) return ErrorResponse(snapshot.status());
+      StatusOr<int> restored = session_->RestoreSealedEpoch(snapshot.value());
+      if (!restored.ok()) return ErrorResponse(restored.status());
+      WireBytes assigned;
+      PutU32LE(assigned, static_cast<std::uint32_t>(restored.value()));
+      return OkResponse(std::move(assigned));
+    }
+    case WireMessageType::kPing:
+      return OkResponse();
+    case WireMessageType::kShutdown:
+      return OkResponse();
+    default:
+      return ErrorResponse(Status::InvalidArgument(
+          "unknown request type " + std::to_string(type)));
+  }
+}
+
+// ---- client ---------------------------------------------------------------
+
+StatusOr<CollectionClient> CollectionClient::Connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::Internal("connect() to 127.0.0.1:" + std::to_string(port) +
+                            " failed");
+  }
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  return CollectionClient(fd);
+}
+
+CollectionClient::CollectionClient(CollectionClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+CollectionClient& CollectionClient::operator=(
+    CollectionClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+CollectionClient::~CollectionClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<WireResponse> CollectionClient::RawRequest(
+    std::uint8_t type, std::span<const std::uint8_t> payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is disconnected");
+  WireBytes frame;
+  frame.reserve(4 + 1 + payload.size());
+  PutU32LE(frame, static_cast<std::uint32_t>(1 + payload.size()));
+  frame.push_back(type);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  if (!WriteAll(fd_, frame.data(), frame.size())) {
+    return Status::Internal("request write failed (connection closed?)");
+  }
+  std::uint8_t header[6];
+  if (!ReadExactly(fd_, header, 6)) {
+    return Status::Internal("response read failed (connection closed?)");
+  }
+  const std::uint32_t length = GetU32LE(header);
+  if (length < 2 || length > kMaxFrameBytes) {
+    return Status::Internal("malformed response frame length " +
+                            std::to_string(length));
+  }
+  WireResponse response;
+  response.status = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(header[4]) |
+      static_cast<std::uint16_t>(header[5]) << 8);
+  response.payload.resize(length - 2);
+  if (!response.payload.empty() &&
+      !ReadExactly(fd_, response.payload.data(), response.payload.size())) {
+    return Status::Internal("response payload read failed");
+  }
+  return response;
+}
+
+Status CollectionClient::Accept(const Report& report) {
+  const WireBytes encoded = EncodeReport(report);
+  StatusOr<WireResponse> response = RawRequest(
+      static_cast<std::uint8_t>(WireMessageType::kAccept), encoded);
+  if (!response.ok()) return response.status();
+  return StatusFromResponse(response.value());
+}
+
+StatusOr<EpochSnapshot> CollectionClient::Seal() {
+  StatusOr<WireResponse> response =
+      RawRequest(static_cast<std::uint8_t>(WireMessageType::kSeal), {});
+  if (!response.ok()) return response.status();
+  if (!response.value().ok()) return StatusFromResponse(response.value());
+  return DecodeSnapshot(response.value().payload);
+}
+
+StatusOr<WorkloadEstimate> CollectionClient::Estimate(EstimatorKind kind) {
+  const std::uint8_t kind_byte = kind == EstimatorKind::kUnbiased ? 0 : 1;
+  StatusOr<WireResponse> response =
+      RawRequest(static_cast<std::uint8_t>(WireMessageType::kEstimate),
+                 std::span<const std::uint8_t>(&kind_byte, 1));
+  if (!response.ok()) return response.status();
+  if (!response.value().ok()) return StatusFromResponse(response.value());
+  return DecodeEstimate(response.value().payload);
+}
+
+StatusOr<EpochSnapshot> CollectionClient::GetSnapshot(int epoch_id) {
+  WireBytes payload;
+  PutU32LE(payload, static_cast<std::uint32_t>(epoch_id));
+  StatusOr<WireResponse> response = RawRequest(
+      static_cast<std::uint8_t>(WireMessageType::kGetSnapshot), payload);
+  if (!response.ok()) return response.status();
+  if (!response.value().ok()) return StatusFromResponse(response.value());
+  return DecodeSnapshot(response.value().payload);
+}
+
+StatusOr<int> CollectionClient::PushSnapshot(const EpochSnapshot& snapshot) {
+  const WireBytes encoded = EncodeSnapshot(snapshot);
+  StatusOr<WireResponse> response = RawRequest(
+      static_cast<std::uint8_t>(WireMessageType::kPushSnapshot), encoded);
+  if (!response.ok()) return response.status();
+  if (!response.value().ok()) return StatusFromResponse(response.value());
+  if (response.value().payload.size() != 4) {
+    return Status::Internal("push-snapshot response payload malformed");
+  }
+  return static_cast<int>(GetU32LE(response.value().payload.data()));
+}
+
+Status CollectionClient::Ping() {
+  StatusOr<WireResponse> response =
+      RawRequest(static_cast<std::uint8_t>(WireMessageType::kPing), {});
+  if (!response.ok()) return response.status();
+  return StatusFromResponse(response.value());
+}
+
+Status CollectionClient::Shutdown() {
+  StatusOr<WireResponse> response =
+      RawRequest(static_cast<std::uint8_t>(WireMessageType::kShutdown), {});
+  if (!response.ok()) return response.status();
+  return StatusFromResponse(response.value());
+}
+
+}  // namespace wfm

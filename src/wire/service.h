@@ -1,0 +1,193 @@
+// A socket front end for a deployed plan: the network face of
+// api/PlanSession, speaking the wire_format.h encodings over a minimal
+// length-prefixed TCP framing.
+//
+// One CollectionServer owns one PlanSession. Every frame a client sends maps
+// onto the session surface it already has:
+//
+//   kAccept        -> PlanSession::Accept        (ingest one wire report)
+//   kSeal          -> PlanSession::Seal          (freeze the epoch; returns
+//                                                 the sealed snapshot)
+//   kEstimate      -> PlanSession::Estimate      (serve the latest estimate)
+//   kGetSnapshot   -> PlanSession::Snapshot      (fetch a sealed epoch)
+//   kPushSnapshot  -> PlanSession::RestoreSealedEpoch
+//                                                (adopt another node's epoch)
+//   kPing          -> liveness probe
+//   kShutdown      -> stop accepting connections (drains, then exits)
+//
+// Framing (all integers little-endian):
+//   request   u32 length | u8 type | payload[length - 1]
+//   response  u32 length | u16 status | payload[length - 2]
+//
+// Response status is HTTP-flavored: 200 OK, 400 kInvalidArgument,
+// 404 kNotFound, 409 kFailedPrecondition, 500 kInternal. Error responses
+// carry the Status message as UTF-8 payload. Every request body is untrusted:
+// malformed frames and payloads are answered with 400 and the connection
+// stays up — a bad client cannot crash collection or poison an aggregate
+// (wire decode rejects structural defects, then PlanSession::Accept rejects
+// semantic ones).
+//
+// Threading: one acceptor thread plus one thread per live connection.
+// Reports land on shard (connection id % num_shards), so concurrent clients
+// spread over the sharded aggregator without coordinating.
+//
+// Durability: with ServiceOptions::snapshot_dir set, every sealed epoch
+// (kSeal) is appended to a SnapshotStore, and Start() replays the store
+// through RestoreSealedEpoch before accepting traffic — kill the process,
+// restart it on the same directory, and estimates over sealed history are
+// identical.
+
+#ifndef WFM_WIRE_SERVICE_H_
+#define WFM_WIRE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/plan.h"
+#include "common/status.h"
+#include "wire/wire_format.h"
+
+namespace wfm {
+
+/// Request frame types.
+enum class WireMessageType : std::uint8_t {
+  kAccept = 1,
+  kSeal = 2,
+  kEstimate = 3,
+  kGetSnapshot = 4,
+  kPushSnapshot = 5,
+  kPing = 6,
+  kShutdown = 7,
+};
+
+/// HTTP-flavored response codes carried in the u16 status field.
+inline constexpr std::uint16_t kWireStatusOk = 200;
+inline constexpr std::uint16_t kWireStatusBadRequest = 400;
+inline constexpr std::uint16_t kWireStatusNotFound = 404;
+inline constexpr std::uint16_t kWireStatusConflict = 409;
+inline constexpr std::uint16_t kWireStatusInternal = 500;
+
+/// Maps a Status code onto the wire's response status field.
+std::uint16_t WireStatusCode(const Status& status);
+
+struct ServiceOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it back
+  /// via CollectionServer::port()).
+  int port = 0;
+  /// Shards of the underlying PlanSession's aggregator.
+  int num_shards = 4;
+  /// When non-empty, sealed epochs persist here and Start() recovers from
+  /// the directory's contents.
+  std::string snapshot_dir;
+};
+
+/// One response as seen by the client: HTTP-flavored status plus raw payload
+/// bytes (a wire object on success, a UTF-8 message on error).
+struct WireResponse {
+  std::uint16_t status = 0;
+  WireBytes payload;
+
+  bool ok() const { return status == kWireStatusOk; }
+};
+
+/// The serving process: owns the PlanSession and the listening socket.
+class CollectionServer {
+ public:
+  /// Builds the session from `plan` (shape validation, decoder, estimator
+  /// caching all come from the plan's deployment).
+  CollectionServer(const Plan& plan, ServiceOptions options);
+  ~CollectionServer();
+
+  CollectionServer(const CollectionServer&) = delete;
+  CollectionServer& operator=(const CollectionServer&) = delete;
+
+  /// Binds, recovers persisted epochs (if snapshot_dir is set), and starts
+  /// the acceptor thread. kInternal when the socket cannot be bound;
+  /// kInvalidArgument when a persisted snapshot fails validation.
+  Status Start();
+
+  /// Stops accepting, closes the listener, and joins every connection
+  /// thread. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Blocks until a kShutdown frame (or Stop()) ends the serving loop.
+  void WaitUntilShutdown();
+
+  /// Bound TCP port (resolved after Start() when options.port == 0).
+  int port() const { return port_; }
+
+  /// The session behind the socket — the in-process view of the same state,
+  /// used by tests to cross-check networked results bit for bit.
+  PlanSession& session() { return *session_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd, int connection_id);
+  WireResponse HandleRequest(std::uint8_t type,
+                             std::span<const std::uint8_t> payload, int shard);
+
+  std::unique_ptr<PlanSession> session_;
+  ServiceOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> live_fds_;  ///< Open connection sockets (under the mutex).
+};
+
+/// A blocking client for the service. One TCP connection; not thread-safe
+/// (use one client per thread — each connection gets its own server shard).
+class CollectionClient {
+ public:
+  /// Connects to 127.0.0.1:port. kInternal when the connection fails.
+  static StatusOr<CollectionClient> Connect(int port);
+
+  CollectionClient(CollectionClient&& other) noexcept;
+  CollectionClient& operator=(CollectionClient&& other) noexcept;
+  ~CollectionClient();
+
+  /// Ships one report; OK when the server ingested it.
+  Status Accept(const Report& report);
+
+  /// Seals the server's current epoch and returns the sealed snapshot.
+  StatusOr<EpochSnapshot> Seal();
+
+  /// Fetches the estimate over the latest sealed epoch.
+  StatusOr<WorkloadEstimate> Estimate(
+      EstimatorKind kind = EstimatorKind::kWnnls);
+
+  /// Fetches one sealed epoch's snapshot (kNotFound when not sealed).
+  StatusOr<EpochSnapshot> GetSnapshot(int epoch_id);
+
+  /// Ships a sealed epoch to the server (multi-node merge); returns the
+  /// epoch id the server assigned locally.
+  StatusOr<int> PushSnapshot(const EpochSnapshot& snapshot);
+
+  /// Liveness probe.
+  Status Ping();
+
+  /// Asks the server to stop serving (drains in-flight connections).
+  Status Shutdown();
+
+  /// Sends one raw frame and returns the raw response — the hook tests use
+  /// to deliver deliberately malformed requests.
+  StatusOr<WireResponse> RawRequest(std::uint8_t type,
+                                    std::span<const std::uint8_t> payload);
+
+ private:
+  explicit CollectionClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_WIRE_SERVICE_H_

@@ -1,0 +1,128 @@
+#include "wire/snapshot_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "wire/wire_format.h"
+
+namespace wfm {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kSnapshotSuffix = ".wfmsnap";
+
+std::string EpochFileName(int epoch_id) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "epoch-%08d", epoch_id);
+  return std::string(name) + kSnapshotSuffix;
+}
+
+}  // namespace
+
+StatusOr<EpochSnapshot> MergeSnapshots(std::span<const EpochSnapshot> parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("cannot merge zero snapshots");
+  }
+  EpochSnapshot merged;
+  merged.histogram.assign(parts.front().histogram.size(), 0.0);
+  for (const EpochSnapshot& part : parts) {
+    if (part.histogram.size() != merged.histogram.size()) {
+      return Status::InvalidArgument(
+          "snapshot histogram dimensions disagree: " +
+          std::to_string(part.histogram.size()) + " vs " +
+          std::to_string(merged.histogram.size()));
+    }
+    if (part.count < 0) {
+      return Status::InvalidArgument("snapshot report count is negative: " +
+                                     std::to_string(part.count));
+    }
+    for (std::size_t o = 0; o < merged.histogram.size(); ++o) {
+      merged.histogram[o] += part.histogram[o];
+    }
+    merged.count += part.count;
+    merged.epoch_id = std::max(merged.epoch_id, part.epoch_id);
+  }
+  return merged;
+}
+
+Status SaveSnapshotFile(const std::string& path,
+                        const EpochSnapshot& snapshot) {
+  const WireBytes encoded = EncodeSnapshot(snapshot);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open " + tmp + " for writing");
+    }
+    out.write(reinterpret_cast<const char*>(encoded.data()),
+              static_cast<std::streamsize>(encoded.size()));
+    if (!out.flush()) {
+      return Status::Internal("short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("cannot rename " + tmp + " to " + path + ": " +
+                            ec.message());
+  }
+  return Status::Ok();
+}
+
+StatusOr<EpochSnapshot> LoadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open snapshot file " + path);
+  }
+  WireBytes bytes((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  StatusOr<EpochSnapshot> decoded =
+      DecodeSnapshot(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  if (!decoded.ok()) {
+    return Status::InvalidArgument("snapshot file " + path +
+                                   " is corrupt: " +
+                                   decoded.status().message());
+  }
+  return decoded;
+}
+
+Status SnapshotStore::Append(const EpochSnapshot& snapshot) {
+  if (snapshot.epoch_id < 0) {
+    return Status::InvalidArgument(
+        "cannot persist a snapshot without an epoch id");
+  }
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Internal("cannot create snapshot directory " + dir_ + ": " +
+                            ec.message());
+  }
+  return SaveSnapshotFile((fs::path(dir_) / EpochFileName(snapshot.epoch_id))
+                              .string(),
+                          snapshot);
+}
+
+StatusOr<std::vector<EpochSnapshot>> SnapshotStore::LoadAll() const {
+  std::vector<EpochSnapshot> snapshots;
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec) return snapshots;  // Missing directory: fresh start.
+  for (const fs::directory_entry& entry : it) {
+    if (entry.path().extension() != kSnapshotSuffix) continue;
+    StatusOr<EpochSnapshot> loaded = LoadSnapshotFile(entry.path().string());
+    if (!loaded.ok()) return loaded.status();
+    snapshots.push_back(std::move(loaded).value());
+  }
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const EpochSnapshot& a, const EpochSnapshot& b) {
+              return a.epoch_id < b.epoch_id;
+            });
+  return snapshots;
+}
+
+}  // namespace wfm

@@ -1,0 +1,373 @@
+#include "wire/wire_format.h"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+
+namespace wfm {
+namespace {
+
+// Object-type magics ("WFRP" = report, "WFSN" = snapshot, "WFES" = estimate).
+constexpr std::array<std::uint8_t, 4> kReportMagic = {'W', 'F', 'R', 'P'};
+constexpr std::array<std::uint8_t, 4> kSnapshotMagic = {'W', 'F', 'S', 'N'};
+constexpr std::array<std::uint8_t, 4> kEstimateMagic = {'W', 'F', 'E', 'S'};
+
+// Report `kind` header byte.
+constexpr std::uint8_t kKindCategorical = 0;
+constexpr std::uint8_t kKindDense = 1;
+constexpr std::uint8_t kKindPackedBits = 2;
+
+// ---- little-endian primitives ---------------------------------------------
+
+void PutU32(WireBytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void PutU64(WireBytes& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void PutF64(WireBytes& out, double v) {
+  PutU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+  return v;
+}
+
+double GetF64(const std::uint8_t* p) {
+  return std::bit_cast<double>(GetU64(p));
+}
+
+// ---- envelope helpers ------------------------------------------------------
+
+void PutHeader(WireBytes& out, const std::array<std::uint8_t, 4>& magic,
+               std::uint8_t kind, std::uint32_t dim) {
+  out.insert(out.end(), magic.begin(), magic.end());
+  out.push_back(kWireVersion);
+  out.push_back(kind);
+  out.push_back(0);  // reserved
+  out.push_back(0);  // reserved
+  PutU32(out, dim);
+}
+
+void PutTrailer(WireBytes& out) {
+  PutU32(out, WireCrc32(std::span<const std::uint8_t>(out.data(), out.size())));
+}
+
+/// Checks everything common to all envelopes: minimum size, magic, version,
+/// reserved bytes, and the CRC over the whole buffer. On success `kind` and
+/// `dim` hold the header fields and the payload spans
+/// buffer[kWireHeaderBytes, buffer.size() - kWireTrailerBytes).
+Status CheckEnvelope(std::span<const std::uint8_t> buffer,
+                     const std::array<std::uint8_t, 4>& magic,
+                     const char* what, std::uint8_t& kind,
+                     std::uint32_t& dim) {
+  if (buffer.size() < kWireEnvelopeBytes) {
+    return Status::InvalidArgument(
+        std::string(what) + " buffer truncated: " +
+        std::to_string(buffer.size()) + " bytes, envelope needs at least " +
+        std::to_string(kWireEnvelopeBytes));
+  }
+  if (!std::equal(magic.begin(), magic.end(), buffer.begin())) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " buffer has the wrong magic");
+  }
+  if (buffer[4] != kWireVersion) {
+    return Status::InvalidArgument(
+        std::string(what) + " wire version " + std::to_string(buffer[4]) +
+        " is not supported (this build speaks version " +
+        std::to_string(kWireVersion) + ")");
+  }
+  if (buffer[6] != 0 || buffer[7] != 0) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " reserved header bytes are not zero");
+  }
+  const std::uint32_t stored_crc = GetU32(&buffer[buffer.size() - 4]);
+  const std::uint32_t actual_crc = WireCrc32(buffer.first(buffer.size() - 4));
+  if (stored_crc != actual_crc) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " CRC mismatch: payload corrupted");
+  }
+  kind = buffer[5];
+  dim = GetU32(&buffer[8]);
+  return Status::Ok();
+}
+
+Status CheckPayloadSize(std::span<const std::uint8_t> buffer,
+                        std::size_t expected, const char* what) {
+  const std::size_t actual = buffer.size() - kWireEnvelopeBytes;
+  if (actual != expected) {
+    return Status::InvalidArgument(
+        std::string(what) + " payload has " + std::to_string(actual) +
+        " bytes, header implies " + std::to_string(expected));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::uint32_t WireCrc32(std::span<const std::uint8_t> data) {
+  // CRC-32/IEEE, bit-reflected, table-driven. The table is built once.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+WireBytes EncodeReport(const Report& report) {
+  WireBytes out;
+  if (report.is_bits()) {
+    const std::size_t n = report.bits.size();
+    out.reserve(kWireEnvelopeBytes + (n + 7) / 8);
+    PutHeader(out, kReportMagic, kKindPackedBits,
+              static_cast<std::uint32_t>(n));
+    std::uint8_t packed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      WFM_CHECK_LE(report.bits[i], 1)
+          << "bit report entry out of range at coordinate"
+          << static_cast<int>(i);
+      packed |= static_cast<std::uint8_t>(report.bits[i] << (i % 8));
+      if (i % 8 == 7) {
+        out.push_back(packed);
+        packed = 0;
+      }
+    }
+    if (n % 8 != 0) out.push_back(packed);
+  } else if (report.is_dense()) {
+    out.reserve(kWireEnvelopeBytes + 8 * report.dense.size());
+    PutHeader(out, kReportMagic, kKindDense,
+              static_cast<std::uint32_t>(report.dense.size()));
+    for (const double v : report.dense) PutF64(out, v);
+  } else {
+    WFM_CHECK_GE(report.index, 0) << "encoding an unpopulated report";
+    out.reserve(kWireEnvelopeBytes + 4);
+    // dim carries the alphabet size when known; a lone index does not know
+    // its m, so dim is index + 1 (the tightest bound the client can assert —
+    // the server validates the index against the deployment's m anyway).
+    PutHeader(out, kReportMagic, kKindCategorical,
+              static_cast<std::uint32_t>(report.index) + 1);
+    PutU32(out, static_cast<std::uint32_t>(report.index));
+  }
+  PutTrailer(out);
+  return out;
+}
+
+StatusOr<Report> DecodeReport(std::span<const std::uint8_t> buffer) {
+  std::uint8_t kind = 0;
+  std::uint32_t dim = 0;
+  if (Status env = CheckEnvelope(buffer, kReportMagic, "report", kind, dim);
+      !env.ok()) {
+    return env;
+  }
+  const std::uint8_t* payload = buffer.data() + kWireHeaderBytes;
+  Report report;
+  switch (kind) {
+    case kKindCategorical: {
+      if (Status s = CheckPayloadSize(buffer, 4, "categorical report");
+          !s.ok()) {
+        return s;
+      }
+      const std::uint32_t index = GetU32(payload);
+      if (index >= dim || dim > static_cast<std::uint32_t>(INT32_MAX)) {
+        return Status::InvalidArgument(
+            "categorical report index " + std::to_string(index) +
+            " outside its declared alphabet of " + std::to_string(dim));
+      }
+      report.index = static_cast<int>(index);
+      return report;
+    }
+    case kKindDense: {
+      if (dim == 0 || dim > static_cast<std::uint32_t>(INT32_MAX) / 8) {
+        return Status::InvalidArgument("dense report dimension " +
+                                       std::to_string(dim) + " out of range");
+      }
+      if (Status s =
+              CheckPayloadSize(buffer, 8 * static_cast<std::size_t>(dim),
+                               "dense report");
+          !s.ok()) {
+        return s;
+      }
+      report.dense.resize(dim);
+      for (std::uint32_t i = 0; i < dim; ++i) {
+        report.dense[i] = GetF64(payload + 8 * static_cast<std::size_t>(i));
+      }
+      return report;
+    }
+    case kKindPackedBits: {
+      if (dim == 0 || dim > static_cast<std::uint32_t>(INT32_MAX)) {
+        return Status::InvalidArgument("bit-vector report dimension " +
+                                       std::to_string(dim) + " out of range");
+      }
+      const std::size_t packed_bytes = (static_cast<std::size_t>(dim) + 7) / 8;
+      if (Status s = CheckPayloadSize(buffer, packed_bytes,
+                                      "packed bit-vector report");
+          !s.ok()) {
+        return s;
+      }
+      if (dim % 8 != 0) {
+        // Canonical encoding: bits past dim in the final byte must be zero.
+        const std::uint8_t padding =
+            static_cast<std::uint8_t>(payload[packed_bytes - 1] >>
+                                      (dim % 8));
+        if (padding != 0) {
+          return Status::InvalidArgument(
+              "packed bit-vector report has non-zero padding bits");
+        }
+      }
+      report.bits.resize(dim);
+      for (std::uint32_t i = 0; i < dim; ++i) {
+        report.bits[i] = (payload[i / 8] >> (i % 8)) & 1;
+      }
+      return report;
+    }
+    default:
+      return Status::InvalidArgument("unknown report kind byte " +
+                                     std::to_string(kind));
+  }
+}
+
+WireBytes EncodeSnapshot(const EpochSnapshot& snapshot) {
+  WireBytes out;
+  const std::size_t m = snapshot.histogram.size();
+  out.reserve(kWireEnvelopeBytes + 12 + 8 * m);
+  PutHeader(out, kSnapshotMagic, 0, static_cast<std::uint32_t>(m));
+  PutU32(out, static_cast<std::uint32_t>(snapshot.epoch_id));
+  PutU64(out, static_cast<std::uint64_t>(snapshot.count));
+  for (const double v : snapshot.histogram) PutF64(out, v);
+  PutTrailer(out);
+  return out;
+}
+
+StatusOr<EpochSnapshot> DecodeSnapshot(std::span<const std::uint8_t> buffer) {
+  std::uint8_t kind = 0;
+  std::uint32_t dim = 0;
+  if (Status env = CheckEnvelope(buffer, kSnapshotMagic, "snapshot", kind, dim);
+      !env.ok()) {
+    return env;
+  }
+  if (kind != 0) {
+    return Status::InvalidArgument("snapshot kind byte must be zero, got " +
+                                   std::to_string(kind));
+  }
+  if (dim == 0 || dim > static_cast<std::uint32_t>(INT32_MAX) / 8) {
+    return Status::InvalidArgument("snapshot dimension " +
+                                   std::to_string(dim) + " out of range");
+  }
+  if (Status s = CheckPayloadSize(buffer, 12 + 8 * static_cast<std::size_t>(dim),
+                                  "snapshot");
+      !s.ok()) {
+    return s;
+  }
+  const std::uint8_t* payload = buffer.data() + kWireHeaderBytes;
+  EpochSnapshot snapshot;
+  snapshot.epoch_id = static_cast<int>(GetU32(payload));
+  snapshot.count = static_cast<std::int64_t>(GetU64(payload + 4));
+  if (snapshot.epoch_id < -1) {
+    return Status::InvalidArgument("snapshot epoch id " +
+                                   std::to_string(snapshot.epoch_id) +
+                                   " out of range");
+  }
+  if (snapshot.count < 0) {
+    return Status::InvalidArgument("snapshot report count is negative: " +
+                                   std::to_string(snapshot.count));
+  }
+  snapshot.histogram.resize(dim);
+  for (std::uint32_t i = 0; i < dim; ++i) {
+    const double v = GetF64(payload + 12 + 8 * static_cast<std::size_t>(i));
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "snapshot histogram entry is not finite at coordinate " +
+          std::to_string(i));
+    }
+    snapshot.histogram[i] = v;
+  }
+  return snapshot;
+}
+
+WireBytes EncodeEstimate(const WorkloadEstimate& estimate) {
+  WireBytes out;
+  const std::size_t n = estimate.data_vector.size();
+  const std::size_t q = estimate.query_answers.size();
+  out.reserve(kWireEnvelopeBytes + 4 + 8 * (n + q));
+  PutHeader(out, kEstimateMagic, 0, static_cast<std::uint32_t>(n));
+  PutU32(out, static_cast<std::uint32_t>(q));
+  for (const double v : estimate.data_vector) PutF64(out, v);
+  for (const double v : estimate.query_answers) PutF64(out, v);
+  PutTrailer(out);
+  return out;
+}
+
+StatusOr<WorkloadEstimate> DecodeEstimate(
+    std::span<const std::uint8_t> buffer) {
+  std::uint8_t kind = 0;
+  std::uint32_t dim = 0;
+  if (Status env = CheckEnvelope(buffer, kEstimateMagic, "estimate", kind, dim);
+      !env.ok()) {
+    return env;
+  }
+  if (kind != 0) {
+    return Status::InvalidArgument("estimate kind byte must be zero, got " +
+                                   std::to_string(kind));
+  }
+  if (buffer.size() < kWireEnvelopeBytes + 4) {
+    return Status::InvalidArgument("estimate buffer truncated");
+  }
+  const std::uint8_t* payload = buffer.data() + kWireHeaderBytes;
+  const std::uint32_t num_queries = GetU32(payload);
+  if (dim > static_cast<std::uint32_t>(INT32_MAX) / 8 ||
+      num_queries > static_cast<std::uint32_t>(INT32_MAX) / 8) {
+    return Status::InvalidArgument("estimate dimensions out of range");
+  }
+  if (Status s = CheckPayloadSize(
+          buffer,
+          4 + 8 * (static_cast<std::size_t>(dim) +
+                   static_cast<std::size_t>(num_queries)),
+          "estimate");
+      !s.ok()) {
+    return s;
+  }
+  WorkloadEstimate estimate;
+  estimate.data_vector.resize(dim);
+  for (std::uint32_t i = 0; i < dim; ++i) {
+    estimate.data_vector[i] = GetF64(payload + 4 + 8 * static_cast<std::size_t>(i));
+  }
+  estimate.query_answers.resize(num_queries);
+  const std::uint8_t* answers = payload + 4 + 8 * static_cast<std::size_t>(dim);
+  for (std::uint32_t i = 0; i < num_queries; ++i) {
+    estimate.query_answers[i] = GetF64(answers + 8 * static_cast<std::size_t>(i));
+  }
+  return estimate;
+}
+
+}  // namespace wfm

@@ -1,0 +1,100 @@
+// Versioned, compact wire encodings for everything that crosses a process
+// boundary in a deployment: the per-user Report, the per-epoch
+// EpochSnapshot, and the served WorkloadEstimate.
+//
+// Every object shares the same envelope (all integers little-endian):
+//
+//   bytes 0..3    magic     four ASCII bytes naming the object type
+//                           ("WFRP" report, "WFSN" snapshot, "WFES" estimate)
+//   byte  4       version   format version; this header implements version 1
+//   byte  5       kind      report variant (reports only; 0 elsewhere)
+//   bytes 6..7    reserved  must be zero
+//   bytes 8..11   u32 dim   object dimension (see per-object layout below)
+//   ...           payload   fixed size, derived from the header
+//   last 4 bytes  u32 CRC-32 (IEEE 802.3, poly 0xEDB88320) of every byte
+//                           before it — headers included
+//
+// Report payloads (dim = m, the report dimension):
+//   kind 0  categorical     u32 response index in [0, dim)
+//   kind 1  dense           dim IEEE-754 doubles (little-endian bit pattern)
+//   kind 2  packed bits     ceil(dim / 8) bytes; bit i of the report is bit
+//                           (i % 8) — LSB first — of byte (i / 8). Bits past
+//                           dim in the last byte must be zero (the encoding
+//                           is canonical; a set padding bit is corruption).
+//
+// The packed layout is what makes per-user communication succinct: an n-bit
+// RAPPOR/OUE report costs ceil(n/8) payload bytes plus the fixed
+// kEnvelopeBytes, not one byte per bit.
+//
+// Snapshot payload (dim = m): i32 epoch_id, i64 count, then dim doubles of
+// histogram. Estimate payload (dim = n): u32 num_queries, then dim doubles
+// of data_vector followed by num_queries doubles of query_answers.
+//
+// Decoding treats the buffer as untrusted bytes off a network or disk: any
+// structural defect — short or oversized buffer, wrong magic, unknown
+// version or kind, CRC mismatch, non-canonical bit padding, out-of-range
+// categorical index — returns kInvalidArgument and never aborts. Version
+// bumps are breaking by design: a decoder only accepts the versions it
+// implements, so old servers reject new-format reports loudly instead of
+// misparsing them.
+
+#ifndef WFM_WIRE_WIRE_FORMAT_H_
+#define WFM_WIRE_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "collect/collection_session.h"
+#include "common/status.h"
+#include "estimation/estimator.h"
+#include "ldp/reporter.h"
+
+namespace wfm {
+
+/// Raw wire bytes.
+using WireBytes = std::vector<std::uint8_t>;
+
+/// The wire-format version this library speaks.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Fixed envelope overhead of every wire object: the 12-byte header plus the
+/// 4-byte CRC trailer. A packed bit-vector report is exactly
+/// kWireEnvelopeBytes + ceil(n / 8) bytes on the wire.
+inline constexpr std::size_t kWireHeaderBytes = 12;
+inline constexpr std::size_t kWireTrailerBytes = 4;
+inline constexpr std::size_t kWireEnvelopeBytes =
+    kWireHeaderBytes + kWireTrailerBytes;
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`. Exposed so tests
+/// and tools can craft or verify envelopes byte by byte.
+std::uint32_t WireCrc32(std::span<const std::uint8_t> data);
+
+/// Serializes one report. Bit-vector reports are packed 8 bits per byte;
+/// categorical and dense reports keep their natural fixed-width layout.
+WireBytes EncodeReport(const Report& report);
+
+/// Parses an untrusted report buffer. kInvalidArgument on any structural
+/// defect (see file comment); the returned Report still passes through the
+/// serving layer's semantic validation (shape vs. deployment, dimension m)
+/// before it can touch an aggregate.
+StatusOr<Report> DecodeReport(std::span<const std::uint8_t> buffer);
+
+/// Serializes a sealed epoch snapshot (histogram + count + epoch id), the
+/// unit of cross-process shard merges and crash-recovery persistence.
+WireBytes EncodeSnapshot(const EpochSnapshot& snapshot);
+
+/// Parses an untrusted snapshot buffer; kInvalidArgument on any structural
+/// defect, including non-finite histogram entries or a negative count.
+StatusOr<EpochSnapshot> DecodeSnapshot(std::span<const std::uint8_t> buffer);
+
+/// Serializes a served estimate (data vector + workload answers).
+WireBytes EncodeEstimate(const WorkloadEstimate& estimate);
+
+/// Parses an untrusted estimate buffer; kInvalidArgument on any structural
+/// defect.
+StatusOr<WorkloadEstimate> DecodeEstimate(std::span<const std::uint8_t> buffer);
+
+}  // namespace wfm
+
+#endif  // WFM_WIRE_WIRE_FORMAT_H_

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <span>
 #include <thread>
@@ -555,6 +556,181 @@ TEST(ResponseParityTest, ShardedSessionMatchesSerialReferenceEndToEnd) {
 
   EXPECT_EQ(sealed.histogram, SerialHistogram(q.rows(), reports));
   EXPECT_EQ(sealed.count, static_cast<std::int64_t>(reports.size()));
+}
+
+// ---- unified kind-dispatched ingest ---------------------------------------
+
+TEST(UnifiedIngestTest, AcceptDispatchesEveryReportKind) {
+  // One entry point, three shapes: Accept(shard, Report) must land each kind
+  // exactly where the per-kind methods would.
+  ShardedAggregator categorical(/*num_outputs=*/3, /*num_shards=*/1);
+  Report c;
+  c.index = 2;
+  categorical.Accept(0, c);
+  EXPECT_EQ(categorical.Merge(), (Vector{0, 0, 1}));
+
+  ShardedAggregator dense(/*num_outputs=*/3, /*num_shards=*/1,
+                          ReportKind::kDense);
+  Report d;
+  d.dense = {0.5, -1.0, 2.0};
+  dense.Accept(0, d);
+  EXPECT_EQ(dense.Merge(), (Vector{0.5, -1.0, 2.0}));
+
+  ShardedAggregator bits(/*num_outputs=*/3, /*num_shards=*/1,
+                         ReportKind::kBitVector);
+  Report b;
+  b.bits = {1, 0, 1};
+  bits.Accept(0, b);
+  EXPECT_EQ(bits.Merge(), (Vector{1, 0, 1}));
+  EXPECT_EQ(bits.num_responses(), 1);
+}
+
+TEST(UnifiedIngestTest, AcceptBatchMatchesPerReportAcceptForEveryKind) {
+  Rng rng(81);
+  for (const ReportKind kind :
+       {ReportKind::kCategorical, ReportKind::kDense, ReportKind::kBitVector}) {
+    const int m = 6;
+    std::vector<Report> reports(500);
+    for (Report& r : reports) {
+      if (kind == ReportKind::kCategorical) {
+        r.index = rng.UniformInt(m);
+      } else if (kind == ReportKind::kDense) {
+        r.dense.resize(m);
+        for (double& v : r.dense) v = rng.UniformInt(10);
+      } else {
+        r.bits.resize(m);
+        for (std::uint8_t& bit : r.bits) {
+          bit = static_cast<std::uint8_t>(rng.UniformInt(2));
+        }
+      }
+    }
+    ShardedAggregator one_by_one(m, /*num_shards=*/2, kind);
+    for (const Report& r : reports) one_by_one.Accept(0, r);
+    ShardedAggregator batched(m, /*num_shards=*/2, kind);
+    batched.AcceptBatch(1, reports);
+    EXPECT_EQ(batched.Merge(), one_by_one.Merge())
+        << "kind " << KindName(kind);
+    EXPECT_EQ(batched.num_responses(), one_by_one.num_responses());
+  }
+}
+
+TEST(UnifiedIngestTest, AddBitsBatchMatchesPerReportAddBits) {
+  // The batched bit-vector hot path (k concatenated m-bit reports, scratch
+  // counts, one atomic per touched counter) must be report-for-report
+  // equivalent to AddBits.
+  const int m = 16;
+  const int k = 1000;
+  Rng rng(82);
+  std::vector<std::uint8_t> concatenated(static_cast<std::size_t>(k) * m);
+  for (std::uint8_t& bit : concatenated) {
+    bit = static_cast<std::uint8_t>(rng.UniformInt(2));
+  }
+
+  ShardedAggregator serial(m, /*num_shards=*/1, ReportKind::kBitVector);
+  for (int i = 0; i < k; ++i) {
+    serial.AddBits(0, std::span<const std::uint8_t>(
+                          concatenated.data() + i * m, m));
+  }
+  ShardedAggregator batched(m, /*num_shards=*/1, ReportKind::kBitVector);
+  batched.AddBitsBatch(0, concatenated);
+  EXPECT_EQ(batched.Merge(), serial.Merge());
+  EXPECT_EQ(batched.num_responses(), k);
+
+  ShardedAggregator bad(m, /*num_shards=*/1, ReportKind::kBitVector);
+  const std::vector<std::uint8_t> ragged(m + 1, 0);
+  EXPECT_DEATH(bad.AddBitsBatch(0, ragged), "multiple");
+}
+
+TEST(UnifiedIngestTest, ConcurrentAcceptBatchConservesEveryReport) {
+  // kIngestThreads writers push batched bit-vector reports through the
+  // session's unified surface while Seal() races them (TSan-checked in CI);
+  // no report may be lost or split.
+  const int n = 8;
+  const int per_thread = 400;
+  auto workload = std::make_shared<const HistogramWorkload>(n);
+  CollectionSession session(
+      ReportDecoder(AffineDebias{0.75, 0.25}, WorkloadStats::From(*workload)),
+      workload, kIngestThreads, ReportKind::kBitVector);
+
+  std::vector<std::vector<std::uint8_t>> streams(kIngestThreads);
+  Vector expected(n, 0.0);
+  for (int t = 0; t < kIngestThreads; ++t) {
+    Rng rng(900 + t);
+    streams[t].resize(static_cast<std::size_t>(per_thread) * n);
+    for (std::size_t i = 0; i < streams[t].size(); ++i) {
+      streams[t][i] = static_cast<std::uint8_t>(rng.UniformInt(2));
+      expected[i % n] += streams[t][i];
+    }
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kIngestThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { session.AcceptBitsBatch(t, streams[t]); });
+  }
+  session.Seal();  // Race one cut against the in-flight batches.
+  for (std::thread& t : threads) t.join();
+  session.Seal();
+
+  const EpochSnapshot total = session.WindowTotal(session.epochs_sealed());
+  EXPECT_EQ(total.histogram, expected);
+  EXPECT_EQ(total.count,
+            static_cast<std::int64_t>(kIngestThreads) * per_thread);
+}
+
+// ---- snapshot restore (crash recovery / multi-node) -----------------------
+
+TEST(SnapshotRestoreTest, TrySnapshotIsNotFoundUntilSealed) {
+  auto session = MakeSession(/*n=*/4, /*num_shards=*/1);
+  const auto missing = session->TrySnapshot(0);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  session->Accept(0, 1);
+  session->Seal();
+  const auto found = session->TrySnapshot(0);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value()->count, 1);
+  EXPECT_EQ(session->TrySnapshot(-1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(session->TrySnapshot(1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotRestoreTest, RestoredEpochsCountLikeLocallySealedOnes) {
+  auto source = MakeSession(/*n=*/4, /*num_shards=*/1);
+  source->Accept(0, std::vector<int>{0, 1, 1, 2});
+  const EpochSnapshot sealed = source->Seal();
+
+  auto target = MakeSession(/*n=*/4, /*num_shards=*/1);
+  target->Accept(0, 3);
+  target->Seal();
+  const StatusOr<int> restored = target->RestoreSealedEpoch(sealed);
+  ASSERT_TRUE(restored.ok());
+  // The adopted epoch gets the next *local* id — remote ids are bookkeeping.
+  EXPECT_EQ(restored.value(), 1);
+  EXPECT_EQ(target->epochs_sealed(), 2);
+  EXPECT_EQ(target->total_responses(), 5);
+  const EpochSnapshot window = target->WindowTotal(2);
+  EXPECT_EQ(window.count, 5);
+  EXPECT_EQ(window.histogram, (Vector{1, 2, 1, 1}));
+}
+
+TEST(SnapshotRestoreTest, RejectsMalformedSnapshots) {
+  auto session = MakeSession(/*n=*/4, /*num_shards=*/1);
+  EpochSnapshot wrong_dim;
+  wrong_dim.histogram = {1.0};
+  EXPECT_EQ(session->RestoreSealedEpoch(wrong_dim).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EpochSnapshot negative;
+  negative.histogram.assign(session->num_outputs(), 0.0);
+  negative.count = -1;
+  EXPECT_EQ(session->RestoreSealedEpoch(negative).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EpochSnapshot poisoned;
+  poisoned.histogram.assign(session->num_outputs(), 0.0);
+  poisoned.histogram[1] = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(session->RestoreSealedEpoch(poisoned).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session->epochs_sealed(), 0);  // Nothing was adopted.
 }
 
 }  // namespace

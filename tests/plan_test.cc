@@ -470,5 +470,66 @@ TEST(PlanSessionTest, EstimateBeforeFirstSealIsFailedPrecondition) {
             StatusCode::kFailedPrecondition);
 }
 
+TEST(PlanSessionTest, BatchIngestValidatesAtomically) {
+  // AcceptBatch is all-or-nothing: one malformed report anywhere in the
+  // batch rejects the whole batch with its position named, and nothing —
+  // including the valid prefix before it — is ingested.
+  auto workload = std::make_shared<HistogramWorkload>(6);
+  const StatusOr<Plan> built = Plan::For(workload)
+                                   .Epsilon(1.0)
+                                   .Mechanism("Randomized Response")
+                                   .Build();
+  ASSERT_TRUE(built.ok());
+  std::unique_ptr<PlanSession> session = built.value().StartSession(2);
+
+  std::vector<Report> batch(5);
+  for (int i = 0; i < 5; ++i) batch[i].index = i;
+  batch[3].index = built.value().Client().num_outputs();  // Out of range.
+  const Status rejected = session->AcceptBatch(1, batch);
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.message().find("report 3"), std::string::npos);
+  EXPECT_EQ(session->session().pending_responses(), 0);
+
+  batch[3].index = 0;
+  ASSERT_TRUE(session->AcceptBatch(1, batch).ok());
+  EXPECT_EQ(session->session().pending_responses(), 5);
+  const EpochSnapshot sealed = session->Seal();
+  EXPECT_EQ(sealed.count, 5);
+}
+
+TEST(PlanSessionTest, SnapshotAccessAndRestoreRoundTrip) {
+  // The PlanSession surface the wire service maps GET/PUSH snapshot onto:
+  // kNotFound before sealing, the sealed epoch after, and restore adopting a
+  // foreign epoch into local history.
+  auto workload = std::make_shared<HistogramWorkload>(4);
+  const StatusOr<Plan> built = Plan::For(workload)
+                                   .Epsilon(1.0)
+                                   .Mechanism("Randomized Response")
+                                   .Build();
+  ASSERT_TRUE(built.ok());
+  std::unique_ptr<PlanSession> session = built.value().StartSession(1);
+  EXPECT_EQ(session->Snapshot(0).status().code(), StatusCode::kNotFound);
+
+  Report r;
+  r.index = 1;
+  ASSERT_TRUE(session->Accept(0, r).ok());
+  const EpochSnapshot sealed = session->Seal();
+  const auto fetched = session->Snapshot(0);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(*fetched.value(), sealed);
+
+  std::unique_ptr<PlanSession> other = built.value().StartSession(1);
+  const StatusOr<int> adopted = other->RestoreSealedEpoch(sealed);
+  ASSERT_TRUE(adopted.ok());
+  EXPECT_EQ(adopted.value(), 0);
+  EXPECT_EQ(other->Estimate().value().query_answers,
+            session->Estimate().value().query_answers);
+
+  EpochSnapshot malformed;
+  malformed.histogram = {1.0};  // Wrong dimension for this deployment.
+  EXPECT_EQ(other->RestoreSealedEpoch(malformed).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace wfm

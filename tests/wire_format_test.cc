@@ -1,0 +1,390 @@
+// Tests for the wire/ serialization layer: round-trip identity for every
+// report kind and for snapshots/estimates, the succinctness guarantee for
+// packed bit-vector reports, and the trust boundary — every structurally
+// defective buffer (truncation, oversize, any single flipped bit, wrong
+// magic, unknown version, non-canonical padding, out-of-range fields) is
+// rejected with kInvalidArgument, never a crash. Also covers the durability
+// half: MergeSnapshots exactness against single-stream aggregation and
+// SnapshotStore kill-and-recover serving identical estimates.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "collect/collection_session.h"
+#include "collect/estimate_server.h"
+#include "core/factorization.h"
+#include "linalg/rng.h"
+#include "mechanisms/randomized_response.h"
+#include "wire/snapshot_store.h"
+#include "wire/wire_format.h"
+#include "workload/histogram.h"
+#include "workload/prefix.h"
+
+namespace wfm {
+namespace {
+
+// Re-stamps the CRC trailer after a test patches header/payload bytes, so
+// the corruption under test (and not the checksum) is what the decoder sees.
+void RestampCrc(WireBytes& buffer) {
+  const std::uint32_t crc =
+      WireCrc32(std::span<const std::uint8_t>(buffer.data(),
+                                              buffer.size() - 4));
+  buffer[buffer.size() - 4] = static_cast<std::uint8_t>(crc);
+  buffer[buffer.size() - 3] = static_cast<std::uint8_t>(crc >> 8);
+  buffer[buffer.size() - 2] = static_cast<std::uint8_t>(crc >> 16);
+  buffer[buffer.size() - 1] = static_cast<std::uint8_t>(crc >> 24);
+}
+
+Report CategoricalReport(int index) {
+  Report r;
+  r.index = index;
+  return r;
+}
+
+Report DenseReport(Vector v) {
+  Report r;
+  r.dense = std::move(v);
+  return r;
+}
+
+Report BitsReport(std::vector<std::uint8_t> bits) {
+  Report r;
+  r.bits = std::move(bits);
+  return r;
+}
+
+TEST(WireReportTest, CategoricalRoundTripsExactly) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Report report = CategoricalReport(rng.UniformInt(1 << 20));
+    const WireBytes wire = EncodeReport(report);
+    const StatusOr<Report> decoded = DecodeReport(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value(), report);
+  }
+}
+
+TEST(WireReportTest, DenseRoundTripsBitForBit) {
+  Rng rng(12);
+  for (const int m : {1, 2, 7, 64, 257}) {
+    Vector v(m);
+    for (double& x : v) x = rng.Normal() * 1e6;
+    v[0] = 0.0;
+    if (m > 1) v[1] = -0.0;  // Signed zero must survive the wire.
+    const Report report = DenseReport(v);
+    const StatusOr<Report> decoded = DecodeReport(EncodeReport(report));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value(), report);
+  }
+}
+
+TEST(WireReportTest, BitVectorRoundTripsEveryWidth) {
+  Rng rng(13);
+  // Widths straddling byte boundaries: the padding logic differs for each
+  // residue of n mod 8.
+  for (int n = 1; n <= 40; ++n) {
+    std::vector<std::uint8_t> bits(n);
+    for (std::uint8_t& b : bits) {
+      b = static_cast<std::uint8_t>(rng.UniformInt(2));
+    }
+    const Report report = BitsReport(bits);
+    const StatusOr<Report> decoded = DecodeReport(EncodeReport(report));
+    ASSERT_TRUE(decoded.ok()) << "n=" << n << ": "
+                              << decoded.status().ToString();
+    EXPECT_EQ(decoded.value(), report);
+  }
+}
+
+TEST(WireReportTest, PackedBitsOccupyCeilNOver8PayloadBytes) {
+  // The acceptance criterion verbatim: an n-bit report costs ceil(n/8)
+  // payload bytes plus the fixed envelope — 8x smaller than byte-per-bit.
+  for (const int n : {1, 7, 8, 9, 64, 1000, 1001}) {
+    const Report report = BitsReport(std::vector<std::uint8_t>(n, 1));
+    const WireBytes wire = EncodeReport(report);
+    EXPECT_EQ(wire.size(),
+              kWireEnvelopeBytes + static_cast<std::size_t>((n + 7) / 8))
+        << "n=" << n;
+  }
+}
+
+TEST(WireReportTest, EveryTruncationIsRejected) {
+  const WireBytes wire =
+      EncodeReport(BitsReport({1, 0, 1, 1, 0, 0, 1, 0, 1}));
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const StatusOr<Report> decoded =
+        DecodeReport(std::span<const std::uint8_t>(wire.data(), len));
+    ASSERT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireReportTest, TrailingGarbageIsRejected) {
+  WireBytes wire = EncodeReport(CategoricalReport(3));
+  wire.push_back(0);
+  const StatusOr<Report> decoded = DecodeReport(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireReportTest, EverySingleBitFlipIsRejected) {
+  // CRC-32 detects all single-bit errors, so no flipped bit anywhere in the
+  // buffer — header, payload, or trailer — may decode (as anything).
+  const WireBytes wire = EncodeReport(DenseReport({1.5, -2.25, 0.0}));
+  for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      WireBytes corrupted = wire;
+      corrupted[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      const StatusOr<Report> decoded = DecodeReport(corrupted);
+      ASSERT_FALSE(decoded.ok())
+          << "flip of bit " << bit << " in byte " << byte << " decoded";
+      EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(WireReportTest, UnsupportedVersionIsRejectedLoudly) {
+  WireBytes wire = EncodeReport(CategoricalReport(0));
+  wire[4] = kWireVersion + 1;  // A future format...
+  RestampCrc(wire);            // ...with an internally consistent checksum.
+  const StatusOr<Report> decoded = DecodeReport(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos);
+}
+
+TEST(WireReportTest, WrongMagicIsRejected) {
+  WireBytes report = EncodeReport(CategoricalReport(0));
+  EpochSnapshot snapshot;
+  snapshot.epoch_id = 0;
+  snapshot.histogram = {1.0};
+  // A snapshot buffer handed to the report decoder (and vice versa) must be
+  // refused on magic, not misparsed.
+  EXPECT_EQ(DecodeReport(EncodeSnapshot(snapshot)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeSnapshot(report).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireReportTest, NonCanonicalPaddingIsRejected) {
+  WireBytes wire = EncodeReport(BitsReport({1, 0, 1}));  // n = 3: 5 pad bits.
+  wire[kWireHeaderBytes] |= 1u << 6;  // Set a bit past n in the last byte.
+  RestampCrc(wire);
+  const StatusOr<Report> decoded = DecodeReport(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("padding"), std::string::npos);
+}
+
+TEST(WireReportTest, IndexOutsideDeclaredAlphabetIsRejected) {
+  WireBytes wire = EncodeReport(CategoricalReport(5));  // dim = 6 on the wire.
+  wire[kWireHeaderBytes] = 6;  // Patch the index payload to dim.
+  RestampCrc(wire);
+  const StatusOr<Report> decoded = DecodeReport(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireReportTest, UnknownKindByteIsRejected) {
+  WireBytes wire = EncodeReport(CategoricalReport(2));
+  wire[5] = 7;
+  RestampCrc(wire);
+  EXPECT_EQ(DecodeReport(wire).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireSnapshotTest, RoundTripsBitForBit) {
+  Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    EpochSnapshot snapshot;
+    snapshot.epoch_id = trial;
+    snapshot.count = rng.UniformInt(1 << 30);
+    snapshot.histogram.resize(1 + rng.UniformInt(64));
+    for (double& v : snapshot.histogram) v = rng.Normal() * 1e9;
+    const StatusOr<EpochSnapshot> decoded =
+        DecodeSnapshot(EncodeSnapshot(snapshot));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value(), snapshot);
+  }
+}
+
+TEST(WireSnapshotTest, NonFiniteHistogramEntriesAreRejected) {
+  EpochSnapshot snapshot;
+  snapshot.epoch_id = 0;
+  snapshot.count = 1;
+  snapshot.histogram = {1.0, std::numeric_limits<double>::quiet_NaN()};
+  WireBytes wire = EncodeSnapshot(snapshot);
+  const StatusOr<EpochSnapshot> decoded = DecodeSnapshot(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("finite"), std::string::npos);
+}
+
+TEST(WireEstimateTest, RoundTripsBitForBit) {
+  Rng rng(31);
+  WorkloadEstimate estimate;
+  estimate.data_vector.resize(16);
+  estimate.query_answers.resize(5);
+  for (double& v : estimate.data_vector) v = rng.Normal();
+  for (double& v : estimate.query_answers) v = rng.Normal();
+  const StatusOr<WorkloadEstimate> decoded =
+      DecodeEstimate(EncodeEstimate(estimate));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().data_vector, estimate.data_vector);
+  EXPECT_EQ(decoded.value().query_answers, estimate.query_answers);
+}
+
+// ---- cross-process merge and durability -----------------------------------
+
+std::unique_ptr<CollectionSession> MakeSession(int n, int num_shards) {
+  const Matrix q = RandomizedResponseMechanism::BuildStrategy(n, 1.0);
+  auto workload = std::make_shared<const HistogramWorkload>(n);
+  FactorizationAnalysis analysis(q, WorkloadStats::From(*workload));
+  return std::make_unique<CollectionSession>(std::move(analysis),
+                                             std::move(workload), num_shards);
+}
+
+TEST(MergeSnapshotsTest, MergeOfShardedEpochsMatchesSingleStreamExactly) {
+  // Acceptance criterion: cross-process EpochSnapshot merge == single-process
+  // aggregation of the combined stream, exactly. Three "nodes" each collect a
+  // slice of one report stream; their wire-shipped snapshots merge into the
+  // same histogram and count one node ingesting everything produces.
+  const int n = 12;
+  Rng rng(41);
+  std::vector<int> stream(30000);
+  for (int& r : stream) r = rng.UniformInt(n);
+
+  auto single = MakeSession(n, /*num_shards=*/2);
+  single->Accept(0, std::span<const int>(stream.data(), stream.size()));
+  const EpochSnapshot reference = single->Seal();
+
+  std::vector<EpochSnapshot> parts;
+  const std::size_t per_node = stream.size() / 3;
+  for (int node = 0; node < 3; ++node) {
+    auto session = MakeSession(n, /*num_shards=*/2);
+    const std::size_t begin = node * per_node;
+    const std::size_t len =
+        node == 2 ? stream.size() - begin : per_node;
+    session->Accept(0, std::span<const int>(stream.data() + begin, len));
+    // Ship each node's snapshot through the wire encoding, as the service
+    // endpoints would.
+    const StatusOr<EpochSnapshot> shipped =
+        DecodeSnapshot(EncodeSnapshot(session->Seal()));
+    ASSERT_TRUE(shipped.ok());
+    parts.push_back(shipped.value());
+  }
+
+  const StatusOr<EpochSnapshot> merged =
+      MergeSnapshots(std::span<const EpochSnapshot>(parts));
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged.value().histogram, reference.histogram);
+  EXPECT_EQ(merged.value().count, reference.count);
+}
+
+TEST(MergeSnapshotsTest, RejectsEmptyAndMismatchedInputs) {
+  EXPECT_EQ(MergeSnapshots({}).status().code(), StatusCode::kInvalidArgument);
+  EpochSnapshot a, b;
+  a.histogram = {1.0, 2.0};
+  b.histogram = {1.0};
+  const std::vector<EpochSnapshot> parts{a, b};
+  EXPECT_EQ(MergeSnapshots(std::span<const EpochSnapshot>(parts))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotStoreTest, KillAndRecoverServesIdenticalEstimates) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "wfm_store_recover")
+          .string();
+  std::filesystem::remove_all(dir);
+  SnapshotStore store(dir);
+
+  const int n = 10;
+  Rng rng(51);
+  Vector expected_data, expected_answers;
+  std::int64_t expected_count = 0;
+  {
+    // "Process one": seal three epochs, persisting each, then die.
+    auto session = MakeSession(n, /*num_shards=*/2);
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      std::vector<int> reports(4000);
+      for (int& r : reports) r = rng.UniformInt(n);
+      session->Accept(0, std::span<const int>(reports.data(), reports.size()));
+      ASSERT_TRUE(store.Append(session->Seal()).ok());
+    }
+    EstimateServer server(session.get());
+    const WorkloadEstimate before =
+        server.ServeWindow(3, EstimatorKind::kWnnls).value();
+    expected_data = before.data_vector;
+    expected_answers = before.query_answers;
+    expected_count = session->total_responses();
+  }
+
+  // "Process two": a fresh session replays the store and serves the same
+  // numbers without a single device re-reporting.
+  auto recovered = MakeSession(n, /*num_shards=*/2);
+  const StatusOr<std::vector<EpochSnapshot>> persisted = store.LoadAll();
+  ASSERT_TRUE(persisted.ok()) << persisted.status().ToString();
+  ASSERT_EQ(persisted.value().size(), 3u);
+  for (const EpochSnapshot& snapshot : persisted.value()) {
+    ASSERT_TRUE(recovered->RestoreSealedEpoch(snapshot).ok());
+  }
+  EXPECT_EQ(recovered->total_responses(), expected_count);
+  EstimateServer server(recovered.get());
+  const WorkloadEstimate after =
+      server.ServeWindow(3, EstimatorKind::kWnnls).value();
+  EXPECT_EQ(after.data_vector, expected_data);
+  EXPECT_EQ(after.query_answers, expected_answers);
+}
+
+TEST(SnapshotStoreTest, MissingDirectoryIsAFreshStart) {
+  SnapshotStore store((std::filesystem::path(::testing::TempDir()) /
+                       "wfm_store_never_created")
+                          .string());
+  const StatusOr<std::vector<EpochSnapshot>> loaded = store.LoadAll();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST(SnapshotStoreTest, CorruptFileIsRejectedOnLoad) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "wfm_store_corrupt")
+          .string();
+  std::filesystem::remove_all(dir);
+  SnapshotStore store(dir);
+  EpochSnapshot snapshot;
+  snapshot.epoch_id = 0;
+  snapshot.count = 5;
+  snapshot.histogram = {5.0, 0.0};
+  ASSERT_TRUE(store.Append(snapshot).ok());
+
+  // Flip one payload byte on disk: the restart trust boundary must refuse it.
+  const std::string path = dir + "/epoch-00000000.wfmsnap";
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.is_open());
+  file.seekp(static_cast<std::streamoff>(kWireHeaderBytes));
+  const char corrupted = 0x5a;
+  file.write(&corrupted, 1);
+  file.close();
+
+  const StatusOr<std::vector<EpochSnapshot>> loaded = store.LoadAll();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotStoreTest, RefusesSnapshotsWithoutAnEpochId) {
+  SnapshotStore store((std::filesystem::path(::testing::TempDir()) /
+                       "wfm_store_noid")
+                          .string());
+  EpochSnapshot unsealed;
+  unsealed.histogram = {0.0};
+  EXPECT_EQ(store.Append(unsealed).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace wfm

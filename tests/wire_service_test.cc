@@ -1,0 +1,294 @@
+// Tests for the wire/ TCP service: the networked path must serve estimates
+// bit-identical to the in-process PlanSession it fronts, survive malformed
+// and hostile frames with HTTP-flavored error codes (a bad client can never
+// crash collection), spread concurrent clients over the sharded aggregator
+// without losing a report, merge snapshots pushed from other nodes, and
+// recover sealed history from its snapshot directory across a restart.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/plan.h"
+#include "linalg/rng.h"
+#include "wire/service.h"
+#include "wire/wire_format.h"
+#include "workload/histogram.h"
+#include "workload/prefix.h"
+
+namespace wfm {
+namespace {
+
+Plan MakePlan(int n) {
+  OptimizerConfig config;
+  config.iterations = 120;
+  config.seed = 7;  // Pinned: every MakePlan(n) is the identical deployment.
+  auto workload = std::make_shared<const PrefixWorkload>(n);
+  StatusOr<Plan> plan = Plan::For(std::move(workload))
+                            .Epsilon(1.0)
+                            .Mechanism("Optimized")
+                            .Optimizer(config)
+                            .Build();
+  return std::move(plan).value();
+}
+
+ServiceOptions EphemeralOptions() {
+  ServiceOptions options;
+  options.port = 0;  // The kernel picks a free port; tests read it back.
+  options.num_shards = 4;
+  return options;
+}
+
+TEST(WireServiceTest, StartsOnAnEphemeralPortAndAnswersPing) {
+  CollectionServer server(MakePlan(8), EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+  StatusOr<CollectionClient> client = CollectionClient::Connect(server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE(client.value().Ping().ok());
+  server.Stop();
+}
+
+TEST(WireServiceTest, NetworkedEstimateIsBitIdenticalToInProcess) {
+  const Plan plan = MakePlan(8);
+  CollectionServer server(plan, EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<CollectionClient> connected =
+      CollectionClient::Connect(server.port());
+  ASSERT_TRUE(connected.ok());
+  CollectionClient& remote = connected.value();
+
+  // Every report goes to both the wire and a local reference session.
+  std::unique_ptr<PlanSession> local = plan.StartSession(1);
+  const PlanClient device = plan.Client();
+  Rng rng(99);
+  for (int u = 0; u < 5000; ++u) {
+    const Report report = device.Respond(u % 8, rng);
+    ASSERT_TRUE(remote.Accept(report).ok());
+    ASSERT_TRUE(local->Accept(0, report).ok());
+  }
+  const EpochSnapshot local_sealed = local->Seal();
+  const StatusOr<EpochSnapshot> remote_sealed = remote.Seal();
+  ASSERT_TRUE(remote_sealed.ok());
+  EXPECT_EQ(remote_sealed.value().count, local_sealed.count);
+  EXPECT_EQ(remote_sealed.value().histogram, local_sealed.histogram);
+
+  for (const EstimatorKind kind :
+       {EstimatorKind::kUnbiased, EstimatorKind::kWnnls}) {
+    const WorkloadEstimate mine = local->Estimate(kind).value();
+    const StatusOr<WorkloadEstimate> theirs = remote.Estimate(kind);
+    ASSERT_TRUE(theirs.ok()) << theirs.status().ToString();
+    EXPECT_EQ(theirs.value().data_vector, mine.data_vector);
+    EXPECT_EQ(theirs.value().query_answers, mine.query_answers);
+  }
+  server.Stop();
+}
+
+TEST(WireServiceTest, ConcurrentClientsLoseNoReports) {
+  CollectionServer server(MakePlan(6), EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 800;
+  std::vector<std::thread> fleets;
+  const PlanClient device_template =
+      MakePlan(6).Client();  // Same deployment; reporters are copyable.
+  for (int c = 0; c < kClients; ++c) {
+    fleets.emplace_back([&, c] {
+      StatusOr<CollectionClient> client =
+          CollectionClient::Connect(server.port());
+      ASSERT_TRUE(client.ok());
+      Rng rng(1000 + c);
+      for (int u = 0; u < kPerClient; ++u) {
+        const Report report = device_template.Respond(rng.UniformInt(6), rng);
+        ASSERT_TRUE(client.value().Accept(report).ok());
+      }
+    });
+  }
+  for (std::thread& fleet : fleets) fleet.join();
+
+  // The epoch cut is exact: every accepted report landed in this epoch.
+  StatusOr<CollectionClient> sealer =
+      CollectionClient::Connect(server.port());
+  ASSERT_TRUE(sealer.ok());
+  const StatusOr<EpochSnapshot> sealed = sealer.value().Seal();
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(sealed.value().count, kClients * kPerClient);
+  server.Stop();
+}
+
+TEST(WireServiceTest, MalformedPayloadsGet400AndTheConnectionSurvives) {
+  CollectionServer server(MakePlan(8), EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<CollectionClient> connected =
+      CollectionClient::Connect(server.port());
+  ASSERT_TRUE(connected.ok());
+  CollectionClient& client = connected.value();
+
+  // Garbage bytes as an accept payload: structurally invalid wire report.
+  const std::vector<std::uint8_t> garbage{0xde, 0xad, 0xbe, 0xef, 0x00};
+  StatusOr<WireResponse> response = client.RawRequest(
+      static_cast<std::uint8_t>(WireMessageType::kAccept), garbage);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().status, kWireStatusBadRequest);
+
+  // A structurally valid report of the wrong shape: rejected at the
+  // deployment trust boundary, also 400, also not ingested.
+  Report wrong_shape;
+  wrong_shape.bits = {1, 0, 1};
+  response = client.RawRequest(
+      static_cast<std::uint8_t>(WireMessageType::kAccept),
+      EncodeReport(wrong_shape));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, kWireStatusBadRequest);
+
+  // An unknown frame type.
+  response = client.RawRequest(/*type=*/99, {});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, kWireStatusBadRequest);
+
+  // The connection is still serving, and nothing was ingested.
+  EXPECT_TRUE(client.Ping().ok());
+  const StatusOr<EpochSnapshot> sealed = client.Seal();
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(sealed.value().count, 0);
+  server.Stop();
+}
+
+TEST(WireServiceTest, EstimateBeforeAnySealIs409) {
+  CollectionServer server(MakePlan(8), EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<CollectionClient> client = CollectionClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  const StatusOr<WorkloadEstimate> estimate = client.value().Estimate();
+  ASSERT_FALSE(estimate.ok());
+  EXPECT_EQ(estimate.status().code(), StatusCode::kFailedPrecondition);
+  server.Stop();
+}
+
+TEST(WireServiceTest, MissingSnapshotIs404) {
+  CollectionServer server(MakePlan(8), EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<CollectionClient> client = CollectionClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  const StatusOr<EpochSnapshot> snapshot = client.value().GetSnapshot(0);
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_EQ(snapshot.status().code(), StatusCode::kNotFound);
+  server.Stop();
+}
+
+TEST(WireServiceTest, PushedSnapshotsMergeIntoWindowedEstimates) {
+  // Node B seals an epoch locally and ships it to node A; A's windowed
+  // estimate then covers both nodes' reports, exactly as if A ingested all.
+  const Plan plan = MakePlan(6);
+  CollectionServer node_a(plan, EphemeralOptions());
+  ASSERT_TRUE(node_a.Start().ok());
+  StatusOr<CollectionClient> connected =
+      CollectionClient::Connect(node_a.port());
+  ASSERT_TRUE(connected.ok());
+  CollectionClient& client = connected.value();
+
+  const PlanClient device = plan.Client();
+  std::unique_ptr<PlanSession> reference = plan.StartSession(1);
+  std::unique_ptr<PlanSession> node_b = plan.StartSession(1);
+  Rng rng(7);
+  for (int u = 0; u < 3000; ++u) {
+    const Report report = device.Respond(u % 6, rng);
+    if (u % 2 == 0) {
+      ASSERT_TRUE(client.Accept(report).ok());  // Lands on node A.
+    } else {
+      ASSERT_TRUE(node_b->Accept(0, report).ok());  // Lands on node B.
+    }
+    ASSERT_TRUE(reference->Accept(0, report).ok());
+  }
+  ASSERT_TRUE(client.Seal().ok());
+  const StatusOr<int> pushed = client.PushSnapshot(node_b->Seal());
+  ASSERT_TRUE(pushed.ok()) << pushed.status().ToString();
+  EXPECT_EQ(pushed.value(), 1);  // A's own epoch was 0.
+
+  reference->Seal();
+  const WorkloadEstimate expected =
+      reference->Estimate(EstimatorKind::kWnnls).value();
+  const WorkloadEstimate merged =
+      node_a.session().EstimateWindow(2, EstimatorKind::kWnnls).value();
+  EXPECT_EQ(merged.query_answers, expected.query_answers);
+
+  // A pushed snapshot is untrusted: wrong dimension -> 400, not adopted.
+  EpochSnapshot wrong_dim;
+  wrong_dim.epoch_id = 0;
+  wrong_dim.histogram = {1.0};
+  const StatusOr<int> rejected = client.PushSnapshot(wrong_dim);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  node_a.Stop();
+}
+
+TEST(WireServiceTest, RecoversSealedHistoryAcrossRestart) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "wfm_service_recover")
+          .string();
+  std::filesystem::remove_all(dir);
+  const Plan plan = MakePlan(8);
+  const PlanClient device = plan.Client();
+
+  ServiceOptions options = EphemeralOptions();
+  options.snapshot_dir = dir;
+
+  Vector before_answers;
+  {
+    CollectionServer server(plan, options);
+    ASSERT_TRUE(server.Start().ok());
+    StatusOr<CollectionClient> client =
+        CollectionClient::Connect(server.port());
+    ASSERT_TRUE(client.ok());
+    Rng rng(17);
+    for (int epoch = 0; epoch < 2; ++epoch) {
+      for (int u = 0; u < 2000; ++u) {
+        ASSERT_TRUE(client.value().Accept(device.Respond(u % 8, rng)).ok());
+      }
+      ASSERT_TRUE(client.value().Seal().ok());
+    }
+    before_answers = server.session()
+                         .EstimateWindow(2, EstimatorKind::kWnnls)
+                         .value()
+                         .query_answers;
+    server.Stop();  // "Kill" the process.
+  }
+
+  // A restarted server on the same directory serves identical numbers
+  // without one device re-reporting.
+  CollectionServer revived(plan, options);
+  ASSERT_TRUE(revived.Start().ok());
+  StatusOr<CollectionClient> client =
+      CollectionClient::Connect(revived.port());
+  ASSERT_TRUE(client.ok());
+  const StatusOr<EpochSnapshot> epoch0 = client.value().GetSnapshot(0);
+  ASSERT_TRUE(epoch0.ok()) << epoch0.status().ToString();
+  EXPECT_EQ(epoch0.value().count, 2000);
+  EXPECT_EQ(revived.session()
+                .EstimateWindow(2, EstimatorKind::kWnnls)
+                .value()
+                .query_answers,
+            before_answers);
+  revived.Stop();
+}
+
+TEST(WireServiceTest, ShutdownFrameStopsTheServer) {
+  CollectionServer server(MakePlan(8), EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<CollectionClient> client = CollectionClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client.value().Shutdown().ok());
+  server.WaitUntilShutdown();  // Returns because the frame ended the loop.
+  server.Stop();
+  EXPECT_FALSE(CollectionClient::Connect(server.port()).ok());
+}
+
+}  // namespace
+}  // namespace wfm
