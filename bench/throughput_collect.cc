@@ -19,9 +19,14 @@
 // scratch-count path (the whole batch folds into private integers, then one
 // atomic add per touched counter) — the server-side half of the wire
 // format's packed reports. Disable with --bits=false.
+//
+// --out=path (default BENCH_throughput.json) writes every best-of-trials
+// rate as {"scenario", "reports_per_sec", "threads"} so CI can keep a
+// per-commit ingest-throughput trajectory next to BENCH_perf.json.
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <span>
 #include <string>
@@ -115,6 +120,33 @@ double RunBitsTrial(const std::vector<std::uint8_t>& stream, int m,
   return total_reports / seconds;
 }
 
+// One trajectory point for the --out JSON file.
+struct Entry {
+  std::string scenario;
+  double reports_per_sec;
+  int threads;
+};
+
+void WriteJson(const std::string& path, const std::vector<Entry>& entries) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::fprintf(f,
+                 "  {\"scenario\": \"%s\", \"reports_per_sec\": %.1f, "
+                 "\"threads\": %d}%s\n",
+                 e.scenario.c_str(), e.reports_per_sec, e.threads,
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu entries to %s\n", entries.size(), path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -129,6 +161,8 @@ int main(int argc, char** argv) {
   const int fixed_shards = flags.GetInt("shards", 0);  // 0: match threads.
   const std::vector<int> thread_counts =
       flags.GetIntList("threads", {1, 2, 4});
+  const std::string out = flags.GetString("out", "BENCH_throughput.json");
+  std::vector<Entry> entries;
 
   wfm::bench::PrintHeader(
       "Collection throughput: reports/sec vs ingest threads and shards",
@@ -156,6 +190,7 @@ int main(int argc, char** argv) {
     const double rate = num_reports / timer.ElapsedSeconds();
     serial_best = std::max(serial_best, rate);
   }
+  entries.push_back({"serial", serial_best, 1});
 
   // Scaling is reported against the first configured thread count (the
   // column says which), so --threads=2,4,8 stays honest.
@@ -175,6 +210,7 @@ int main(int argc, char** argv) {
       best_rate = std::max(best_rate, num_reports / seconds);
     }
     if (base_rate == 0.0) base_rate = best_rate;  // First row is the base.
+    entries.push_back({"categorical", best_rate, threads});
     table.AddRow({std::to_string(threads), std::to_string(shards),
                   wfm::TablePrinter::Num(best_rate),
                   wfm::TablePrinter::Num(best_rate / serial_best) + "x",
@@ -207,6 +243,8 @@ int main(int argc, char** argv) {
         batched = std::max(batched,
                            RunBitsTrial(stream, n, threads, batch, true));
       }
+      entries.push_back({"bits_per_report", per_report, threads});
+      entries.push_back({"bits_batched", batched, threads});
       bits_table.AddRow({std::to_string(threads), "per-report",
                          wfm::TablePrinter::Num(per_report), "1.00x"});
       bits_table.AddRow({std::to_string(threads), "batched",
@@ -215,5 +253,6 @@ int main(int argc, char** argv) {
     }
     bits_table.Print();
   }
+  if (!out.empty()) WriteJson(out, entries);
   return 0;
 }

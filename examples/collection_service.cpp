@@ -135,5 +135,22 @@ int main(int argc, char** argv) {
       static_cast<long long>(service->server().num_solves()));
   std::printf("(each device reported once; the whole session is %.2f-LDP "
               "per device)\n", eps);
+
+  // The same run, as the telemetry layer saw it: every counter below was a
+  // relaxed atomic increment on the hot path, rendered here post-hoc.
+  const wfm::MetricsSnapshot obs = wfm::MetricsRegistry::Global().Snapshot();
+  const auto counter = [&](const char* name) -> long long {
+    for (const wfm::CounterValue& c : obs.counters) {
+      if (c.name == name) return static_cast<long long>(c.value);
+    }
+    return 0;
+  };
+  std::printf("[obs] ingest=%lld reports in %lld batches; seals=%lld; "
+              "estimate cache %lld hits / %lld misses\n",
+              counter("wfm_ingest_reports_total"),
+              counter("wfm_ingest_batches_total"),
+              counter("wfm_session_seals_total"),
+              counter("wfm_estimate_cache_hits_total"),
+              counter("wfm_estimate_cache_misses_total"));
   return 0;
 }

@@ -6,8 +6,10 @@
 // sealing both sides it fetches the server's estimate over the wire and
 // compares it against the local one bit for bit: integer count aggregation
 // plus a deterministic decode means the two paths must agree exactly, so any
-// difference is a wire bug. Exits non-zero on mismatch (CI runs this as the
-// service smoke test).
+// difference is a wire bug. It then scrapes the server's /metrics surface and
+// checks the ingest counters saw every report it shipped. Exits non-zero on
+// mismatch or on missing/zero metrics (CI runs this as the service smoke
+// test).
 //
 // Build & run (against a running report_server with the same flags):
 //   ./build/examples/report_client [--port=7971] [--eps=1.0] [--n=16]
@@ -15,11 +17,31 @@
 //                                  [--shutdown=true]
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "wfm.h"  // Public umbrella API: all wfm modules.
+
+namespace {
+
+// Pulls one counter's value out of Prometheus text (line-anchored so the
+// "# TYPE name counter" header never matches). Absent means never touched.
+std::int64_t ScrapedCounter(const std::string& text, const std::string& name) {
+  const std::string needle = name + " ";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::atoll(text.c_str() + pos + needle.size());
+    }
+    pos += needle.size();
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   wfm::FlagParser flags(argc, argv);
@@ -109,6 +131,29 @@ int main(int argc, char** argv) {
                 "%s the in-process one\n",
                 epoch, static_cast<long long>(remote_sealed.value().count),
                 equal ? "bit-identical to" : "DIVERGES from");
+  }
+
+  // Scrape the server's live telemetry: every report this client shipped
+  // must be visible in the ingest counters by the time its Accept returned.
+  const wfm::StatusOr<std::string> metrics = remote.Metrics();
+  if (!metrics.ok()) {
+    std::printf("metrics scrape failed: %s\n",
+                metrics.status().ToString().c_str());
+    return 1;
+  }
+  const long long want =
+      static_cast<long long>(devices) * static_cast<long long>(epochs);
+  const std::int64_t ingested =
+      ScrapedCounter(metrics.value(), "wfm_ingest_reports_total");
+  const std::int64_t accepts =
+      ScrapedCounter(metrics.value(), "wfm_wire_requests_accept_total");
+  std::printf("[metrics] wfm_ingest_reports_total=%lld "
+              "wfm_wire_requests_accept_total=%lld (sent %lld)\n",
+              static_cast<long long>(ingested),
+              static_cast<long long>(accepts), want);
+  if (ingested < want || accepts < want) {
+    std::printf("FAILED: server metrics undercount the shipped reports\n");
+    return 1;
   }
 
   if (shutdown) {

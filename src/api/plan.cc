@@ -5,9 +5,27 @@
 
 #include "common/check.h"
 #include "core/strategy.h"
+#include "obs/metrics.h"
 
 namespace wfm {
 namespace {
+
+// Accept/reject tallies at the trust boundary: every untrusted report that
+// clears ValidateReport into a PlanSession counts as accepted; every
+// malformed one (and every report of a batch rejected atomically with it)
+// counts as rejected. The wire service's 400 counter tracks the rejected
+// tally one layer up.
+Counter& ReportsAccepted() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("wfm_api_reports_accepted_total");
+  return counter;
+}
+
+Counter& ReportsRejected() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("wfm_api_reports_rejected_total");
+  return counter;
+}
 
 /// Shape validation for reports arriving from untrusted devices, shared by
 /// the serial PlanServer and the concurrent PlanSession so both serving
@@ -100,9 +118,11 @@ Status PlanSession::Accept(int shard, const Report& report) {
   if (Status valid = ValidateReport(report, session_.num_outputs(),
                                     session_.report_kind());
       !valid.ok()) {
+    ReportsRejected().Increment();
     return valid;
   }
   session_.Accept(shard, report);
+  ReportsAccepted().AddAt(shard, 1);
   return Status::Ok();
 }
 
@@ -113,11 +133,13 @@ Status PlanSession::AcceptBatch(int shard, std::span<const Report> reports) {
     if (Status valid = ValidateReport(reports[i], session_.num_outputs(),
                                       session_.report_kind());
         !valid.ok()) {
+      ReportsRejected().Add(static_cast<std::int64_t>(reports.size()));
       return Status::InvalidArgument("report " + std::to_string(i) +
                                      " of batch rejected: " + valid.message());
     }
   }
   session_.AcceptBatch(shard, reports);
+  ReportsAccepted().AddAt(shard, static_cast<std::int64_t>(reports.size()));
   return Status::Ok();
 }
 

@@ -6,8 +6,33 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace wfm {
+namespace {
+
+// Epoch lifecycle telemetry. Seal() is rare (once per epoch) but its
+// duration is the serving-path stall everyone ingesting feels, so it gets
+// a full span; restores count epochs adopted from disk or the wire.
+Histogram& SealDuration() {
+  static Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("wfm_session_seal_duration_ns");
+  return histogram;
+}
+
+Counter& SealsTotal() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("wfm_session_seals_total");
+  return counter;
+}
+
+Counter& EpochsRestored() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "wfm_session_epochs_restored_total");
+  return counter;
+}
+
+}  // namespace
 
 CollectionSession::CollectionSession(ReportDecoder decoder,
                                      std::shared_ptr<const Workload> workload,
@@ -68,6 +93,7 @@ void CollectionSession::AcceptBitsBatch(int shard,
 }
 
 EpochSnapshot CollectionSession::Seal() {
+  ScopedTimer span(SealDuration());
   auto fresh = std::make_unique<ShardedAggregator>(decoder_.m(), num_shards_,
                                                    report_kind_);
   std::unique_ptr<ShardedAggregator> sealed;
@@ -86,6 +112,7 @@ EpochSnapshot CollectionSession::Seal() {
     snapshots_.push_back(std::make_shared<const EpochSnapshot>(snapshot));
     sealed_count_ += snapshot.count;
   }
+  SealsTotal().Increment();
   return snapshot;
 }
 
@@ -144,6 +171,7 @@ StatusOr<int> CollectionSession::RestoreSealedEpoch(
   adopted.epoch_id = static_cast<int>(snapshots_.size());
   snapshots_.push_back(std::make_shared<const EpochSnapshot>(adopted));
   sealed_count_ += adopted.count;
+  EpochsRestored().Increment();
   return adopted.epoch_id;
 }
 

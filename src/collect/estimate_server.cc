@@ -1,8 +1,33 @@
 #include "collect/estimate_server.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace wfm {
+namespace {
+
+// Cache effectiveness across every EstimateServer in the process: hits are
+// served from the (window, kind) cache, misses pay a full decode + solve
+// whose latency the histogram records.
+Counter& CacheHits() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("wfm_estimate_cache_hits_total");
+  return counter;
+}
+
+Counter& CacheMisses() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("wfm_estimate_cache_misses_total");
+  return counter;
+}
+
+Histogram& SolveDuration() {
+  static Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("wfm_estimate_solve_duration_ns");
+  return histogram;
+}
+
+}  // namespace
 
 EstimateServer::EstimateServer(const CollectionSession* session)
     : session_(session) {
@@ -32,8 +57,13 @@ StatusOr<WorkloadEstimate> EstimateServer::ServeWindow(int window,
   }
   const std::pair<int, int> key(window, static_cast<int>(kind));
   const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    CacheHits().Increment();
+    return it->second;
+  }
   ++solves_;
+  CacheMisses().Increment();
+  ScopedTimer span(SolveDuration());
   // The window total carries the exact report count of the summed epochs,
   // which affine decoders (RAPPOR/OUE) need to debias the aggregate.
   WorkloadEstimate estimate =

@@ -1,6 +1,7 @@
 #include "collect/sharded_aggregator.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace wfm {
 namespace {
@@ -12,6 +13,23 @@ void AtomicAdd(std::atomic<double>& target, double value) {
   while (!target.compare_exchange_weak(current, current + value,
                                        std::memory_order_relaxed)) {
   }
+}
+
+// Telemetry mirrors of the per-shard totals, routed to the obs stripe
+// matching the caller's shard id so the extra relaxed add contends exactly
+// as much as the shard counter it sits next to. Batched paths record once
+// per batch, per-report paths once per report — the same cadence as
+// `Shard::total`, so a scrape equals num_responses() at quiescence.
+Counter& IngestReports() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("wfm_ingest_reports_total");
+  return counter;
+}
+
+Counter& IngestBatches() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("wfm_ingest_batches_total");
+  return counter;
 }
 
 }  // namespace
@@ -125,6 +143,8 @@ void ShardedAggregator::AcceptBatch(int shard,
   }
   s.total.fetch_add(static_cast<std::int64_t>(reports.size()),
                     std::memory_order_relaxed);
+  IngestReports().AddAt(shard, static_cast<std::int64_t>(reports.size()));
+  IngestBatches().AddAt(shard, 1);
 }
 
 void ShardedAggregator::Add(int shard, int response) {
@@ -135,6 +155,7 @@ void ShardedAggregator::Add(int shard, int response) {
       << "response out of range:" << response << "for m =" << num_outputs_;
   s.counts[response].fetch_add(1, std::memory_order_relaxed);
   s.total.fetch_add(1, std::memory_order_relaxed);
+  IngestReports().AddAt(shard, 1);
 }
 
 void ShardedAggregator::AddBatch(int shard, std::span<const int> responses) {
@@ -164,6 +185,8 @@ void ShardedAggregator::AddBatch(int shard, std::span<const int> responses) {
   }
   s.total.fetch_add(static_cast<std::int64_t>(responses.size()),
                     std::memory_order_relaxed);
+  IngestReports().AddAt(shard, static_cast<std::int64_t>(responses.size()));
+  IngestBatches().AddAt(shard, 1);
 }
 
 void ShardedAggregator::AddDense(int shard, std::span<const double> report) {
@@ -175,6 +198,7 @@ void ShardedAggregator::AddDense(int shard, std::span<const double> report) {
     AtomicAdd(s.dense[o], report[o]);
   }
   s.total.fetch_add(1, std::memory_order_relaxed);
+  IngestReports().AddAt(shard, 1);
 }
 
 void ShardedAggregator::AddBits(int shard, std::span<const std::uint8_t> report) {
@@ -190,6 +214,7 @@ void ShardedAggregator::AddBits(int shard, std::span<const std::uint8_t> report)
   }
   // One n-bit report is one user; the total feeds the affine debias N.
   s.total.fetch_add(1, std::memory_order_relaxed);
+  IngestReports().AddAt(shard, 1);
 }
 
 void ShardedAggregator::AddBitsBatch(int shard,
@@ -222,6 +247,8 @@ void ShardedAggregator::AddBitsBatch(int shard,
     if (local[o] != 0) s.counts[o].fetch_add(local[o], std::memory_order_relaxed);
   }
   s.total.fetch_add(k, std::memory_order_relaxed);
+  IngestReports().AddAt(shard, k);
+  IngestBatches().AddAt(shard, 1);
 }
 
 Vector ShardedAggregator::Merge() const {

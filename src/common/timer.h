@@ -1,9 +1,11 @@
-// Wall-clock stopwatch used by the scalability bench (Figure 3c).
+// Wall-clock stopwatch: the clock shim for benches and for obs/metrics.h
+// (ScopedTimer spans record Stopwatch::ElapsedNanos into histograms).
 
 #ifndef WFM_COMMON_TIMER_H_
 #define WFM_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace wfm {
 
@@ -19,6 +21,13 @@ class Stopwatch {
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Integer nanoseconds elapsed — the unit obs histograms record in.
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

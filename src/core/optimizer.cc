@@ -5,11 +5,51 @@
 #include <cstdio>
 #include <limits>
 
-#include "common/timer.h"
 #include "core/objective.h"
+#include "obs/metrics.h"
 
 namespace wfm {
 namespace {
+
+// Optimizer telemetry, recorded per PGD run (never per iteration, so the
+// allocation-free inner loop stays untouched): run/iteration/failure
+// totals, full Optimize() spans, the probe-iteration span behind the
+// Figure 3c scalability bench, and the last converged objective.
+Counter& OptimizerRuns() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("wfm_optimizer_runs_total");
+  return counter;
+}
+
+Counter& OptimizerIterations() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("wfm_optimizer_iterations_total");
+  return counter;
+}
+
+Counter& OptimizerCholeskyFailures() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "wfm_optimizer_cholesky_failures_total");
+  return counter;
+}
+
+Histogram& OptimizeDuration() {
+  static Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "wfm_optimizer_optimize_duration_ns");
+  return histogram;
+}
+
+Histogram& ProbeIterationDuration() {
+  static Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "wfm_optimizer_probe_iteration_ns");
+  return histogram;
+}
+
+Gauge& LastObjective() {
+  static Gauge& gauge =
+      MetricsRegistry::Global().GetGauge("wfm_optimizer_last_objective");
+  return gauge;
+}
 
 /// ∇_z L via the chain rule through q_u = clip(r_u + λ_u, z, e^ε z) at the
 /// recorded clipping pattern (DESIGN.md §6). For column u with free set F:
@@ -163,6 +203,9 @@ RunResult RunOnce(const Matrix& gram, double eps, const OptimizerConfig& config,
     if (record_history) run.history.push_back(eval.value);
     beta *= config.step_decay;
   }
+  OptimizerRuns().Increment();
+  OptimizerIterations().Add(iterations);
+  OptimizerCholeskyFailures().Add(run.cholesky_failures);
   return run;
 }
 
@@ -187,6 +230,7 @@ ProjectionResult RandomInitialStrategy(int m, int n, double eps, Rng& rng,
 
 OptimizerResult OptimizeStrategy(const Matrix& gram, double eps,
                                  const OptimizerConfig& config) {
+  ScopedTimer span(OptimizeDuration());
   WFM_CHECK_EQ(gram.rows(), gram.cols());
   WFM_CHECK_GT(eps, 0.0);
   const int n = gram.rows();
@@ -285,6 +329,7 @@ OptimizerResult OptimizeStrategy(const Matrix& gram, double eps,
                      /*record_history=*/true, ws, &init),
              "seed", static_cast<int>(i));
   }
+  LastObjective().Set(out.objective);
   return out;
 }
 
@@ -292,7 +337,7 @@ double TimeOneIteration(const Matrix& gram, double eps, int m, Rng& rng) {
   const int n = gram.rows();
   Vector z;
   ProjectionResult proj = RandomInitialStrategy(m, n, eps, rng, &z);
-  Stopwatch timer;
+  ScopedTimer span(ProbeIterationDuration());
   ObjectiveEvaluation eval = EvalObjectiveAndGradient(proj.q, gram);
   Matrix r = proj.q;
   r -= eval.gradient;  // Unit step; magnitude is irrelevant for timing.
@@ -300,7 +345,7 @@ double TimeOneIteration(const Matrix& gram, double eps, int m, Rng& rng) {
   // Touch the output so the work cannot be elided.
   volatile double sink = next.q(0, 0) + eval.value;
   (void)sink;
-  return timer.ElapsedSeconds();
+  return static_cast<double>(span.Stop()) * 1e-9;
 }
 
 }  // namespace wfm

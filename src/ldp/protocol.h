@@ -61,7 +61,9 @@
 // they do not implement, plus any truncated, oversized, bit-flipped,
 // wrong-magic, or non-canonically padded buffer, with kInvalidArgument —
 // never an abort. wire/service.h speaks these encodings over TCP and maps
-// them onto api/PlanSession.
+// them onto api/PlanSession; its kMetrics frame type additionally serves
+// the process's obs/ telemetry registry (ingest counters, accept/reject
+// tallies, request latencies) so operators can watch steps 2-4 run live.
 
 #ifndef WFM_LDP_PROTOCOL_H_
 #define WFM_LDP_PROTOCOL_H_

@@ -3,10 +3,41 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+
 namespace wfm {
 namespace {
 
 std::atomic<ThreadPool*> g_injected{nullptr};
+
+// Pool telemetry, recorded per dispatch (never per chunk): how often work
+// fans out vs degrades to inline, and how the chunk claims split between
+// the calling thread and the parked workers — the load-balance signal for
+// the GEMM/Cholesky kernels. All counters sit outside the per-chunk loop,
+// so the zero-allocation, low-latency dispatch contract is untouched.
+Counter& PoolDispatches() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("wfm_pool_dispatches_total");
+  return counter;
+}
+
+Counter& PoolInline() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("wfm_pool_inline_total");
+  return counter;
+}
+
+Counter& PoolChunksCaller() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("wfm_pool_chunks_caller_total");
+  return counter;
+}
+
+Counter& PoolChunksWorker() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("wfm_pool_chunks_worker_total");
+  return counter;
+}
 
 int ThreadCountFromEnv() {
   const char* env = std::getenv("WFM_NUM_THREADS");
@@ -40,11 +71,13 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::RunChunks() {
+int ThreadPool::RunChunks() {
+  int executed = 0;
   for (;;) {
     const int begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
-    if (begin >= total_) return;
+    if (begin >= total_) return executed;
     fn_(ctx_, begin, std::min(total_, begin + chunk_));
+    ++executed;
   }
 }
 
@@ -56,7 +89,8 @@ void ThreadPool::WorkerLoop() {
     if (stop_) return;
     seen = generation_;
     lk.unlock();
-    RunChunks();
+    const int executed = RunChunks();
+    if (executed > 0) PoolChunksWorker().Add(executed);
     lk.lock();
     if (--active_ == 0) done_cv_.notify_one();
   }
@@ -64,9 +98,11 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::Dispatch(int total, RangeFn fn, void* ctx) {
   if (total <= 0) return;
+  PoolDispatches().Increment();
   // Inline when splitting cannot help or the pool is busy (which also makes
   // nested ParallelFor calls from inside a task safe).
   if (total == 1 || workers_.empty() || !dispatch_mu_.try_lock()) {
+    PoolInline().Increment();
     fn(ctx, 0, total);
     return;
   }
@@ -84,7 +120,8 @@ void ThreadPool::Dispatch(int total, RangeFn fn, void* ctx) {
     ++generation_;
   }
   work_cv_.notify_all();
-  RunChunks();
+  const int executed = RunChunks();
+  if (executed > 0) PoolChunksCaller().Add(executed);
   std::unique_lock<std::mutex> lk(mu_);
   done_cv_.wait(lk, [&] { return active_ == 0; });
 }

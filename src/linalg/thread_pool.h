@@ -79,8 +79,9 @@ class ThreadPool {
 
   void Dispatch(int total, RangeFn fn, void* ctx);
   void WorkerLoop();
-  /// Claims and runs chunks of the current task until none remain.
-  void RunChunks();
+  /// Claims and runs chunks of the current task until none remain; returns
+  /// how many this thread executed (fed to the obs caller/worker counters).
+  int RunChunks();
 
   std::vector<std::thread> workers_;
 

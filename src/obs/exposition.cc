@@ -1,0 +1,120 @@
+#include "obs/exposition.h"
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <system_error>
+
+#include "common/check.h"
+
+namespace wfm {
+namespace {
+
+// Shortest round-trip decimal rendering — the same bytes for the same
+// double on every libc, unlike printf("%g").
+void AppendDouble(std::string& out, double value) {
+  char buffer[64];
+  const std::to_chars_result result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  WFM_CHECK(result.ec == std::errc());
+  out.append(buffer, result.ptr);
+}
+
+void AppendInt(std::string& out, std::int64_t value) {
+  char buffer[32];
+  const std::to_chars_result result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  WFM_CHECK(result.ec == std::errc());
+  out.append(buffer, result.ptr);
+}
+
+void AppendQuantiles(std::string& out, const HistogramSample& sample,
+                     const char* prefix, const char* suffix) {
+  static constexpr struct {
+    const char* label;
+    double q;
+  } kQuantiles[] = {{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}};
+  for (const auto& [label, q] : kQuantiles) {
+    out += prefix;
+    out += label;
+    out += suffix;
+    AppendDouble(out, sample.Quantile(q));
+  }
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterValue& counter : snapshot.counters) {
+    out += "# TYPE " + counter.name + " counter\n";
+    out += counter.name + " ";
+    AppendInt(out, counter.value);
+    out += "\n";
+  }
+  for (const GaugeValue& gauge : snapshot.gauges) {
+    out += "# TYPE " + gauge.name + " gauge\n";
+    out += gauge.name + " ";
+    AppendDouble(out, gauge.value);
+    out += "\n";
+  }
+  for (const HistogramValue& histogram : snapshot.histograms) {
+    out += "# TYPE " + histogram.name + " histogram\n";
+    std::int64_t cumulative = 0;
+    for (int i = 0; i < static_cast<int>(histogram.sample.counts.size());
+         ++i) {
+      if (histogram.sample.counts[i] == 0) continue;
+      cumulative += histogram.sample.counts[i];
+      out += histogram.name + "_bucket{le=\"";
+      AppendInt(out, Histogram::BucketUpperBound(i));
+      out += "\"} ";
+      AppendInt(out, cumulative);
+      out += "\n";
+    }
+    out += histogram.name + "_bucket{le=\"+Inf\"} ";
+    AppendInt(out, histogram.sample.count);
+    out += "\n";
+    out += histogram.name + "_sum ";
+    AppendInt(out, histogram.sample.sum);
+    out += "\n";
+    out += histogram.name + "_count ";
+    AppendInt(out, histogram.sample.count);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const CounterValue& counter : snapshot.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + counter.name + "\":";
+    AppendInt(out, counter.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeValue& gauge : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + gauge.name + "\":";
+    AppendDouble(out, gauge.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramValue& histogram : snapshot.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + histogram.name + "\":{\"count\":";
+    AppendInt(out, histogram.sample.count);
+    out += ",\"sum\":";
+    AppendInt(out, histogram.sample.sum);
+    AppendQuantiles(out, histogram.sample, ",\"", "\":");
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace wfm

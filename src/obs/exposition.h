@@ -1,0 +1,42 @@
+// Rendering a MetricsSnapshot for humans and scrapers.
+//
+// Two formats over the same snapshot:
+//
+//   ToPrometheusText  the Prometheus text exposition format (# TYPE lines,
+//                     cumulative le="..." histogram buckets, _sum/_count),
+//                     which any Prometheus-compatible scraper ingests as-is.
+//   ToJson            a single JSON object with counters/gauges/histograms
+//                     sections; histograms carry count, sum, and
+//                     interpolated p50/p95/p99 so dashboards need no
+//                     bucket math.
+//
+// Both renderings are deterministic functions of the snapshot: names come
+// out sorted (the registry snapshots in name order), doubles print via
+// std::to_chars shortest round-trip, and only non-empty buckets plus the
+// +Inf terminator are emitted. Identical snapshots render to identical
+// bytes — the property the wire-service test pins by comparing an
+// in-process rendering against a TCP scrape.
+
+#ifndef WFM_OBS_EXPOSITION_H_
+#define WFM_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace wfm {
+
+/// Prometheus text format, version 0.0.4. Counters and gauges are one
+/// `# TYPE` + one sample line; histograms emit cumulative `_bucket` lines
+/// for every non-empty bucket, a `{le="+Inf"}` terminator, `_sum`, and
+/// `_count`. Bucket bounds are the histogram's inclusive log2 upper edges.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// One JSON object: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {"count": c, "sum": s, "p50": ..., "p95": ...,
+/// "p99": ...}}}. Keys sorted, doubles shortest-round-trip.
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+}  // namespace wfm
+
+#endif  // WFM_OBS_EXPOSITION_H_

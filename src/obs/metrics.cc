@@ -1,0 +1,144 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace wfm {
+
+int Counter::ThreadStripe() {
+  // Threads are dealt stripes round-robin at first touch; with kStripes a
+  // power of two the AddAt() mask wraps the dealt index. Short-lived
+  // threads recycle stripes, which only affects contention, never counts.
+  static std::atomic<int> next_stripe{0};
+  thread_local const int stripe =
+      next_stripe.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+int Histogram::BucketIndex(std::int64_t value) {
+  if (value <= 0) return 0;
+  const int width = std::bit_width(static_cast<std::uint64_t>(value));
+  return width < kNumBuckets - 1 ? width : kNumBuckets - 1;
+}
+
+std::int64_t Histogram::BucketUpperBound(int index) {
+  if (index <= 0) return 0;
+  if (index >= 63) return std::numeric_limits<std::int64_t>::max();
+  return (std::int64_t{1} << index) - 1;
+}
+
+std::int64_t Histogram::count() const {
+  std::int64_t total = 0;
+  for (const std::atomic<std::int64_t>& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+HistogramSample Histogram::Sample() const {
+  HistogramSample sample;
+  sample.counts.resize(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    sample.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    sample.count += sample.counts[i];
+  }
+  sample.sum = sum_.load(std::memory_order_relaxed);
+  return sample;
+}
+
+double HistogramSample::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based, nearest-rank with interpolation
+  // inside the holding bucket).
+  const std::int64_t rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count))));
+  std::int64_t cumulative = 0;
+  for (int i = 0; i < static_cast<int>(counts.size()); ++i) {
+    if (counts[i] == 0) continue;
+    if (cumulative + counts[i] >= rank) {
+      const double lower =
+          i == 0 ? 0.0
+                 : static_cast<double>(std::int64_t{1} << std::min(i - 1, 62));
+      const double upper =
+          static_cast<double>(Histogram::BucketUpperBound(i));
+      const double fraction = static_cast<double>(rank - cumulative) /
+                              static_cast<double>(counts[i]);
+      return lower + fraction * (upper - lower);
+    }
+    cumulative += counts[i];
+  }
+  return static_cast<double>(
+      Histogram::BucketUpperBound(static_cast<int>(counts.size()) - 1));
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: metric handles captured in function-local statics
+  // must stay valid through every other static destructor.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(const std::string& name,
+                                                  MetricType type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.type = type;
+    switch (type) {
+      case MetricType::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricType::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricType::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  }
+  WFM_CHECK(entry.type == type)
+      << "metric name registered twice with different types:" << name;
+  return entry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  return *GetEntry(name, MetricType::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  return *GetEntry(name, MetricType::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  return *GetEntry(name, MetricType::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  // std::map iterates in name order, so each section comes out sorted and
+  // the exposition of a quiesced process is byte-stable.
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.type) {
+      case MetricType::kCounter:
+        snapshot.counters.push_back({name, entry.counter->value()});
+        break;
+      case MetricType::kGauge:
+        snapshot.gauges.push_back({name, entry.gauge->value()});
+        break;
+      case MetricType::kHistogram:
+        snapshot.histograms.push_back({name, entry.histogram->Sample()});
+        break;
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace wfm

@@ -1,0 +1,257 @@
+// Lock-free runtime metrics: the instruments every serving-path layer
+// (ingest shards, epoch lifecycle, estimate cache, wire service, thread
+// pool, optimizer) records into, and the registry the exposition surfaces
+// read back out.
+//
+// Design constraints, in order:
+//
+//   1. Near-zero hot-path cost. Every record operation is one relaxed
+//      atomic RMW — no locks, no allocation, no stronger ordering than the
+//      data requires. Counters are striped across cache-line-padded slots
+//      (pick a stripe by shard id via AddAt(), or let Increment()/Add()
+//      hash the calling thread) so concurrent writers do not contend on
+//      one line; readers pay the aggregation cost instead, summing stripes
+//      at scrape time.
+//   2. Exact counts. Stripes are summed, never sampled: after all writers
+//      quiesce, value() equals the number of events recorded. Tests assert
+//      this under N-thread hammering (and the TSan CI job certifies the
+//      memory orders).
+//   3. Stable handles. Metric objects live forever once registered (the
+//      registry never erases), so hot paths capture `Counter&` once —
+//      typically in a function-local static — and never touch the registry
+//      map again.
+//
+// Latency is recorded in log2 buckets: Histogram::Record(ns) increments
+// bucket floor(log2(v)) + 1, i.e. bucket i >= 1 covers [2^(i-1), 2^i - 1]
+// and bucket 0 covers v <= 0 plus v == 0 ... so quantile readout is exact
+// to within a power of two and interpolated inside the bucket. That is the
+// right fidelity for "did Seal() get slower" at the cost of two relaxed
+// adds per sample. ScopedTimer is the RAII span over a Histogram: it
+// stamps the clock at construction and records elapsed nanoseconds when
+// it dies (or earlier, once, via Stop()).
+//
+// Exposition lives in obs/exposition.h (Prometheus text + JSON over a
+// MetricsSnapshot); wire/service.cc serves it as the kMetrics frame type.
+
+#ifndef WFM_OBS_METRICS_H_
+#define WFM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace wfm {
+
+/// Monotonic event count, striped to keep concurrent writers off one cache
+/// line. Write cost: one relaxed fetch_add. Read cost: kStripes relaxed
+/// loads, summed.
+class Counter {
+ public:
+  static constexpr int kStripes = 8;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Records one event on the calling thread's stripe.
+  void Increment() { Add(1); }
+
+  /// Records `delta` events (a batch) on the calling thread's stripe.
+  void Add(std::int64_t delta) { AddAt(ThreadStripe(), delta); }
+
+  /// Records `delta` events on an explicit stripe — callers that already
+  /// hold a shard/worker id route contention-free without a thread hash.
+  void AddAt(int stripe, std::int64_t delta) {
+    stripes_[stripe & (kStripes - 1)].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over stripes. Exact once writers quiesce; during concurrent
+  /// writing it is a valid count of some interleaving prefix.
+  std::int64_t value() const {
+    std::int64_t total = 0;
+    for (const Slot& slot : stripes_) {
+      total += slot.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::int64_t> value{0};
+  };
+
+  static int ThreadStripe();
+
+  Slot stripes_[kStripes];
+};
+
+/// Last-written instantaneous value (queue depth, active connections,
+/// last objective). Set() is one relaxed store; Add() is a CAS loop kept
+/// off hot paths.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time histogram readout (see Histogram::Sample()).
+struct HistogramSample {
+  /// counts[i] for i >= 1 is the number of samples in [2^(i-1), 2^i - 1];
+  /// counts[0] counts samples <= 0. Index kNumBuckets - 1 absorbs the tail.
+  std::vector<std::int64_t> counts;
+  std::int64_t count = 0;  ///< Total samples (sum of counts).
+  std::int64_t sum = 0;    ///< Sum of recorded values.
+
+  /// Interpolated quantile in [0, 1]; 0 when empty. The bucket holding the
+  /// rank-q sample is located exactly; the position inside it is linear.
+  double Quantile(double q) const;
+};
+
+/// Log2-bucketed distribution of non-negative integer samples (latency in
+/// nanoseconds, frame sizes in bytes). Record() is two relaxed fetch_adds.
+class Histogram {
+ public:
+  /// Bucket 0 plus one bucket per possible bit_width of an int64.
+  static constexpr int kNumBuckets = 65;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(std::int64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  std::int64_t count() const;
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Quantile(double q) const { return Sample().Quantile(q); }
+
+  /// Coherent-enough snapshot of the bucket array for exposition. Buckets
+  /// recorded strictly before the call are all visible.
+  HistogramSample Sample() const;
+
+  /// Bucket index for a value: 0 for v <= 0, else min(64, bit_width(v)).
+  static int BucketIndex(std::int64_t value);
+  /// Inclusive upper bound of bucket i (2^i - 1; saturates at the top).
+  static std::int64_t BucketUpperBound(int index);
+
+ private:
+  std::atomic<std::int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// One registry entry rendered for exposition.
+struct CounterValue {
+  std::string name;
+  std::int64_t value = 0;
+};
+struct GaugeValue {
+  std::string name;
+  double value = 0.0;
+};
+struct HistogramValue {
+  std::string name;
+  HistogramSample sample;
+};
+
+/// Point-in-time view of every registered metric, sorted by name within
+/// each section — the single input to obs/exposition.h, so in-process and
+/// scraped renderings of the same instant are byte-identical.
+struct MetricsSnapshot {
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+/// Process-wide namespaced metric registry. Get*(name) returns a stable
+/// reference, creating on first use; requesting an existing name as a
+/// different metric type is a programming error (WFM_CHECK abort).
+///
+/// Lookup takes a mutex — hot paths must capture the returned reference
+/// once (function-local static) rather than re-resolving per event.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every wfm_* metric lives in.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Sorted point-in-time readout of everything registered.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  enum class MetricType { kCounter, kGauge, kHistogram };
+  struct Entry {
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& GetEntry(const std::string& name, MetricType type);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// RAII span: records nanoseconds since construction into `sink` when
+/// destroyed, or exactly once at Stop(). Construction and recording are
+/// allocation-free.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink) : sink_(&sink) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (sink_ != nullptr) Stop();
+  }
+
+  /// Records the elapsed span now and disarms the destructor; returns the
+  /// recorded nanoseconds. Calling Stop() twice records only once.
+  std::int64_t Stop() {
+    const std::int64_t elapsed = watch_.ElapsedNanos();
+    if (sink_ != nullptr) {
+      sink_->Record(elapsed);
+      sink_ = nullptr;
+    }
+    return elapsed;
+  }
+
+ private:
+  Histogram* sink_;
+  Stopwatch watch_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_OBS_METRICS_H_

@@ -16,6 +16,11 @@
 #include "common/table_printer.h"
 #include "common/timer.h"
 
+// obs: runtime telemetry — lock-free counters/gauges/histograms, the
+// process-wide registry, and Prometheus/JSON exposition.
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+
 // linalg: the dense numerical substrate.
 #include "linalg/cholesky.h"
 #include "linalg/hadamard.h"

@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "wire/snapshot_store.h"
 
 namespace wfm {
@@ -18,6 +20,76 @@ namespace {
 // Frame bodies are reports/snapshots of a fixed deployment, so anything past
 // a few MB is a malformed or hostile length prefix, not a real request.
 constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+// ---- request telemetry ----------------------------------------------------
+
+// Per-request accounting handles, resolved from the obs registry once (at
+// the first served connection) and reused as raw pointers thereafter so the
+// serving loop never touches the registry map.
+struct WireTelemetry {
+  /// One slot per WireMessageType (1..8) plus a trailing unknown slot.
+  static constexpr int kNumSlots = 9;
+
+  Counter* requests[kNumSlots];
+  Histogram* latency[kNumSlots];
+  Counter* responses_200;
+  Counter* responses_400;
+  Counter* responses_404;
+  Counter* responses_409;
+  Counter* responses_500;
+  Counter* bytes_read;
+  Counter* bytes_written;
+  Counter* connections;
+  Gauge* connections_active;
+
+  Counter& ResponseCounter(std::uint16_t status) const {
+    switch (status) {
+      case kWireStatusOk:
+        return *responses_200;
+      case kWireStatusBadRequest:
+        return *responses_400;
+      case kWireStatusNotFound:
+        return *responses_404;
+      case kWireStatusConflict:
+        return *responses_409;
+      default:
+        return *responses_500;
+    }
+  }
+};
+
+/// Telemetry slot for a (possibly unknown) request type byte.
+int RequestSlot(std::uint8_t type) {
+  return type >= 1 && type <= 8 ? type - 1 : WireTelemetry::kNumSlots - 1;
+}
+
+const WireTelemetry& Telemetry() {
+  static const WireTelemetry* const telemetry = [] {
+    static constexpr const char* kSlotNames[WireTelemetry::kNumSlots] = {
+        "accept", "seal",     "estimate", "get_snapshot", "push_snapshot",
+        "ping",   "shutdown", "metrics",  "unknown"};
+    auto* t = new WireTelemetry();
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    for (int i = 0; i < WireTelemetry::kNumSlots; ++i) {
+      t->requests[i] = &registry.GetCounter(
+          std::string("wfm_wire_requests_") + kSlotNames[i] + "_total");
+      t->latency[i] = &registry.GetHistogram(
+          std::string("wfm_wire_request_") + kSlotNames[i] + "_duration_ns");
+    }
+    t->responses_200 = &registry.GetCounter("wfm_wire_responses_200_total");
+    t->responses_400 = &registry.GetCounter("wfm_wire_responses_400_total");
+    t->responses_404 = &registry.GetCounter("wfm_wire_responses_404_total");
+    t->responses_409 = &registry.GetCounter("wfm_wire_responses_409_total");
+    t->responses_500 = &registry.GetCounter("wfm_wire_responses_500_total");
+    t->bytes_read = &registry.GetCounter("wfm_wire_bytes_read_total");
+    t->bytes_written = &registry.GetCounter("wfm_wire_bytes_written_total");
+    t->connections = &registry.GetCounter("wfm_wire_connections_total");
+    t->connections_active =
+        &registry.GetGauge("wfm_wire_connections_active");
+    return t;
+  }();
+  return *telemetry;
+}
 
 // ---- blocking socket I/O ---------------------------------------------------
 
@@ -175,10 +247,6 @@ void CollectionServer::Stop() {
     ::shutdown(listen_fd_, SHUT_RDWR);
   }
   if (acceptor_.joinable()) acceptor_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
   std::vector<std::thread> to_join;
   {
     std::lock_guard<std::mutex> lock(threads_mutex_);
@@ -190,6 +258,14 @@ void CollectionServer::Stop() {
   }
   for (std::thread& t : to_join) {
     if (t.joinable()) t.join();
+  }
+  // Close the listener only after every connection thread is joined: the
+  // kShutdown handler reads listen_fd_ to unblock the acceptor, so tearing
+  // the fd down earlier would race that read (and risk closing a recycled
+  // descriptor out from under it).
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
 }
 
@@ -211,6 +287,9 @@ void CollectionServer::AcceptLoop() {
 }
 
 void CollectionServer::ServeConnection(int fd, int connection_id) {
+  const WireTelemetry& telemetry = Telemetry();
+  telemetry.connections->Increment();
+  telemetry.connections_active->Add(1.0);
   // Each connection pins one shard; concurrent clients therefore spread
   // round-robin over the session's sharded aggregator.
   const int shard = connection_id % options_.num_shards;
@@ -224,17 +303,33 @@ void CollectionServer::ServeConnection(int fd, int connection_id) {
     if (length < 1 || length > kMaxFrameBytes) {
       // An unframeable length prefix is unrecoverable on a byte stream —
       // answer 400 and drop the connection (resync is impossible).
-      SendResponse(fd, ErrorResponse(Status::InvalidArgument(
-                           "frame length " + std::to_string(length) +
-                           " outside [1, " + std::to_string(kMaxFrameBytes) +
-                           "]")));
+      const WireResponse response = ErrorResponse(Status::InvalidArgument(
+          "frame length " + std::to_string(length) + " outside [1, " +
+          std::to_string(kMaxFrameBytes) + "]"));
+      telemetry.bytes_read->Add(4);
+      telemetry.ResponseCounter(response.status).Increment();
+      telemetry.bytes_written->Add(
+          6 + static_cast<std::int64_t>(response.payload.size()));
+      SendResponse(fd, response);
       break;
     }
     body.resize(length);
     if (!ReadExactly(fd, body.data(), length)) break;
     const std::uint8_t type = body[0];
+    const int slot = RequestSlot(type);
     const std::span<const std::uint8_t> payload(body.data() + 1, length - 1);
+    ScopedTimer span(*telemetry.latency[slot]);
     const WireResponse response = HandleRequest(type, payload, shard);
+    span.Stop();
+    // Account after the handler but before the response goes out: once a
+    // client holds its response, the request is visible to any later
+    // kMetrics scrape — and a scrape, rendered inside HandleRequest above,
+    // never observes its own accounting.
+    telemetry.requests[slot]->Increment();
+    telemetry.bytes_read->Add(4 + static_cast<std::int64_t>(length));
+    telemetry.ResponseCounter(response.status).Increment();
+    telemetry.bytes_written->Add(
+        6 + static_cast<std::int64_t>(response.payload.size()));
     if (!SendResponse(fd, response)) break;
     if (type == static_cast<std::uint8_t>(WireMessageType::kShutdown)) {
       // Response is out; now unblock the acceptor. Other live connections
@@ -249,6 +344,7 @@ void CollectionServer::ServeConnection(int fd, int connection_id) {
     std::lock_guard<std::mutex> lock(threads_mutex_);
     std::erase(live_fds_, fd);
   }
+  telemetry.connections_active->Add(-1.0);
   ::close(fd);
 }
 
@@ -317,6 +413,20 @@ WireResponse CollectionServer::HandleRequest(
       return OkResponse();
     case WireMessageType::kShutdown:
       return OkResponse();
+    case WireMessageType::kMetrics: {
+      if (payload.size() != 1 ||
+          payload[0] > static_cast<std::uint8_t>(MetricsFormat::kJson)) {
+        return ErrorResponse(Status::InvalidArgument(
+            "metrics request payload must be one format byte (0 Prometheus, "
+            "1 JSON)"));
+      }
+      const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+      const std::string text =
+          static_cast<MetricsFormat>(payload[0]) == MetricsFormat::kPrometheus
+              ? ToPrometheusText(snapshot)
+              : ToJson(snapshot);
+      return OkResponse(WireBytes(text.begin(), text.end()));
+    }
     default:
       return ErrorResponse(Status::InvalidArgument(
           "unknown request type " + std::to_string(type)));
@@ -436,6 +546,17 @@ StatusOr<int> CollectionClient::PushSnapshot(const EpochSnapshot& snapshot) {
     return Status::Internal("push-snapshot response payload malformed");
   }
   return static_cast<int>(GetU32LE(response.value().payload.data()));
+}
+
+StatusOr<std::string> CollectionClient::Metrics(MetricsFormat format) {
+  const std::uint8_t format_byte = static_cast<std::uint8_t>(format);
+  StatusOr<WireResponse> response =
+      RawRequest(static_cast<std::uint8_t>(WireMessageType::kMetrics),
+                 std::span<const std::uint8_t>(&format_byte, 1));
+  if (!response.ok()) return response.status();
+  if (!response.value().ok()) return StatusFromResponse(response.value());
+  return std::string(response.value().payload.begin(),
+                     response.value().payload.end());
 }
 
 Status CollectionClient::Ping() {

@@ -14,6 +14,11 @@
 //                                                (adopt another node's epoch)
 //   kPing          -> liveness probe
 //   kShutdown      -> stop accepting connections (drains, then exits)
+//   kMetrics       -> obs/MetricsRegistry::Global().Snapshot()
+//                                                (render the process-wide
+//                                                 telemetry registry; one
+//                                                 format byte selects
+//                                                 Prometheus text or JSON)
 //
 // Framing (all integers little-endian):
 //   request   u32 length | u8 type | payload[length - 1]
@@ -30,6 +35,14 @@
 // Threading: one acceptor thread plus one thread per live connection.
 // Reports land on shard (connection id % num_shards), so concurrent clients
 // spread over the sharded aggregator without coordinating.
+//
+// Telemetry: every served request is accounted in the obs registry
+// (per-type request counters and latency histograms, per-status-code
+// response counters, byte totals, connection counts — see README
+// "Observability" for the catalog). Accounting happens after the handler
+// runs but before the response is written, so once a client has its
+// response, its request is visible to any later kMetrics scrape — and a
+// scrape, which renders inside the handler, never counts itself.
 //
 // Durability: with ServiceOptions::snapshot_dir set, every sealed epoch
 // (kSeal) is appended to a SnapshotStore, and Start() replays the store
@@ -64,6 +77,15 @@ enum class WireMessageType : std::uint8_t {
   kPushSnapshot = 5,
   kPing = 6,
   kShutdown = 7,
+  /// Scrape the process-wide obs registry. Payload is one format byte (a
+  /// MetricsFormat value); the 200 response payload is the rendered text.
+  kMetrics = 8,
+};
+
+/// Exposition format selector carried in a kMetrics request payload.
+enum class MetricsFormat : std::uint8_t {
+  kPrometheus = 0,
+  kJson = 1,
 };
 
 /// HTTP-flavored response codes carried in the u16 status field.
@@ -170,6 +192,12 @@ class CollectionClient {
   /// Ships a sealed epoch to the server (multi-node merge); returns the
   /// epoch id the server assigned locally.
   StatusOr<int> PushSnapshot(const EpochSnapshot& snapshot);
+
+  /// Scrapes the server's metrics registry: the live /metrics surface.
+  /// Returns the rendered exposition text (obs/exposition.h), byte-exact
+  /// with an in-process rendering of the same registry state.
+  StatusOr<std::string> Metrics(
+      MetricsFormat format = MetricsFormat::kPrometheus);
 
   /// Liveness probe.
   Status Ping();

@@ -1,0 +1,305 @@
+// The metrics core's contract, pinned: counters are exact under N-thread
+// concurrent hammering (the TSan CI job certifies the relaxed orders are
+// race-free), histogram log2 bucket boundaries and interpolated quantiles
+// match hand-computed values on pinned inputs, the registry returns stable
+// handles and aborts on cross-type name collisions, ScopedTimer records
+// exactly once, and both exposition formats are byte-stable functions of a
+// snapshot (the property the wire service's scrape test builds on).
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+
+// The collision CHECK fires via EXPECT_DEATH, which forks; under TSan the
+// forked child inherits the sanitizer runtime mid-state and can hang, so
+// the death test self-skips there (the plain builds enforce it).
+#if defined(__SANITIZE_THREAD__)
+#define WFM_OBS_DEATH_TESTS 0
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define WFM_OBS_DEATH_TESTS 0
+#else
+#define WFM_OBS_DEATH_TESTS 1
+#endif
+#else
+#define WFM_OBS_DEATH_TESTS 1
+#endif
+
+namespace wfm {
+namespace {
+
+TEST(CounterTest, CountsExactlyUnderConcurrentIncrements) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), std::int64_t{kThreads} * kPerThread);
+}
+
+TEST(CounterTest, BatchAddsAndExplicitStripesSumExactly) {
+  Counter counter;
+  // Every stripe index (including out-of-range ones, which wrap) lands in
+  // the same total.
+  for (int stripe = 0; stripe < 3 * Counter::kStripes; ++stripe) {
+    counter.AddAt(stripe, 10);
+  }
+  counter.Add(7);
+  EXPECT_EQ(counter.value(), 3 * Counter::kStripes * 10 + 7);
+}
+
+TEST(CounterTest, ConcurrentShardStripedAddsAreExact) {
+  Counter counter;
+  constexpr int kThreads = 4;
+  constexpr int kBatches = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, t] {
+      for (int i = 0; i < kBatches; ++i) counter.AddAt(t, 3);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), std::int64_t{kThreads} * kBatches * 3);
+}
+
+TEST(GaugeTest, SetAndAddAreLastWriteAndAccumulate) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.Set(42.5);
+  EXPECT_EQ(gauge.value(), 42.5);
+  gauge.Add(-2.5);
+  EXPECT_EQ(gauge.value(), 40.0);
+  gauge.Set(-1.0);
+  EXPECT_EQ(gauge.value(), -1.0);
+}
+
+TEST(GaugeTest, ConcurrentAddsAccumulateExactly) {
+  // Integer-valued deltas are exact in double, so CAS-loop accumulation
+  // must come out exact too.
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge.Add(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(gauge.value(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, BucketBoundariesFollowBitWidth) {
+  // Bucket i >= 1 covers [2^(i-1), 2^i - 1]; bucket 0 absorbs v <= 0.
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0);
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  EXPECT_EQ(Histogram::BucketIndex(512), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023);
+}
+
+TEST(HistogramTest, RecordsCountSumAndPinnedQuantiles) {
+  Histogram histogram;
+  histogram.Record(1);
+  histogram.Record(3);
+  histogram.Record(900);
+  EXPECT_EQ(histogram.count(), 3);
+  EXPECT_EQ(histogram.sum(), 904);
+
+  const HistogramSample sample = histogram.Sample();
+  EXPECT_EQ(sample.counts[1], 1);  // [1, 1]
+  EXPECT_EQ(sample.counts[2], 1);  // [2, 3]
+  EXPECT_EQ(sample.counts[10], 1);  // [512, 1023] holds 900
+
+  // Rank(0.5) = 2 -> bucket [2, 3], fraction 1 -> upper edge 3.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.50), 3.0);
+  // Ranks 3 of 3 land in the last bucket's upper edge.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.95), 1023.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 1023.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinOneBucket) {
+  Histogram histogram;
+  for (int i = 0; i < 1000; ++i) histogram.Record(100);  // bucket [64, 127]
+  // All mass in one bucket: the quantile is linear between its edges.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.50), 64.0 + 0.500 * 63.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.95), 64.0 + 0.950 * 63.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 64.0 + 0.990 * 63.0);
+  EXPECT_EQ(histogram.Quantile(0.0), 64.0 + 0.001 * 63.0);  // rank 1
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Quantile(0.5), 0.0);
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_EQ(histogram.sum(), 0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsCountExactly) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) histogram.Record(t + 1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(histogram.count(), std::int64_t{kThreads} * kPerThread);
+  std::int64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) expected_sum += (t + 1) * kPerThread;
+  EXPECT_EQ(histogram.sum(), expected_sum);
+}
+
+TEST(MetricsRegistryTest, ReturnsStableHandlesPerName) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("requests");
+  Counter& b = registry.GetCounter("requests");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3);
+  // Distinct names are distinct metrics.
+  EXPECT_NE(&registry.GetCounter("other"), &a);
+}
+
+TEST(MetricsRegistryTest, ConcurrentLookupsAgreeOnOneInstance) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&registry] { registry.GetCounter("shared").Increment(); });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared").value(), kThreads);
+}
+
+TEST(MetricsRegistryTest, SnapshotSectionsComeOutSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta").Add(1);
+  registry.GetCounter("alpha").Add(2);
+  registry.GetGauge("midpoint").Set(0.5);
+  registry.GetHistogram("latency").Record(5);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "alpha");
+  EXPECT_EQ(snapshot.counters[0].value, 2);
+  EXPECT_EQ(snapshot.counters[1].name, "zeta");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].name, "midpoint");
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].name, "latency");
+  EXPECT_EQ(snapshot.histograms[0].sample.count, 1);
+}
+
+TEST(MetricsRegistryTest, GlobalIsOneProcessWideInstance) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+#if WFM_OBS_DEATH_TESTS
+TEST(MetricsRegistryDeathTest, CrossTypeNameCollisionAborts) {
+  MetricsRegistry registry;
+  registry.GetCounter("wfm_test_collision");
+  EXPECT_DEATH(registry.GetGauge("wfm_test_collision"), "different types");
+  EXPECT_DEATH(registry.GetHistogram("wfm_test_collision"),
+               "different types");
+}
+#endif
+
+TEST(ScopedTimerTest, RecordsOnceOnDestruction) {
+  Histogram histogram;
+  { ScopedTimer span(histogram); }
+  EXPECT_EQ(histogram.count(), 1);
+  EXPECT_GE(histogram.sum(), 0);
+}
+
+TEST(ScopedTimerTest, StopRecordsOnceAndDisarmsDestructor) {
+  Histogram histogram;
+  {
+    ScopedTimer span(histogram);
+    const std::int64_t first = span.Stop();
+    EXPECT_GE(first, 0);
+    EXPECT_GE(span.Stop(), first);  // Returns elapsed, but records nothing.
+  }
+  EXPECT_EQ(histogram.count(), 1);
+}
+
+// ---- exposition golden renderings -----------------------------------------
+
+MetricsRegistry& PinnedRegistry() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    r->GetCounter("wfm_demo_requests_total").Add(42);
+    r->GetGauge("wfm_demo_active").Set(2.5);
+    Histogram& h = r->GetHistogram("wfm_demo_latency_ns");
+    h.Record(1);
+    h.Record(3);
+    h.Record(900);
+    return r;
+  }();
+  return *registry;
+}
+
+TEST(ExpositionTest, PrometheusTextMatchesGoldenBytes) {
+  const std::string expected =
+      "# TYPE wfm_demo_requests_total counter\n"
+      "wfm_demo_requests_total 42\n"
+      "# TYPE wfm_demo_active gauge\n"
+      "wfm_demo_active 2.5\n"
+      "# TYPE wfm_demo_latency_ns histogram\n"
+      "wfm_demo_latency_ns_bucket{le=\"1\"} 1\n"
+      "wfm_demo_latency_ns_bucket{le=\"3\"} 2\n"
+      "wfm_demo_latency_ns_bucket{le=\"1023\"} 3\n"
+      "wfm_demo_latency_ns_bucket{le=\"+Inf\"} 3\n"
+      "wfm_demo_latency_ns_sum 904\n"
+      "wfm_demo_latency_ns_count 3\n";
+  EXPECT_EQ(ToPrometheusText(PinnedRegistry().Snapshot()), expected);
+}
+
+TEST(ExpositionTest, JsonMatchesGoldenBytes) {
+  const std::string expected =
+      "{\"counters\":{\"wfm_demo_requests_total\":42},"
+      "\"gauges\":{\"wfm_demo_active\":2.5},"
+      "\"histograms\":{\"wfm_demo_latency_ns\":"
+      "{\"count\":3,\"sum\":904,\"p50\":3,\"p95\":1023,\"p99\":1023}}}";
+  EXPECT_EQ(ToJson(PinnedRegistry().Snapshot()), expected);
+}
+
+TEST(ExpositionTest, RenderingIsAPureFunctionOfTheSnapshot) {
+  const MetricsSnapshot snapshot = PinnedRegistry().Snapshot();
+  EXPECT_EQ(ToPrometheusText(snapshot), ToPrometheusText(snapshot));
+  EXPECT_EQ(ToJson(snapshot), ToJson(snapshot));
+}
+
+TEST(ExpositionTest, EmptySnapshotRenders) {
+  const MetricsSnapshot empty;
+  EXPECT_EQ(ToPrometheusText(empty), "");
+  EXPECT_EQ(ToJson(empty),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+}  // namespace
+}  // namespace wfm

@@ -6,6 +6,7 @@
 // recover sealed history from its snapshot directory across a restart.
 
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <span>
@@ -17,6 +18,8 @@
 
 #include "api/plan.h"
 #include "linalg/rng.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "wire/service.h"
 #include "wire/wire_format.h"
 #include "workload/histogram.h"
@@ -277,6 +280,122 @@ TEST(WireServiceTest, RecoversSealedHistoryAcrossRestart) {
                 .query_answers,
             before_answers);
   revived.Stop();
+}
+
+// Extracts one counter's sample value from Prometheus exposition text.
+// Anchored to line starts so "name " never matches inside a # TYPE line.
+// A counter absent from the text has simply never been touched: 0.
+std::int64_t PrometheusCounter(const std::string& text,
+                               const std::string& name) {
+  const std::string needle = name + " ";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::atoll(text.c_str() + pos + needle.size());
+    }
+    pos += needle.size();
+  }
+  return 0;
+}
+
+TEST(WireServiceTest, MetricsScrapeCountsThePinnedRequestSequence) {
+  const Plan plan = MakePlan(8);
+  CollectionServer server(plan, EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<CollectionClient> connected =
+      CollectionClient::Connect(server.port());
+  ASSERT_TRUE(connected.ok());
+  CollectionClient& client = connected.value();
+
+  // The obs registry is process-global and other tests in this binary
+  // record into it, so every assertion below is a delta from this baseline.
+  const StatusOr<std::string> baseline = client.Metrics();
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  // Pinned sequence: 100 valid accepts, one undecodable frame (400 before
+  // the session), one wrong-shape report (400 at the trust boundary), one
+  // seal, the same estimate twice (one cache miss, then one hit).
+  const PlanClient device = plan.Client();
+  Rng rng(23);
+  for (int u = 0; u < 100; ++u) {
+    ASSERT_TRUE(client.Accept(device.Respond(u % 8, rng)).ok());
+  }
+  const std::vector<std::uint8_t> garbage{0xde, 0xad, 0xbe, 0xef};
+  StatusOr<WireResponse> bad = client.RawRequest(
+      static_cast<std::uint8_t>(WireMessageType::kAccept), garbage);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad.value().status, kWireStatusBadRequest);
+  Report wrong_shape;
+  wrong_shape.bits = {1, 0, 1};
+  bad = client.RawRequest(static_cast<std::uint8_t>(WireMessageType::kAccept),
+                          EncodeReport(wrong_shape));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad.value().status, kWireStatusBadRequest);
+  ASSERT_TRUE(client.Seal().ok());
+  ASSERT_TRUE(client.Estimate(EstimatorKind::kWnnls).ok());
+  ASSERT_TRUE(client.Estimate(EstimatorKind::kWnnls).ok());
+
+  const StatusOr<std::string> after = client.Metrics();
+  ASSERT_TRUE(after.ok());
+  const auto delta = [&](const std::string& name) {
+    return PrometheusCounter(after.value(), name) -
+           PrometheusCounter(baseline.value(), name);
+  };
+  EXPECT_EQ(delta("wfm_api_reports_accepted_total"), 100);
+  EXPECT_EQ(delta("wfm_api_reports_rejected_total"), 1);  // wrong shape only
+  EXPECT_EQ(delta("wfm_ingest_reports_total"), 100);
+  EXPECT_EQ(delta("wfm_session_seals_total"), 1);
+  EXPECT_EQ(delta("wfm_estimate_cache_misses_total"), 1);
+  EXPECT_EQ(delta("wfm_estimate_cache_hits_total"), 1);
+  EXPECT_EQ(delta("wfm_wire_requests_accept_total"), 102);
+  EXPECT_EQ(delta("wfm_wire_requests_seal_total"), 1);
+  EXPECT_EQ(delta("wfm_wire_requests_estimate_total"), 2);
+  EXPECT_EQ(delta("wfm_wire_responses_400_total"), 2);
+  // The baseline scrape itself became visible by the time it was answered.
+  EXPECT_EQ(delta("wfm_wire_requests_metrics_total"), 1);
+  server.Stop();
+}
+
+TEST(WireServiceTest, MetricsScrapeIsBitExactWithInProcessExposition) {
+  CollectionServer server(MakePlan(8), EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<CollectionClient> connected =
+      CollectionClient::Connect(server.port());
+  ASSERT_TRUE(connected.ok());
+  CollectionClient& client = connected.value();
+
+  const PlanClient device = MakePlan(8).Client();
+  Rng rng(41);
+  for (int u = 0; u < 500; ++u) {
+    ASSERT_TRUE(client.Accept(device.Respond(u % 8, rng)).ok());
+  }
+  ASSERT_TRUE(client.Seal().ok());
+  ASSERT_TRUE(client.Estimate(EstimatorKind::kUnbiased).ok());
+
+  // Every prior request was fully accounted before its response reached us,
+  // and a scrape renders before its own accounting — so the TCP scrape must
+  // be byte-identical to rendering the registry in-process right now.
+  const std::string in_process =
+      ToPrometheusText(MetricsRegistry::Global().Snapshot());
+  const StatusOr<std::string> scraped = client.Metrics();
+  ASSERT_TRUE(scraped.ok()) << scraped.status().ToString();
+  EXPECT_EQ(scraped.value(), in_process);
+
+  const std::string in_process_json =
+      ToJson(MetricsRegistry::Global().Snapshot());
+  const StatusOr<std::string> scraped_json =
+      client.Metrics(MetricsFormat::kJson);
+  ASSERT_TRUE(scraped_json.ok());
+  EXPECT_EQ(scraped_json.value(), in_process_json);
+
+  // A malformed format byte is a 400 like every other bad payload.
+  const std::uint8_t bad_format = 9;
+  const StatusOr<WireResponse> bad = client.RawRequest(
+      static_cast<std::uint8_t>(WireMessageType::kMetrics),
+      std::span<const std::uint8_t>(&bad_format, 1));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad.value().status, kWireStatusBadRequest);
+  server.Stop();
 }
 
 TEST(WireServiceTest, ShutdownFrameStopsTheServer) {
