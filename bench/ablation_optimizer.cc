@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
         wfm::FourierMechanism::BuildStrategy(n, eps, -1)};
     for (const auto& seed : seeds) {
       wfm::OptimizerConfig cfg = wfm::bench::BenchOptimizerConfig(flags);
-      cfg.restarts = 0;  // Seed run only.
+      cfg.num_restarts = 0;  // Seed run only.
       cfg.seed_strategies = {seed};
       row.push_back(wfm::TablePrinter::Num(
           wfm::OptimizeStrategy(stats.gram, eps, cfg).objective));

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
     for (std::size_t mi = 0; mi < multipliers.size(); ++mi) {
       for (int t = 0; t < trials; ++t) {
         wfm::OptimizerConfig config = wfm::bench::BenchOptimizerConfig(flags);
-        config.strategy_rows = multipliers[mi] * n;
+        config.random_init_rows = multipliers[mi] * n;
         config.seed = 1000 + 131 * t + mi;
         const wfm::OptimizerResult res =
             wfm::OptimizeStrategy(stats.gram, eps, config);

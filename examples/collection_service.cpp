@@ -1,18 +1,28 @@
-// A long-running collection service, end to end: one Plan build, concurrent
-// multi-threaded report ingestion, epoch sealing, and cached estimate
-// serving — the deployment shape the paper assumes around its one-round
-// protocol, now three calls: Build(), Client(), StartSession().
+// The adaptive serving loop, end to end: one Plan build, concurrent report
+// ingestion, epoch sealing — and, new with src/adaptive, a controller that
+// watches sealed epochs for population drift and re-optimizes the strategy
+// for the population actually reporting, rolling it in at the next epoch
+// boundary.
 //
-// Scenario: a fleet of devices reports which of n error codes they last saw;
-// the analyst watches the error distribution per collection epoch ("hour")
-// and over a sliding window of the last few epochs. The true distribution
-// drifts across epochs (an incident spikes one code), and the windowed
-// estimate tracks it. Each device reports once, so one report participates
-// in exactly one epoch and the whole session is eps-LDP per device.
+// Scenario: a fleet of devices reports which of n error codes they last saw.
+// The baseline mix is Zipf-ish; mid-session an incident spikes one code, so
+// the workload-optimized strategy built offline is no longer optimized for
+// the population it is measuring. The AdaptiveController notices (the drift
+// score is the estimate distance in units of decode noise), spends one
+// budget round re-optimizing with the estimated distribution weighting the
+// objective's multinomial denominator, and stages the roll. Devices poll CurrentStrategy() every epoch
+// — exactly what a networked fleet does via the kGetStrategy frame — and
+// swap their randomizer when the version moves, so no epoch ever mixes
+// strategies and every epoch decodes under the strategy it was encoded with.
+//
+// Each device still reports once: one report participates in one epoch under
+// one strategy, so the session stays eps-LDP per device. The BudgetPlanner's
+// rounds account strategy re-optimizations, and its ledger is the same one
+// the /metrics budget gauges expose.
 //
 // Build & run:
 //   ./build/examples/collection_service [--eps=1.0] [--devices=40000]
-//                                       [--epochs=5] [--window=3]
+//                                       [--epochs=6] [--rounds=2]
 //                                       [--threads=4]
 
 #include <algorithm>
@@ -28,11 +38,11 @@
 namespace {
 
 // True error-code mix for one epoch: a smooth baseline plus an incident
-// spike on one code that starts mid-session and decays.
+// spike on one code that starts mid-session and persists.
 wfm::Vector TrueCounts(int n, int epoch, int devices_per_epoch) {
   wfm::Vector weights(n, 0.0);
   for (int u = 0; u < n; ++u) weights[u] = 1.0 / (1.0 + u);  // Zipf-ish.
-  if (epoch >= 2) weights[n / 2] += 6.0 / (epoch - 1);       // The incident.
+  if (epoch >= 2) weights[n / 2] += 6.0;                     // The incident.
   const double total = wfm::Sum(weights);
   wfm::Vector counts(n, 0.0);
   double assigned = 0.0;
@@ -50,8 +60,8 @@ int main(int argc, char** argv) {
   wfm::FlagParser flags(argc, argv);
   const double eps = flags.GetDouble("eps", 1.0);
   const int devices_per_epoch = flags.GetInt("devices", 40000);
-  const int epochs = flags.GetInt("epochs", 5);
-  const int window = flags.GetInt("window", 3);
+  const int epochs = flags.GetInt("epochs", 6);
+  const int rounds = flags.GetInt("rounds", 2);
   const int threads = flags.GetInt("threads", 4);
   const int n = flags.GetInt("n", 16);
   wfm::WarnUnusedFlags(flags);  // Typo'd flags must not silently run defaults.
@@ -73,25 +83,42 @@ int main(int argc, char** argv) {
     return 1;
   }
   const wfm::Plan& plan = built.value();
-  const wfm::PlanClient client = plan.Client();
   std::printf("[offline] m = %d outputs; expected per-user unit variance "
-              "%.4f\n\n", client.num_outputs(),
+              "%.4f\n\n", plan.Client().num_outputs(),
               plan.Profile().WorstUnitVariance());
 
-  // --- Online: the collection service ------------------------------------
+  // --- Online: the collection service plus its adaptive feedback loop -----
   std::unique_ptr<wfm::PlanSession> service = plan.StartSession(threads);
-  wfm::Rng rng(2026);
+  wfm::BudgetPlanner planner(eps * rounds, rounds);
+  planner.SpendRound();  // The offline strategy is round one.
 
+  wfm::AdaptiveConfig adaptive;
+  adaptive.optimizer.iterations = 120;
+  adaptive.optimizer.num_restarts = 0;  // Warm-start from the incumbent.
+  adaptive.optimizer.seed = 5;
+  wfm::AdaptiveController controller(service.get(), &planner, adaptive);
+
+  wfm::Rng rng(2026);
   for (int epoch = 0; epoch < epochs; ++epoch) {
     const wfm::Vector truth = TrueCounts(n, epoch, devices_per_epoch);
 
-    // Each device randomizes locally; the service ingests the reports on
-    // `threads` workers, each batching into its own shard.
+    // Devices poll the versioned strategy before reporting — the in-process
+    // twin of the wire's kGetStrategy — so a staged roll reaches the fleet
+    // exactly at an epoch boundary.
+    const wfm::StatusOr<wfm::StrategySnapshot> serving =
+        service->CurrentStrategy();
+    if (!serving.ok()) {
+      std::printf("no serving strategy: %s\n",
+                  serving.status().ToString().c_str());
+      return 1;
+    }
+    const wfm::LocalRandomizer randomizer(serving.value().q);
+
     std::vector<int> reports;
     reports.reserve(devices_per_epoch);
     for (int u = 0; u < n; ++u) {
       for (int j = 0; j < static_cast<int>(truth[u]); ++j) {
-        reports.push_back(client.Respond(u, rng).index);
+        reports.push_back(randomizer.Respond(u, rng));
       }
     }
     std::vector<std::thread> workers;
@@ -108,36 +135,56 @@ int main(int argc, char** argv) {
     for (std::thread& w : workers) w.join();
 
     const wfm::EpochSnapshot sealed = service->Seal();
+    const wfm::StatusOr<wfm::EpochDecision> decided =
+        controller.OnEpochSealed();
+    if (!decided.ok()) {
+      std::printf("controller failed: %s\n",
+                  decided.status().ToString().c_str());
+      return 1;
+    }
+    const wfm::EpochDecision& decision = decided.value();
+
     const wfm::WorkloadEstimate latest =
         service->Estimate(wfm::EstimatorKind::kWnnls).value();
-    const wfm::WorkloadEstimate windowed =
-        service->EstimateWindow(window, wfm::EstimatorKind::kWnnls).value();
-    service->Estimate(wfm::EstimatorKind::kWnnls);  // Cache hit, no re-solve.
-
     const int incident = n / 2;
+    const char* action = "baseline (new reference)";
+    if (decision.rolled) {
+      action = "DRIFT -> re-optimized and staged roll";
+    } else if (decision.reoptimized) {
+      action = "DRIFT -> re-optimized, kept incumbent";
+    } else if (decision.scored && decision.drift.drifted) {
+      action = "DRIFT (no budget or roll already staged)";
+    } else if (decision.scored) {
+      action = "steady";
+    }
     std::printf(
-        "[epoch %d] sealed %lld reports; error-code %d share: "
-        "true %.3f, est %.3f, last-%d-epochs est %.3f\n",
-        sealed.epoch_id, static_cast<long long>(sealed.count), incident,
+        "[epoch %d] v%d, %lld reports; code %d share true %.3f est %.3f; "
+        "drift %.1f sigma; %s\n",
+        sealed.epoch_id, sealed.strategy_version,
+        static_cast<long long>(sealed.count), incident,
         truth[incident] / devices_per_epoch,
-        latest.query_answers[incident] / sealed.count,
-        window,
-        windowed.query_answers[incident] /
-            service->session().WindowTotal(window).count);
+        latest.query_answers[incident] / sealed.count, decision.drift.sigmas,
+        action);
+    if (decision.rolled) {
+      std::printf("          staged strategy v%d (variance %.4f -> %.4f on "
+                  "the estimated mix); %.2f eps budget left\n",
+                  decision.staged_version, decision.incumbent_variance,
+                  decision.candidate_variance, planner.remaining());
+    }
   }
 
   std::printf(
-      "\n[service] %d epochs, %lld reports total; served %lld estimates "
-      "with %lld solves (per-epoch caching)\n",
+      "\n[service] %d epochs, %lld reports; %d re-optimization(s), %d "
+      "roll(s); final strategy v%d\n",
       service->session().epochs_sealed(),
       static_cast<long long>(service->session().total_responses()),
-      static_cast<long long>(service->server().num_serves()),
-      static_cast<long long>(service->server().num_solves()));
-  std::printf("(each device reported once; the whole session is %.2f-LDP "
-              "per device)\n", eps);
+      controller.reoptimizations(), controller.rolls(),
+      service->session().strategy_version());
+  std::printf("(each device reported once, under exactly one strategy "
+              "version; the session is %.2f-LDP per device)\n", eps);
 
-  // The same run, as the telemetry layer saw it: every counter below was a
-  // relaxed atomic increment on the hot path, rendered here post-hoc.
+  // The same run, as the telemetry layer saw it — including the adaptive
+  // loop's own counters and the budget ledger the /metrics surface exposes.
   const wfm::MetricsSnapshot obs = wfm::MetricsRegistry::Global().Snapshot();
   const auto counter = [&](const char* name) -> long long {
     for (const wfm::CounterValue& c : obs.counters) {
@@ -145,12 +192,19 @@ int main(int argc, char** argv) {
     }
     return 0;
   };
-  std::printf("[obs] ingest=%lld reports in %lld batches; seals=%lld; "
-              "estimate cache %lld hits / %lld misses\n",
+  const auto gauge = [&](const char* name) -> double {
+    for (const wfm::GaugeValue& g : obs.gauges) {
+      if (g.name == name) return g.value;
+    }
+    return 0.0;
+  };
+  std::printf("[obs] ingest=%lld reports; seals=%lld; reopts=%lld "
+              "rolls=%lld; budget eps %.2f spent / %.2f allocated\n",
               counter("wfm_ingest_reports_total"),
-              counter("wfm_ingest_batches_total"),
               counter("wfm_session_seals_total"),
-              counter("wfm_estimate_cache_hits_total"),
-              counter("wfm_estimate_cache_misses_total"));
+              counter("wfm_adaptive_reoptimizations_total"),
+              counter("wfm_adaptive_rolls_total"),
+              gauge("wfm_budget_epsilon_spent"),
+              gauge("wfm_budget_epsilon_allocated"));
   return 0;
 }

@@ -41,6 +41,19 @@ std::int64_t ScrapedCounter(const std::string& text, const std::string& name) {
   return 0;
 }
 
+// Same extraction for a gauge's floating-point sample.
+double ScrapedGauge(const std::string& text, const std::string& name) {
+  const std::string needle = name + " ";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::atof(text.c_str() + pos + needle.size());
+    }
+    pos += needle.size();
+  }
+  return 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,6 +166,27 @@ int main(int argc, char** argv) {
               static_cast<long long>(accepts), want);
   if (ingested < want || accepts < want) {
     std::printf("FAILED: server metrics undercount the shipped reports\n");
+    return 1;
+  }
+
+  // The server's privacy ledger must balance on the same scrape: the
+  // BudgetPlanner feeds the three budget gauges, and whatever it has spent
+  // on strategy rounds plus what is left must equal the allocation.
+  const double allocated =
+      ScrapedGauge(metrics.value(), "wfm_budget_epsilon_allocated");
+  const double spent =
+      ScrapedGauge(metrics.value(), "wfm_budget_epsilon_spent");
+  const double remaining =
+      ScrapedGauge(metrics.value(), "wfm_budget_epsilon_remaining");
+  std::printf("[metrics] budget eps: allocated=%.4f spent=%.4f "
+              "remaining=%.4f\n", allocated, spent, remaining);
+  if (allocated <= 0.0) {
+    std::printf("FAILED: no budget allocation on the /metrics surface\n");
+    return 1;
+  }
+  if (std::fabs(allocated - (spent + remaining)) > 1e-9 * allocated) {
+    std::printf("FAILED: budget ledger does not balance "
+                "(allocated != spent + remaining)\n");
     return 1;
   }
 

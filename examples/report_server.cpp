@@ -10,11 +10,18 @@
 //
 // Build & run:
 //   ./build/examples/report_server [--port=7971] [--shards=4] [--eps=1.0]
-//                                  [--n=16] [--snapshot-dir=]
+//                                  [--n=16] [--rounds=4] [--snapshot-dir=]
 //
 // With --snapshot-dir set, sealed epochs persist there and a restarted
 // server recovers them before accepting traffic (kill it mid-session and
 // rerun: estimates over sealed history are identical).
+//
+// The server also keeps the deployment's privacy ledger: a BudgetPlanner
+// splits the total budget (--eps per round, --rounds rounds) and publishes
+// wfm_budget_epsilon_{allocated,spent,remaining} gauges, so any /metrics
+// scrape shows exactly how much epsilon the deployment has left for
+// adaptive strategy rolls. The initial strategy is round one. report_client
+// cross-checks allocated = spent + remaining off a live scrape.
 
 #include <cstdio>
 #include <memory>
@@ -27,6 +34,7 @@ int main(int argc, char** argv) {
   const int shards = flags.GetInt("shards", 4);
   const double eps = flags.GetDouble("eps", 1.0);
   const int n = flags.GetInt("n", 16);
+  const int rounds = flags.GetInt("rounds", 4);
   const std::string snapshot_dir = flags.GetString("snapshot-dir", "");
   wfm::WarnUnusedFlags(flags);
 
@@ -44,6 +52,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // The privacy ledger behind the /metrics budget gauges: eps per collection
+  // round, `rounds` rounds total, the deployed strategy consuming the first.
+  wfm::BudgetPlanner planner(eps * rounds, rounds);
+  planner.SpendRound();
+
   wfm::ServiceOptions options;
   options.port = port;
   options.num_shards = shards;
@@ -57,6 +70,11 @@ int main(int argc, char** argv) {
               "(%d shards)%s\n",
               eps, n, server.port(), shards,
               snapshot_dir.empty() ? "" : ", persisting sealed epochs");
+  std::printf("[server] budget: %.2f eps allocated, %.2f spent, %.2f left "
+              "(%d of %d rounds free)\n",
+              planner.total_epsilon(), planner.spent(), planner.remaining(),
+              planner.rounds_planned() - planner.rounds_spent(),
+              planner.rounds_planned());
   std::fflush(stdout);
 
   server.WaitUntilShutdown();

@@ -1,0 +1,58 @@
+#include "adaptive/budget_planner.h"
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace wfm {
+namespace {
+
+Gauge& AllocatedGauge() {
+  static Gauge& gauge =
+      MetricsRegistry::Global().GetGauge("wfm_budget_epsilon_allocated");
+  return gauge;
+}
+
+Gauge& SpentGauge() {
+  static Gauge& gauge =
+      MetricsRegistry::Global().GetGauge("wfm_budget_epsilon_spent");
+  return gauge;
+}
+
+Gauge& RemainingGauge() {
+  static Gauge& gauge =
+      MetricsRegistry::Global().GetGauge("wfm_budget_epsilon_remaining");
+  return gauge;
+}
+
+}  // namespace
+
+BudgetPlanner::BudgetPlanner(double total_epsilon, int rounds)
+    : accountant_(total_epsilon),
+      round_epsilon_(total_epsilon / rounds),
+      rounds_(rounds) {
+  WFM_CHECK_GT(total_epsilon, 0.0);
+  WFM_CHECK_GT(rounds, 0);
+  AllocatedGauge().Set(accountant_.total_budget());
+  SpentGauge().Set(accountant_.spent());
+  RemainingGauge().Set(accountant_.remaining());
+}
+
+int BudgetPlanner::rounds_spent() const {
+  return static_cast<int>(accountant_.collections().size());
+}
+
+bool BudgetPlanner::CanSpendRound() const {
+  // The float-exact guard: after `rounds` spends of total / rounds the
+  // accountant's remaining can be a few ulp either side of zero, so gate on
+  // the round count, then let CanSpend catch genuine overspends.
+  return rounds_spent() < rounds_ && accountant_.CanSpend(round_epsilon_);
+}
+
+double BudgetPlanner::SpendRound() {
+  accountant_.Spend(round_epsilon_);
+  SpentGauge().Set(accountant_.spent());
+  RemainingGauge().Set(accountant_.remaining());
+  return round_epsilon_;
+}
+
+}  // namespace wfm

@@ -1,0 +1,60 @@
+// Explicit epsilon split across the re-optimization rounds of an adaptive
+// deployment.
+//
+// Sequential composition makes every strategy a user reports under additive
+// in epsilon: a deployment that rolls its strategy R − 1 times runs R
+// collection rounds and each user's joint release is (sum of round budgets)-
+// LDP. The planner pins that arithmetic down front: a total budget is split
+// uniformly across a declared maximum number of rounds, each deployed
+// strategy (the initial one included) spends exactly one round, and the
+// AdaptiveController refuses to re-optimize once the rounds are gone —
+// drift past that point is reported but never acted on, so the deployment
+// can never exceed the budget it promised its users.
+//
+// The split rides on core/PrivacyAccountant for the bookkeeping and
+// publishes three gauges on the process registry so the /metrics surface
+// (and the service-smoke CI job) can assert allocated = spent + remaining:
+//
+//   wfm_budget_epsilon_allocated   total budget handed to the planner
+//   wfm_budget_epsilon_spent       sum of rounds spent so far
+//   wfm_budget_epsilon_remaining   what is still spendable
+
+#ifndef WFM_ADAPTIVE_BUDGET_PLANNER_H_
+#define WFM_ADAPTIVE_BUDGET_PLANNER_H_
+
+#include "core/accounting.h"
+
+namespace wfm {
+
+class BudgetPlanner {
+ public:
+  /// Splits `total_epsilon` uniformly across at most `rounds` collection
+  /// rounds. Both must be positive (CHECK). The per-round budget is what
+  /// the deployment's Plan should be built at.
+  BudgetPlanner(double total_epsilon, int rounds);
+
+  double total_epsilon() const { return accountant_.total_budget(); }
+  /// The uniform per-round budget: total / rounds.
+  double round_epsilon() const { return round_epsilon_; }
+  int rounds_planned() const { return rounds_; }
+  int rounds_spent() const;
+  double spent() const { return accountant_.spent(); }
+  double remaining() const { return accountant_.remaining(); }
+
+  /// True while another full round fits in the remaining budget.
+  bool CanSpendRound() const;
+
+  /// Records one collection round (one deployed strategy) and refreshes the
+  /// budget gauges; returns the round's epsilon. CHECK-fails when the budget
+  /// is exhausted — gate on CanSpendRound for recoverable handling.
+  double SpendRound();
+
+ private:
+  PrivacyAccountant accountant_;
+  double round_epsilon_;
+  int rounds_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_ADAPTIVE_BUDGET_PLANNER_H_

@@ -91,11 +91,89 @@ ReportKind Plan::report_kind() const {
                                                     : ReportKind::kCategorical;
 }
 
+const Matrix* Plan::DeployedStrategy() const {
+  const auto* strategy_mechanism =
+      dynamic_cast<const StrategyMechanism*>(mechanism_.get());
+  return strategy_mechanism != nullptr ? &strategy_mechanism->strategy()
+                                       : nullptr;
+}
+
 std::unique_ptr<PlanSession> Plan::StartSession(int num_shards) const {
   // PlanSession's constructor is private; the session pins an internal
   // pointer (server -> session), hence the unique_ptr.
+  const Matrix* strategy = DeployedStrategy();
   return std::unique_ptr<PlanSession>(new PlanSession(
-      deployment_.decoder, workload_, num_shards, report_kind()));
+      deployment_.decoder, workload_, num_shards, report_kind(),
+      strategy != nullptr ? *strategy : Matrix(), epsilon_, stats_));
+}
+
+PlanSession::PlanSession(ReportDecoder decoder,
+                         std::shared_ptr<const Workload> workload,
+                         int num_shards, ReportKind kind, Matrix strategy,
+                         double epsilon, WorkloadStats stats)
+    : session_(std::move(decoder), std::move(workload), num_shards, kind),
+      server_(&session_),
+      epsilon_(epsilon),
+      stats_(std::move(stats)) {
+  if (!strategy.empty()) strategies_.emplace(0, std::move(strategy));
+}
+
+StatusOr<StrategySnapshot> PlanSession::CurrentStrategy() const {
+  // The active version's matrix is always present once the deployment is
+  // strategy-based: version 0 lands in the constructor and every staged roll
+  // lands before Seal() can activate it.
+  const int version = session_.strategy_version();
+  std::lock_guard<std::mutex> lock(strategy_mutex_);
+  const auto it = strategies_.find(version);
+  if (it == strategies_.end()) {
+    return Status::FailedPrecondition(
+        "deployment is not strategy-based; no strategy to serve");
+  }
+  StrategySnapshot snapshot;
+  snapshot.version = version;
+  snapshot.epsilon = epsilon_;
+  snapshot.q = it->second;
+  return snapshot;
+}
+
+StatusOr<int> PlanSession::RollStrategy(Matrix q) {
+  {
+    std::lock_guard<std::mutex> lock(strategy_mutex_);
+    if (strategies_.empty()) {
+      return Status::FailedPrecondition(
+          "deployment is not strategy-based; cannot roll its strategy");
+    }
+  }
+  if (q.rows() != session_.num_outputs() || q.cols() != stats_.n) {
+    return Status::InvalidArgument(
+        "rolled strategy is " + std::to_string(q.rows()) + " x " +
+        std::to_string(q.cols()) + ", deployment requires " +
+        std::to_string(session_.num_outputs()) + " x " +
+        std::to_string(stats_.n));
+  }
+  // A rolled strategy arrives at runtime (re-optimization output, operator
+  // upload), so LDP violations are recoverable failures, not CHECK aborts.
+  const StrategyValidation validation = ValidateStrategy(q, epsilon_,
+                                                         /*tol=*/1e-6);
+  if (!validation.valid) {
+    return Status::InvalidArgument(
+        "rolled strategy is not a valid " + std::to_string(epsilon_) +
+        "-LDP strategy:" + validation.ToString());
+  }
+  const FactorizationAnalysis analysis(q, stats_);
+  // Mirrors the mechanism layer's deployability bar (mechanism.cc): a large
+  // Gram-side residual means the workload left the strategy's row space and
+  // every decode under it would be biased.
+  if (analysis.FactorizationResidual() >= 1e-5) {
+    return Status::FailedPrecondition(
+        "workload is outside the rolled strategy's row space "
+        "(factorization residual " +
+        std::to_string(analysis.FactorizationResidual()) + ")");
+  }
+  std::lock_guard<std::mutex> lock(strategy_mutex_);
+  const int version = session_.StageRoll(ReportDecoder::FromAnalysis(analysis));
+  strategies_[version] = std::move(q);
+  return version;
 }
 
 Status PlanServer::Accept(const Report& report) {

@@ -19,6 +19,14 @@
 // registered mechanism — the six Section 6.1 baselines, "Optimized", the
 // "RAPPOR"/"OUE" frequency oracles, and anything user-registered — deploys
 // through the same three calls.
+//
+// Strategy-based sessions additionally support adaptive serving: the
+// deployed strategy is exposed (Plan::DeployedStrategy,
+// PlanSession::CurrentStrategy) and can be replaced mid-service
+// (PlanSession::RollStrategy) — the replacement is validated as an
+// epsilon-LDP strategy for the same budget, staged, and becomes active at
+// the next epoch boundary so sealed epochs always decode under the strategy
+// their reports were encoded with.
 // Mechanism(Auto()) cross-evaluates the whole registry against the workload
 // (Section 6.1) and picks the minimum-variance entry. All runtime-reachable
 // failures (unknown name, unsupported domain shape, workload outside a
@@ -28,7 +36,9 @@
 #define WFM_API_PLAN_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -51,6 +61,15 @@ struct Auto {};
 
 class Plan;
 class PlanBuilder;
+
+/// A versioned deployed strategy: everything a (possibly remote) client
+/// needs to rebuild its encoder after a roll. Served in-process by
+/// PlanSession::CurrentStrategy and over the network by wire/kGetStrategy.
+struct StrategySnapshot {
+  int version = 0;       ///< Session strategy version this matrix carries.
+  double epsilon = 0.0;  ///< Privacy budget the strategy satisfies.
+  Matrix q;              ///< Column-stochastic m x n strategy matrix.
+};
 
 /// The on-device half of a plan: privatizes one user's true type into the
 /// single report that leaves the device. Copyable and cheap to pass to
@@ -171,6 +190,25 @@ class PlanSession {
     return server_.ServeWindow(window, kind);
   }
 
+  /// The strategy clients should encode under right now, tagged with the
+  /// session version it carries and the budget it satisfies — what
+  /// wire/kGetStrategy ships so a networked client can rebuild its encoder
+  /// after a roll. kFailedPrecondition when the deployment is not
+  /// strategy-based (RAPPOR/OUE and additive-noise plans have no strategy
+  /// matrix to hand out, and cannot roll).
+  StatusOr<StrategySnapshot> CurrentStrategy() const;
+
+  /// Stages `q` as this session's next strategy. `q` is validated like any
+  /// runtime strategy input — same report dimension m and domain n as the
+  /// deployment, a valid epsilon-LDP strategy for the plan's budget
+  /// (kInvalidArgument otherwise), workload inside its row space
+  /// (kFailedPrecondition otherwise) — then turned into a Theorem 3.10
+  /// decoder and handed to CollectionSession::StageRoll. The roll takes
+  /// effect at the next Seal(), so no epoch ever mixes strategies; until
+  /// then CurrentStrategy() keeps serving the active one. Returns the
+  /// version the staged strategy will carry once active.
+  StatusOr<int> RollStrategy(Matrix q);
+
   /// Underlying collect/ primitives for service-level integration.
   CollectionSession& session() { return session_; }
   const CollectionSession& session() const { return session_; }
@@ -179,12 +217,20 @@ class PlanSession {
  private:
   friend class Plan;
   PlanSession(ReportDecoder decoder, std::shared_ptr<const Workload> workload,
-              int num_shards, ReportKind kind)
-      : session_(std::move(decoder), std::move(workload), num_shards, kind),
-        server_(&session_) {}
+              int num_shards, ReportKind kind, Matrix strategy, double epsilon,
+              WorkloadStats stats);
 
   CollectionSession session_;
   EstimateServer server_;
+  double epsilon_ = 0.0;
+  WorkloadStats stats_;
+
+  // Strategy matrix by session version: version 0 is the plan's deployed
+  // strategy; rolls insert their matrix at stage time under the version
+  // StageRoll hands back, so the active version is always present. Empty
+  // for non-strategy deployments (which cannot roll).
+  mutable std::mutex strategy_mutex_;
+  std::map<int, Matrix> strategies_;
 };
 
 /// An immutable, fully-resolved deployment plan. Copyable; hands out client
@@ -215,6 +261,11 @@ class Plan {
 
   /// Report shape this deployment's clients emit and its servers ingest.
   ReportKind report_kind() const;
+
+  /// The deployed strategy matrix Q, or nullptr when the resolved mechanism
+  /// is not strategy-based (RAPPOR/OUE frequency oracles, additive-noise
+  /// mechanisms). Sessions of strategy-based plans support RollStrategy.
+  const Matrix* DeployedStrategy() const;
 
   PlanClient Client() const { return PlanClient(deployment_.reporter); }
   PlanServer Server() const {
@@ -277,7 +328,8 @@ class PlanBuilder {
   }
 
   /// Optimizer knobs consumed when the mechanism is "Optimized" (iterations,
-  /// seed, restarts) — pin the seed for reproducible strategies.
+  /// seed, num_restarts, random_init_rows) — pin the seed for reproducible
+  /// strategies.
   PlanBuilder& Optimizer(OptimizerConfig config) {
     options_.optimizer = std::move(config);
     return *this;

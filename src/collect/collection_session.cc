@@ -46,6 +46,7 @@ CollectionSession::CollectionSession(ReportDecoder decoder,
   WFM_CHECK_GT(num_shards_, 0);
   active_ = std::make_unique<ShardedAggregator>(decoder_.m(), num_shards_,
                                                 report_kind_);
+  decoders_.push_back(std::make_shared<const ReportDecoder>(decoder_));
 }
 
 CollectionSession::CollectionSession(const FactorizationAnalysis& analysis,
@@ -62,17 +63,6 @@ void CollectionSession::Accept(int shard, std::span<const int> responses) {
 
 void CollectionSession::Accept(int shard, int response) {
   Accept(shard, std::span<const int>(&response, 1));
-}
-
-void CollectionSession::AcceptDense(int shard, std::span<const double> report) {
-  std::shared_lock<std::shared_mutex> lock(ingest_mutex_);
-  active_->AddDense(shard, report);
-}
-
-void CollectionSession::AcceptBits(int shard,
-                                   std::span<const std::uint8_t> report) {
-  std::shared_lock<std::shared_mutex> lock(ingest_mutex_);
-  active_->AddBits(shard, report);
 }
 
 void CollectionSession::Accept(int shard, const Report& report) {
@@ -109,11 +99,44 @@ EpochSnapshot CollectionSession::Seal() {
   {
     std::lock_guard<std::mutex> lock(snapshots_mutex_);
     snapshot.epoch_id = static_cast<int>(snapshots_.size());
+    // The sealed epoch's reports were encoded under the version that was
+    // active while they streamed in; any staged roll becomes active only
+    // now, at the boundary, so no epoch is ever split across strategies.
+    snapshot.strategy_version = active_version_;
     snapshots_.push_back(std::make_shared<const EpochSnapshot>(snapshot));
     sealed_count_ += snapshot.count;
+    if (staged_decoder_ != nullptr) {
+      active_version_ = static_cast<int>(decoders_.size());
+      decoders_.push_back(std::move(staged_decoder_));
+      staged_decoder_ = nullptr;
+    }
   }
   SealsTotal().Increment();
   return snapshot;
+}
+
+int CollectionSession::strategy_version() const {
+  std::lock_guard<std::mutex> lock(snapshots_mutex_);
+  return active_version_;
+}
+
+int CollectionSession::StageRoll(ReportDecoder decoder) {
+  WFM_CHECK_EQ(decoder.m(), decoder_.m())
+      << "rolled decoder must keep the session's report dimension";
+  WFM_CHECK_EQ(decoder.n(), decoder_.n())
+      << "rolled decoder must keep the session's domain size";
+  std::lock_guard<std::mutex> lock(snapshots_mutex_);
+  staged_decoder_ = std::make_shared<const ReportDecoder>(std::move(decoder));
+  return static_cast<int>(decoders_.size());
+}
+
+std::shared_ptr<const ReportDecoder> CollectionSession::DecoderForVersion(
+    int version) const {
+  std::lock_guard<std::mutex> lock(snapshots_mutex_);
+  if (version < 0 || version >= static_cast<int>(decoders_.size())) {
+    return nullptr;
+  }
+  return decoders_[version];
 }
 
 int CollectionSession::epochs_sealed() const {
@@ -157,6 +180,11 @@ StatusOr<int> CollectionSession::RestoreSealedEpoch(
     return Status::InvalidArgument("snapshot report count is negative: " +
                                    std::to_string(snapshot.count));
   }
+  if (snapshot.strategy_version < 0) {
+    return Status::InvalidArgument(
+        "snapshot strategy version is negative: " +
+        std::to_string(snapshot.strategy_version));
+  }
   for (std::size_t o = 0; o < snapshot.histogram.size(); ++o) {
     // A restored snapshot may arrive off the wire or disk; one NaN/Inf entry
     // would poison every later windowed estimate.
@@ -189,9 +217,20 @@ EpochSnapshot CollectionSession::WindowTotal(int last_k) const {
       total.histogram[o] += snapshot.histogram[o];
     }
     total.count += snapshot.count;
+    total.strategy_version = snapshot.strategy_version;
   }
   total.epoch_id = snapshots_.back()->epoch_id;
   return total;
+}
+
+std::vector<std::shared_ptr<const EpochSnapshot>>
+CollectionSession::WindowSnapshots(int last_k) const {
+  WFM_CHECK_GT(last_k, 0);
+  std::lock_guard<std::mutex> lock(snapshots_mutex_);
+  const int end = static_cast<int>(snapshots_.size());
+  const int begin = std::max(0, end - last_k);
+  return std::vector<std::shared_ptr<const EpochSnapshot>>(
+      snapshots_.begin() + begin, snapshots_.begin() + end);
 }
 
 std::int64_t CollectionSession::pending_responses() const {

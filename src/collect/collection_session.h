@@ -26,13 +26,20 @@
 // histogram contribution and its count increment to the same epoch (which
 // the exclusive seal section guarantees).
 //
-// Concurrency contract: Accept()/AcceptDense()/AcceptBits() may be called
-// from any number of threads (each worker passing its own shard id keeps
-// shards contention-free, but any shard id is safe); Seal(), snapshot
-// accessors, and WindowTotal() may run concurrently with ingestion. A
-// reader/writer lock around the active aggregator makes the epoch cut exact:
-// Seal() waits for in-flight batches, so every report lands in exactly one
-// epoch.
+// Concurrency contract: the Accept() overloads may be called from any number
+// of threads (each worker passing its own shard id keeps shards
+// contention-free, but any shard id is safe); Seal(), snapshot accessors,
+// and WindowTotal() may run concurrently with ingestion. A reader/writer
+// lock around the active aggregator makes the epoch cut exact: Seal() waits
+// for in-flight batches, so every report lands in exactly one epoch.
+//
+// Strategy rollover (adaptive/ serving): a session can roll to a new
+// deployment mid-stream. StageRoll(decoder) parks the new decoder; the next
+// Seal() — an epoch boundary — makes it active, so an epoch is never split
+// across strategies. Every EpochSnapshot carries the strategy_version that
+// was active while its reports streamed in, and DecoderForVersion() keeps
+// the whole decoder history alive, so windowed estimates spanning a roll
+// decode each epoch with exactly the strategy its devices used.
 
 #ifndef WFM_COLLECT_COLLECTION_SESSION_H_
 #define WFM_COLLECT_COLLECTION_SESSION_H_
@@ -59,6 +66,7 @@ namespace wfm {
 struct EpochSnapshot {
   int epoch_id = -1;        ///< 0-based seal order; -1 means "no epoch".
   std::int64_t count = 0;   ///< Reports in this epoch.
+  int strategy_version = 0; ///< Strategy active while the epoch ingested.
   Vector histogram;         ///< m-dimensional report aggregate.
 
   friend bool operator==(const EpochSnapshot&, const EpochSnapshot&) = default;
@@ -78,6 +86,9 @@ class CollectionSession {
   CollectionSession(const FactorizationAnalysis& analysis,
                     std::shared_ptr<const Workload> workload, int num_shards);
 
+  /// The session's initial (version 0) decoder. After a roll, per-version
+  /// decode goes through DecoderForVersion(); this accessor stays pinned to
+  /// version 0 so references held across rolls never dangle.
   const ReportDecoder& decoder() const { return decoder_; }
   const Workload& workload() const { return *workload_; }
   int num_shards() const { return num_shards_; }
@@ -105,14 +116,6 @@ class CollectionSession {
   /// a multiple of num_outputs()); one atomic add per touched counter per
   /// batch (ShardedAggregator::AddBitsBatch).
   void AcceptBitsBatch(int shard, std::span<const std::uint8_t> reports);
-
-  /// Deprecated: prefer Accept(shard, report). Ingests one dense m-vector
-  /// report (kDense sessions).
-  void AcceptDense(int shard, std::span<const double> report);
-
-  /// Deprecated: prefer Accept(shard, report) or AcceptBitsBatch. Ingests
-  /// one m-bit report (kBitVector sessions).
-  void AcceptBits(int shard, std::span<const std::uint8_t> report);
 
   /// Freezes the current epoch and starts a new one. Returns the sealed
   /// snapshot (also retained in the session's history). Waits for in-flight
@@ -147,8 +150,32 @@ class CollectionSession {
 
   /// Sum of the last min(last_k, epochs_sealed()) sealed snapshots. The
   /// returned epoch_id is the newest epoch included (-1 if none sealed yet,
-  /// with a zero histogram).
+  /// with a zero histogram); its strategy_version is the newest included
+  /// version (meaningful to callers only when the window spans one version —
+  /// version-aware windows should use WindowSnapshots()).
   EpochSnapshot WindowTotal(int last_k) const;
+
+  /// The last min(last_k, epochs_sealed()) sealed snapshots, oldest first.
+  std::vector<std::shared_ptr<const EpochSnapshot>> WindowSnapshots(
+      int last_k) const;
+
+  /// Version of the strategy whose reports are currently streaming into the
+  /// unsealed epoch (0 until the first roll takes effect).
+  int strategy_version() const;
+
+  /// Stages a rolled deployment. The decoder takes effect at the next
+  /// Seal(): the epoch being ingested now still seals under the current
+  /// version (its devices encoded with the current strategy), and ingestion
+  /// after that seal is tagged with the returned new version. The staged
+  /// decoder must keep the session's report dimension m (aborts otherwise);
+  /// staging twice before a seal replaces the earlier staged decoder.
+  /// Returns the version the staged strategy will carry once active.
+  int StageRoll(ReportDecoder decoder);
+
+  /// Decoder history: the decoder that was active for `version` (0 is the
+  /// construction-time decoder). nullptr for versions never activated or
+  /// not yet active.
+  std::shared_ptr<const ReportDecoder> DecoderForVersion(int version) const;
 
   /// Reports accepted into the current (unsealed) epoch so far.
   std::int64_t pending_responses() const;
@@ -172,6 +199,13 @@ class CollectionSession {
   mutable std::mutex snapshots_mutex_;
   std::vector<std::shared_ptr<const EpochSnapshot>> snapshots_;
   std::int64_t sealed_count_ = 0;  ///< Total reports across sealed epochs.
+
+  // Rollover state, guarded by snapshots_mutex_. decoders_[v] is the decoder
+  // for version v; index 0 aliases decoder_. staged_decoder_ is non-null
+  // between StageRoll() and the Seal() that activates it.
+  std::vector<std::shared_ptr<const ReportDecoder>> decoders_;
+  std::shared_ptr<const ReportDecoder> staged_decoder_;
+  int active_version_ = 0;
 };
 
 }  // namespace wfm

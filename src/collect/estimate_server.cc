@@ -44,16 +44,17 @@ StatusOr<WorkloadEstimate> EstimateServer::ServeWindow(int window,
     return Status::InvalidArgument("window must be positive, got " +
                                    std::to_string(window));
   }
-  const EpochSnapshot total = session_->WindowTotal(window);
-  if (total.epoch_id < 0) {
+  const std::vector<std::shared_ptr<const EpochSnapshot>> snapshots =
+      session_->WindowSnapshots(window);
+  if (snapshots.empty()) {
     return Status::FailedPrecondition("no sealed epoch to serve from");
   }
 
   std::lock_guard<std::mutex> lock(mutex_);
   ++serves_;
-  if (total.epoch_id != cached_epoch_) {
+  if (snapshots.back()->epoch_id != cached_epoch_) {
     cache_.clear();
-    cached_epoch_ = total.epoch_id;
+    cached_epoch_ = snapshots.back()->epoch_id;
   }
   const std::pair<int, int> key(window, static_cast<int>(kind));
   const auto it = cache_.find(key);
@@ -64,11 +65,54 @@ StatusOr<WorkloadEstimate> EstimateServer::ServeWindow(int window,
   ++solves_;
   CacheMisses().Increment();
   ScopedTimer span(SolveDuration());
-  // The window total carries the exact report count of the summed epochs,
-  // which affine decoders (RAPPOR/OUE) need to debias the aggregate.
-  WorkloadEstimate estimate =
-      EstimateWorkloadAnswers(session_->decoder(), session_->workload(),
-                              total.histogram, total.count, kind);
+
+  // Version-aware decode: consecutive epochs sealed under the same strategy
+  // version sum (aggregation is linear within a version) and decode with
+  // that version's decoder; groups then add in estimate space — data vectors
+  // and workload answers are both additive across disjoint report
+  // populations. A window that never saw a roll is one group, which makes
+  // this computation exactly the pre-rollover single-decode path.
+  WorkloadEstimate estimate;
+  std::size_t begin = 0;
+  while (begin < snapshots.size()) {
+    const int version = snapshots[begin]->strategy_version;
+    std::size_t end = begin + 1;
+    while (end < snapshots.size() &&
+           snapshots[end]->strategy_version == version) {
+      ++end;
+    }
+    EpochSnapshot group;
+    group.histogram = snapshots[begin]->histogram;
+    group.count = snapshots[begin]->count;
+    for (std::size_t e = begin + 1; e < end; ++e) {
+      for (std::size_t o = 0; o < group.histogram.size(); ++o) {
+        group.histogram[o] += snapshots[e]->histogram[o];
+      }
+      group.count += snapshots[e]->count;
+    }
+    const std::shared_ptr<const ReportDecoder> decoder =
+        session_->DecoderForVersion(version);
+    if (decoder == nullptr) {
+      return Status::FailedPrecondition(
+          "window spans strategy version " + std::to_string(version) +
+          " with no decoder in this session's history");
+    }
+    // The group total carries the exact report count of the summed epochs,
+    // which affine decoders (RAPPOR/OUE) need to debias the aggregate.
+    WorkloadEstimate part = EstimateWorkloadAnswers(
+        *decoder, session_->workload(), group.histogram, group.count, kind);
+    if (estimate.data_vector.empty()) {
+      estimate = std::move(part);
+    } else {
+      for (std::size_t i = 0; i < estimate.data_vector.size(); ++i) {
+        estimate.data_vector[i] += part.data_vector[i];
+      }
+      for (std::size_t i = 0; i < estimate.query_answers.size(); ++i) {
+        estimate.query_answers[i] += part.query_answers[i];
+      }
+    }
+    begin = end;
+  }
   cache_.emplace(key, estimate);
   return estimate;
 }

@@ -10,6 +10,12 @@
 //
 // Serving before any epoch has been sealed is a recoverable service
 // condition ("no data yet"), reported as kFailedPrecondition — not a crash.
+//
+// Windows that span a strategy roll (adaptive serving) decode per version:
+// consecutive same-version epochs are summed and decoded with that version's
+// decoder, and the per-group estimates add. With no roll in the window this
+// degenerates to the single summed decode, bit-identical to a session that
+// never rolled.
 
 #ifndef WFM_COLLECT_ESTIMATE_SERVER_H_
 #define WFM_COLLECT_ESTIMATE_SERVER_H_

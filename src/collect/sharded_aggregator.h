@@ -95,16 +95,6 @@ class ShardedAggregator {
   /// set bit. Counts k reports toward num_responses().
   void AddBitsBatch(int shard, std::span<const std::uint8_t> reports);
 
-  /// Deprecated: prefer Accept(shard, report) (kind-dispatched). Records one
-  /// dense m-vector report on the given shard (kDense only).
-  void AddDense(int shard, std::span<const double> report);
-
-  /// Deprecated: prefer Accept(shard, report) or the batched AddBitsBatch.
-  /// Records one m-bit report on the given shard (kBitVector only). Entries
-  /// must be 0 or 1; anything else aborts (corrupt report stream). Counts
-  /// one report toward num_responses().
-  void AddBits(int shard, std::span<const std::uint8_t> report);
-
   /// Folds all shards into one aggregate, O(num_shards x num_outputs).
   /// Categorical: exact (bit-identical to serial aggregation) once ingestion
   /// has stopped. Dense: exact up to floating-point commutation.
@@ -114,6 +104,16 @@ class ShardedAggregator {
   std::int64_t num_responses() const;
 
  private:
+  /// Records one dense m-vector report on the given shard (kDense only);
+  /// reached through the kind dispatch in Accept().
+  void AddDense(int shard, std::span<const double> report);
+
+  /// Records one m-bit report on the given shard (kBitVector only). Entries
+  /// must be 0 or 1; anything else aborts (corrupt report stream). Counts
+  /// one report toward num_responses(). Reached through Accept()'s kind
+  /// dispatch; batches should prefer AddBitsBatch.
+  void AddBits(int shard, std::span<const std::uint8_t> report);
+
   // One worker's partial aggregate. alignas keeps the hot `total` counters
   // of different shards on different cache lines; the count arrays live in
   // separate heap blocks and do not interfere. Exactly one of

@@ -10,9 +10,16 @@ namespace wfm {
 namespace {
 
 /// Fills ws.row_sums / ws.dinv / ws.dq / ws.a for the strategy q:
-/// A = Qᵀ D⁻¹ Q with D = Diag(Q 1). All outputs live in the workspace.
-void PrepareInto(const Matrix& q, ObjectiveWorkspace& ws) {
-  q.RowSumsInto(ws.row_sums);
+/// A = Qᵀ D⁻¹ Q with D = Diag(Q x̃), where x̃ is the population weight
+/// vector (empty means uniform, reducing D to the paper's Diag(Q 1)).
+/// All outputs live in the workspace.
+void PrepareInto(const Matrix& q, const Vector& population,
+                 ObjectiveWorkspace& ws) {
+  if (population.empty()) {
+    q.RowSumsInto(ws.row_sums);
+  } else {
+    MultiplyVecInto(q, population, ws.row_sums);
+  }
   ws.dinv.resize(ws.row_sums.size());
   for (std::size_t o = 0; o < ws.row_sums.size(); ++o) {
     ws.dinv[o] = ws.row_sums[o] > 1e-300 ? 1.0 / ws.row_sums[o] : 0.0;
@@ -37,11 +44,14 @@ bool RangeCovered(const Matrix& a, const Matrix& x_pinv_g, const Matrix& gram) {
 }  // namespace
 
 ObjectiveValue EvalObjectiveAndGradient(const Matrix& q, const Matrix& gram,
+                                        const Vector& population,
                                         ObjectiveWorkspace& ws) {
   WFM_CHECK_EQ(q.cols(), gram.rows());
+  WFM_CHECK(population.empty() ||
+            static_cast<int>(population.size()) == q.cols());
   const int m = q.rows();
   const int n = q.cols();
-  PrepareInto(q, ws);
+  PrepareInto(q, population, ws);
 
   ObjectiveValue out;
 
@@ -67,7 +77,9 @@ ObjectiveValue EvalObjectiveAndGradient(const Matrix& q, const Matrix& gram,
   }
   out.value = ws.x.Trace();
 
-  // QS (m x n) drives both gradient terms.
+  // QS (m x n) drives both gradient terms. With d = Q x̃ the diagonal term
+  // back-propagates through ∂d_o/∂q_ou = x̃_u, so the rank-one correction is
+  // h x̃ᵀ (h 1ᵀ in the uniform case).
   MultiplyInto(q, ws.s, ws.qs);
   ws.gradient.ResizeUninitialized(m, n);  // Every entry written below.
   for (int o = 0; o < m; ++o) {
@@ -79,11 +91,22 @@ ObjectiveValue EvalObjectiveAndGradient(const Matrix& q, const Matrix& gram,
     double h = 0.0;
     for (int u = 0; u < n; ++u) h += qs_row[u] * q_row[u];
     h *= dinv_o * dinv_o;
-    for (int u = 0; u < n; ++u) {
-      g_row[u] = -2.0 * dinv_o * qs_row[u] + h;
+    if (population.empty()) {
+      for (int u = 0; u < n; ++u) {
+        g_row[u] = -2.0 * dinv_o * qs_row[u] + h;
+      }
+    } else {
+      for (int u = 0; u < n; ++u) {
+        g_row[u] = -2.0 * dinv_o * qs_row[u] + h * population[u];
+      }
     }
   }
   return out;
+}
+
+ObjectiveValue EvalObjectiveAndGradient(const Matrix& q, const Matrix& gram,
+                                        ObjectiveWorkspace& ws) {
+  return EvalObjectiveAndGradient(q, gram, Vector(), ws);
 }
 
 ObjectiveEvaluation EvalObjectiveAndGradient(const Matrix& q,
@@ -98,9 +121,11 @@ ObjectiveEvaluation EvalObjectiveAndGradient(const Matrix& q,
 }
 
 double EvalObjective(const Matrix& q, const Matrix& gram,
-                     ObjectiveWorkspace& ws) {
+                     const Vector& population, ObjectiveWorkspace& ws) {
   WFM_CHECK_EQ(q.cols(), gram.rows());
-  PrepareInto(q, ws);
+  WFM_CHECK(population.empty() ||
+            static_cast<int>(population.size()) == q.cols());
+  PrepareInto(q, population, ws);
   if (ws.chol.Factorize(ws.a)) {
     ws.x = gram;
     ws.chol.SolveInPlace(ws.x);
@@ -114,9 +139,14 @@ double EvalObjective(const Matrix& q, const Matrix& gram,
   return ws.x.Trace();
 }
 
+double EvalObjective(const Matrix& q, const Matrix& gram,
+                     ObjectiveWorkspace& ws) {
+  return EvalObjective(q, gram, Vector(), ws);
+}
+
 double EvalObjective(const Matrix& q, const Matrix& gram) {
   ObjectiveWorkspace ws;
-  return EvalObjective(q, gram, ws);
+  return EvalObjective(q, gram, Vector(), ws);
 }
 
 }  // namespace wfm

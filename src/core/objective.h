@@ -9,6 +9,15 @@
 // The positive-definite path costs one Cholesky factorization plus O(n²m)
 // products per evaluation — the O(n²m + n³) the paper reports. A spectral
 // pseudo-inverse fallback handles (rare) rank deficiency.
+//
+// Population-weighted variant (src/adaptive re-optimization): the paper's D
+// = Diag(Q 1) is the multinomial denominator for a UNIFORM population —
+// Cov(y) ≼ Diag(Q x̃) for population mix x̃, and uniform x̃ ∝ 1 recovers
+// Q 1. Passing a non-empty `population` x̃ (n-vector of non-negative type
+// weights; overall scale is irrelevant to the argmin) evaluates the same
+// objective with d = Q x̃, i.e. optimizes expected variance for the
+// population actually reporting. The only gradient change is the diagonal
+// back-propagation ∂d_o/∂q_ou = x̃_u, turning the rank-one term into h x̃ᵀ.
 
 #ifndef WFM_CORE_OBJECTIVE_H_
 #define WFM_CORE_OBJECTIVE_H_
@@ -56,12 +65,22 @@ ObjectiveEvaluation EvalObjectiveAndGradient(const Matrix& q, const Matrix& gram
 ObjectiveValue EvalObjectiveAndGradient(const Matrix& q, const Matrix& gram,
                                         ObjectiveWorkspace& ws);
 
+/// Population-weighted workspace form: d = Q x̃ instead of Q 1 (see the
+/// file comment). An empty `population` is the uniform objective.
+ObjectiveValue EvalObjectiveAndGradient(const Matrix& q, const Matrix& gram,
+                                        const Vector& population,
+                                        ObjectiveWorkspace& ws);
+
 /// Value only (cheaper: skips S and the gradient products).
 double EvalObjective(const Matrix& q, const Matrix& gram);
 
 /// Workspace form of the value-only evaluation.
 double EvalObjective(const Matrix& q, const Matrix& gram,
                      ObjectiveWorkspace& ws);
+
+/// Population-weighted value-only evaluation.
+double EvalObjective(const Matrix& q, const Matrix& gram,
+                     const Vector& population, ObjectiveWorkspace& ws);
 
 }  // namespace wfm
 

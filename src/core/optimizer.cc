@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/objective.h"
+#include "linalg/thread_pool.h"
 #include "obs/metrics.h"
 
 namespace wfm {
@@ -158,7 +159,8 @@ RunResult RunOnce(const Matrix& gram, double eps, const OptimizerConfig& config,
     proj = RandomInitialStrategy(m, n, eps, rng, &z);
   }
 
-  ObjectiveValue eval = EvalObjectiveAndGradient(proj.q, gram, ws.obj);
+  ObjectiveValue eval =
+      EvalObjectiveAndGradient(proj.q, gram, config.population, ws.obj);
   run.initial_objective = eval.value;
   run.q = proj.q;
   run.z = z;
@@ -186,13 +188,13 @@ RunResult RunOnce(const Matrix& gram, double eps, const OptimizerConfig& config,
     }
     ProjectOntoLdpPolytope(ws.r, z, eps, ws.proj_ws, proj);
 
-    eval = EvalObjectiveAndGradient(proj.q, gram, ws.obj);
+    eval = EvalObjectiveAndGradient(proj.q, gram, config.population, ws.obj);
     if (!std::isfinite(eval.value)) {
       // Step too aggressive: halve and restart from the best iterate.
       beta *= 0.5;
       proj.q = run.q;
       std::fill(proj.pattern.begin(), proj.pattern.end(), ClipState::kFree);
-      eval = EvalObjectiveAndGradient(proj.q, gram, ws.obj);
+      eval = EvalObjectiveAndGradient(proj.q, gram, config.population, ws.obj);
       continue;
     }
     if (eval.value < run.objective) {
@@ -234,8 +236,19 @@ OptimizerResult OptimizeStrategy(const Matrix& gram, double eps,
   WFM_CHECK_EQ(gram.rows(), gram.cols());
   WFM_CHECK_GT(eps, 0.0);
   const int n = gram.rows();
-  const int m = config.strategy_rows > 0 ? config.strategy_rows : 4 * n;
+  const int m = config.random_init_rows > 0 ? config.random_init_rows : 4 * n;
   WFM_CHECK_GE(m, n) << "strategy must have at least n rows to span the workload";
+  if (!config.population.empty()) {
+    WFM_CHECK_EQ(static_cast<int>(config.population.size()), n)
+        << "population weight vector must match the domain size";
+    double mass = 0.0;
+    for (const double w : config.population) {
+      WFM_CHECK(std::isfinite(w) && w >= 0.0)
+          << "population weights must be finite and non-negative";
+      mass += w;
+    }
+    WFM_CHECK_GT(mass, 0.0) << "population weights must not all be zero";
+  }
 
   Rng rng(config.seed);
 
@@ -249,7 +262,7 @@ OptimizerResult OptimizeStrategy(const Matrix& gram, double eps,
   {
     Rng probe = rng.Fork();
     ProjectionResult proj = RandomInitialStrategy(m, n, eps, probe, nullptr);
-    EvalObjectiveAndGradient(proj.q, gram, ws.obj);
+    EvalObjectiveAndGradient(proj.q, gram, config.population, ws.obj);
     grad_rms = std::sqrt(ws.obj.gradient.FrobeniusNormSq() /
                          (static_cast<double>(m) * n));
     if (!(grad_rms > 0.0) || !std::isfinite(grad_rms)) grad_rms = 1.0;
@@ -299,13 +312,42 @@ OptimizerResult OptimizeStrategy(const Matrix& gram, double eps,
     }
   };
 
-  WFM_CHECK(config.restarts > 0 || !config.seed_strategies.empty())
+  WFM_CHECK(config.num_restarts > 0 || !config.seed_strategies.empty())
       << "need at least one random restart or seed strategy";
-  for (int restart = 0; restart < config.restarts; ++restart) {
-    Rng run_rng = rng.Fork();
-    consider(RunOnce(gram, eps, config, m, step, config.iterations, run_rng,
-                     /*record_history=*/true, ws),
-             "restart", restart);
+  // Restart RNGs are forked serially in index order before any run starts,
+  // so the stream each restart sees is a function of (seed, index) alone —
+  // never of scheduling.
+  std::vector<Rng> restart_rngs;
+  restart_rngs.reserve(config.num_restarts);
+  for (int restart = 0; restart < config.num_restarts; ++restart) {
+    restart_rngs.push_back(rng.Fork());
+  }
+  if (config.num_restarts <= 1) {
+    // Single restart stays on the shared workspace inline: this is the
+    // allocation-count-stable path optimizer_alloc_test pins.
+    for (int restart = 0; restart < config.num_restarts; ++restart) {
+      consider(RunOnce(gram, eps, config, m, step, config.iterations,
+                       restart_rngs[restart], /*record_history=*/true, ws),
+               "restart", restart);
+    }
+  } else {
+    // Best-of-K restarts are embarrassingly parallel: each gets a private
+    // workspace, and the winner is chosen after the barrier in index order,
+    // so ties break identically at every thread count.
+    std::vector<RunResult> runs(config.num_restarts);
+    ThreadPool::Global().ParallelFor(
+        config.num_restarts, [&](int begin, int end) {
+          for (int restart = begin; restart < end; ++restart) {
+            PgdWorkspace restart_ws;
+            runs[restart] =
+                RunOnce(gram, eps, config, m, step, config.iterations,
+                        restart_rngs[restart], /*record_history=*/true,
+                        restart_ws);
+          }
+        });
+    for (int restart = 0; restart < config.num_restarts; ++restart) {
+      consider(std::move(runs[restart]), "restart", restart);
+    }
   }
 
   // Warm-started runs from caller-provided seed strategies (Section 4's

@@ -26,8 +26,10 @@
 namespace wfm {
 
 struct OptimizerConfig {
-  /// Number of strategy rows m; 0 means the paper's default m = 4n.
-  int strategy_rows = 0;
+  /// Number of rows m in randomly initialized strategies; 0 means the
+  /// paper's default m = 4n (the random wide init that SNIPPETS.md §1 shows
+  /// roughly halving worst-case variance vs. hierarchical seeding).
+  int random_init_rows = 0;
   /// Gradient iterations for the main run.
   int iterations = 400;
   /// Relative step-size multiplier candidates for the search phase; the
@@ -39,9 +41,13 @@ struct OptimizerConfig {
   double step_size = 0.0;
   /// Multiplicative per-iteration step decay (1 = constant).
   double step_decay = 1.0;
-  /// Independent random restarts; the best strategy wins. May be 0 when
-  /// seed_strategies is non-empty (warm-start-only runs).
-  int restarts = 1;
+  /// Independent random restarts; the best strategy wins (ties break to the
+  /// lowest restart index). May be 0 when seed_strategies is non-empty
+  /// (warm-start-only runs). Restarts beyond the first run embarrassingly
+  /// parallel over the linalg ThreadPool; results are deterministic for a
+  /// fixed seed regardless of thread count because each restart owns its RNG
+  /// (pre-forked serially in index order) and its workspace.
+  int num_restarts = 1;
   /// Additional warm-start strategies (e.g. the Table 1 baselines). Each
   /// seed gets its own PGD run starting from the seed with z set to its row
   /// minima; because the best-so-far iterate is tracked, the result is never
@@ -49,6 +55,14 @@ struct OptimizerConfig {
   /// option the paper discusses in Section 4; OptimizedMechanism fills it
   /// with the standard baselines by default.
   std::vector<Matrix> seed_strategies;
+  /// Optional population weight vector x̃ (length n, non-negative, not all
+  /// zero; overall scale is irrelevant). When non-empty the objective's
+  /// multinomial denominator becomes D = Diag(Q x̃) instead of the paper's
+  /// uniform-population Diag(Q 1), so the optimizer minimizes expected
+  /// workload variance for the population actually reporting (src/adaptive
+  /// re-optimization passes the estimated mix here). Empty = uniform =
+  /// byte-identical to the legacy objective.
+  Vector population;
   std::uint64_t seed = 7;
   bool verbose = false;
 };

@@ -64,6 +64,22 @@
 // them onto api/PlanSession; its kMetrics frame type additionally serves
 // the process's obs/ telemetry registry (ingest counters, accept/reject
 // tallies, request latencies) so operators can watch steps 2-4 run live.
+//
+// Strategy rollover (src/adaptive). Step 1 can recur mid-deployment: when
+// the AdaptiveController detects population drift it re-optimizes Q and
+// stages the result through PlanSession::RollStrategy, which takes effect at
+// the next Seal(). Strategies are versioned, and the version binds the whole
+// pipeline together: every epoch snapshot records the strategy version its
+// reports were encoded under (so kind-1 "WFSN" buffers append a u32 version;
+// version 0 keeps the legacy kind-0 encoding, canonically), and the server
+// decodes each epoch with that version's strategy — no epoch ever mixes
+// strategies, so each device's single report stays eps-LDP under exactly the
+// strategy it polled. Networked fleets poll via the kGetStrategy frame: an
+// empty-payload request answered with a "WFST" strategy object (m, version,
+// epsilon, the row-major m x n matrix); DecodeStrategy re-validates the
+// eps-LDP guarantee so a tampered or buggy server cannot silently void a
+// device's privacy. Deployments whose mechanism is not strategy-based
+// answer kGetStrategy with kFailedPrecondition (HTTP-wise: a 409).
 
 #ifndef WFM_LDP_PROTOCOL_H_
 #define WFM_LDP_PROTOCOL_H_

@@ -95,4 +95,10 @@
 #include "wire/snapshot_store.h"
 #include "wire/wire_format.h"
 
+// adaptive: drift-aware re-optimization and strategy rollover across
+// serving epochs — the feedback loop over a strategy-based PlanSession.
+#include "adaptive/adaptive_controller.h"
+#include "adaptive/budget_planner.h"
+#include "adaptive/drift_detector.h"
+
 #endif  // WFM_WFM_H_

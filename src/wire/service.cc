@@ -27,8 +27,8 @@ constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 // the first served connection) and reused as raw pointers thereafter so the
 // serving loop never touches the registry map.
 struct WireTelemetry {
-  /// One slot per WireMessageType (1..8) plus a trailing unknown slot.
-  static constexpr int kNumSlots = 9;
+  /// One slot per WireMessageType (1..9) plus a trailing unknown slot.
+  static constexpr int kNumSlots = 10;
 
   Counter* requests[kNumSlots];
   Histogram* latency[kNumSlots];
@@ -60,14 +60,14 @@ struct WireTelemetry {
 
 /// Telemetry slot for a (possibly unknown) request type byte.
 int RequestSlot(std::uint8_t type) {
-  return type >= 1 && type <= 8 ? type - 1 : WireTelemetry::kNumSlots - 1;
+  return type >= 1 && type <= 9 ? type - 1 : WireTelemetry::kNumSlots - 1;
 }
 
 const WireTelemetry& Telemetry() {
   static const WireTelemetry* const telemetry = [] {
     static constexpr const char* kSlotNames[WireTelemetry::kNumSlots] = {
         "accept", "seal",     "estimate", "get_snapshot", "push_snapshot",
-        "ping",   "shutdown", "metrics",  "unknown"};
+        "ping",   "shutdown", "metrics",  "get_strategy", "unknown"};
     auto* t = new WireTelemetry();
     MetricsRegistry& registry = MetricsRegistry::Global();
     for (int i = 0; i < WireTelemetry::kNumSlots; ++i) {
@@ -427,6 +427,15 @@ WireResponse CollectionServer::HandleRequest(
               : ToJson(snapshot);
       return OkResponse(WireBytes(text.begin(), text.end()));
     }
+    case WireMessageType::kGetStrategy: {
+      if (!payload.empty()) {
+        return ErrorResponse(Status::InvalidArgument(
+            "get-strategy request carries a payload"));
+      }
+      StatusOr<StrategySnapshot> strategy = session_->CurrentStrategy();
+      if (!strategy.ok()) return ErrorResponse(strategy.status());
+      return OkResponse(EncodeStrategy(strategy.value()));
+    }
     default:
       return ErrorResponse(Status::InvalidArgument(
           "unknown request type " + std::to_string(type)));
@@ -557,6 +566,14 @@ StatusOr<std::string> CollectionClient::Metrics(MetricsFormat format) {
   if (!response.value().ok()) return StatusFromResponse(response.value());
   return std::string(response.value().payload.begin(),
                      response.value().payload.end());
+}
+
+StatusOr<StrategySnapshot> CollectionClient::GetStrategy() {
+  StatusOr<WireResponse> response =
+      RawRequest(static_cast<std::uint8_t>(WireMessageType::kGetStrategy), {});
+  if (!response.ok()) return response.status();
+  if (!response.value().ok()) return StatusFromResponse(response.value());
+  return DecodeStrategy(response.value().payload);
 }
 
 Status CollectionClient::Ping() {

@@ -19,6 +19,12 @@
 //                                                 telemetry registry; one
 //                                                 format byte selects
 //                                                 Prometheus text or JSON)
+//   kGetStrategy   -> PlanSession::CurrentStrategy
+//                                                (the versioned strategy
+//                                                 clients should encode
+//                                                 under right now — how a
+//                                                 networked client survives
+//                                                 an adaptive roll)
 //
 // Framing (all integers little-endian):
 //   request   u32 length | u8 type | payload[length - 1]
@@ -80,6 +86,11 @@ enum class WireMessageType : std::uint8_t {
   /// Scrape the process-wide obs registry. Payload is one format byte (a
   /// MetricsFormat value); the 200 response payload is the rendered text.
   kMetrics = 8,
+  /// Fetch the versioned strategy currently active on the server (empty
+  /// payload; the 200 response is a WFST strategy object). Clients poll
+  /// after each seal and rebuild their randomizer when the version moves —
+  /// 409 when the deployment is not strategy-based.
+  kGetStrategy = 9,
 };
 
 /// Exposition format selector carried in a kMetrics request payload.
@@ -198,6 +209,14 @@ class CollectionClient {
   /// with an in-process rendering of the same registry state.
   StatusOr<std::string> Metrics(
       MetricsFormat format = MetricsFormat::kPrometheus);
+
+  /// Fetches the strategy the server is currently collecting under, with
+  /// the session version it carries — decode-validated, so the returned
+  /// matrix is guaranteed to be a genuine epsilon-LDP strategy. Clients
+  /// compare the version against the one they encode under and swap their
+  /// randomizer when it moves (kFailedPrecondition for deployments with no
+  /// strategy matrix).
+  StatusOr<StrategySnapshot> GetStrategy();
 
   /// Liveness probe.
   Status Ping();

@@ -7,19 +7,27 @@
 #include <string>
 
 #include "common/check.h"
+#include "core/strategy.h"
 
 namespace wfm {
 namespace {
 
-// Object-type magics ("WFRP" = report, "WFSN" = snapshot, "WFES" = estimate).
+// Object-type magics ("WFRP" = report, "WFSN" = snapshot, "WFES" = estimate,
+// "WFST" = strategy).
 constexpr std::array<std::uint8_t, 4> kReportMagic = {'W', 'F', 'R', 'P'};
 constexpr std::array<std::uint8_t, 4> kSnapshotMagic = {'W', 'F', 'S', 'N'};
 constexpr std::array<std::uint8_t, 4> kEstimateMagic = {'W', 'F', 'E', 'S'};
+constexpr std::array<std::uint8_t, 4> kStrategyMagic = {'W', 'F', 'S', 'T'};
 
 // Report `kind` header byte.
 constexpr std::uint8_t kKindCategorical = 0;
 constexpr std::uint8_t kKindDense = 1;
 constexpr std::uint8_t kKindPackedBits = 2;
+
+// Snapshot `kind` header byte: the version-0 legacy layout vs the
+// strategy-versioned one (see the header comment).
+constexpr std::uint8_t kSnapshotKindLegacy = 0;
+constexpr std::uint8_t kSnapshotKindVersioned = 1;
 
 // ---- little-endian primitives ---------------------------------------------
 
@@ -260,10 +268,19 @@ StatusOr<Report> DecodeReport(std::span<const std::uint8_t> buffer) {
 WireBytes EncodeSnapshot(const EpochSnapshot& snapshot) {
   WireBytes out;
   const std::size_t m = snapshot.histogram.size();
-  out.reserve(kWireEnvelopeBytes + 12 + 8 * m);
-  PutHeader(out, kSnapshotMagic, 0, static_cast<std::uint32_t>(m));
+  // Canonical: version 0 keeps the legacy kind-0 layout byte for byte, so a
+  // deployment that never rolls interoperates with pre-rollover peers.
+  const bool versioned = snapshot.strategy_version > 0;
+  const std::size_t fixed = versioned ? 16 : 12;
+  out.reserve(kWireEnvelopeBytes + fixed + 8 * m);
+  PutHeader(out, kSnapshotMagic,
+            versioned ? kSnapshotKindVersioned : kSnapshotKindLegacy,
+            static_cast<std::uint32_t>(m));
   PutU32(out, static_cast<std::uint32_t>(snapshot.epoch_id));
   PutU64(out, static_cast<std::uint64_t>(snapshot.count));
+  if (versioned) {
+    PutU32(out, static_cast<std::uint32_t>(snapshot.strategy_version));
+  }
   for (const double v : snapshot.histogram) PutF64(out, v);
   PutTrailer(out);
   return out;
@@ -276,16 +293,18 @@ StatusOr<EpochSnapshot> DecodeSnapshot(std::span<const std::uint8_t> buffer) {
       !env.ok()) {
     return env;
   }
-  if (kind != 0) {
-    return Status::InvalidArgument("snapshot kind byte must be zero, got " +
+  if (kind != kSnapshotKindLegacy && kind != kSnapshotKindVersioned) {
+    return Status::InvalidArgument("snapshot kind byte must be 0 or 1, got " +
                                    std::to_string(kind));
   }
+  const bool versioned = kind == kSnapshotKindVersioned;
+  const std::size_t fixed = versioned ? 16 : 12;
   if (dim == 0 || dim > static_cast<std::uint32_t>(INT32_MAX) / 8) {
     return Status::InvalidArgument("snapshot dimension " +
                                    std::to_string(dim) + " out of range");
   }
-  if (Status s = CheckPayloadSize(buffer, 12 + 8 * static_cast<std::size_t>(dim),
-                                  "snapshot");
+  if (Status s = CheckPayloadSize(
+          buffer, fixed + 8 * static_cast<std::size_t>(dim), "snapshot");
       !s.ok()) {
     return s;
   }
@@ -302,9 +321,20 @@ StatusOr<EpochSnapshot> DecodeSnapshot(std::span<const std::uint8_t> buffer) {
     return Status::InvalidArgument("snapshot report count is negative: " +
                                    std::to_string(snapshot.count));
   }
+  if (versioned) {
+    const std::uint32_t version = GetU32(payload + 12);
+    // Canonical encoding: version 0 must travel as kind 0, and versions
+    // never approach 2^31 (one roll per epoch at most).
+    if (version == 0 || version > static_cast<std::uint32_t>(INT32_MAX)) {
+      return Status::InvalidArgument("versioned snapshot carries strategy "
+                                     "version " + std::to_string(version) +
+                                     ", expected a positive int32");
+    }
+    snapshot.strategy_version = static_cast<int>(version);
+  }
   snapshot.histogram.resize(dim);
   for (std::uint32_t i = 0; i < dim; ++i) {
-    const double v = GetF64(payload + 12 + 8 * static_cast<std::size_t>(i));
+    const double v = GetF64(payload + fixed + 8 * static_cast<std::size_t>(i));
     if (!std::isfinite(v)) {
       return Status::InvalidArgument(
           "snapshot histogram entry is not finite at coordinate " +
@@ -368,6 +398,99 @@ StatusOr<WorkloadEstimate> DecodeEstimate(
     estimate.query_answers[i] = GetF64(answers + 8 * static_cast<std::size_t>(i));
   }
   return estimate;
+}
+
+WireBytes EncodeStrategy(const StrategySnapshot& strategy) {
+  WFM_CHECK(!strategy.q.empty()) << "encoding an empty strategy";
+  WFM_CHECK_GE(strategy.version, 0);
+  WireBytes out;
+  const std::size_t m = static_cast<std::size_t>(strategy.q.rows());
+  const std::size_t n = static_cast<std::size_t>(strategy.q.cols());
+  out.reserve(kWireEnvelopeBytes + 16 + 8 * m * n);
+  PutHeader(out, kStrategyMagic, 0, static_cast<std::uint32_t>(n));
+  PutU32(out, static_cast<std::uint32_t>(m));
+  PutU32(out, static_cast<std::uint32_t>(strategy.version));
+  PutF64(out, strategy.epsilon);
+  for (int r = 0; r < strategy.q.rows(); ++r) {
+    for (int c = 0; c < strategy.q.cols(); ++c) {
+      PutF64(out, strategy.q(r, c));
+    }
+  }
+  PutTrailer(out);
+  return out;
+}
+
+StatusOr<StrategySnapshot> DecodeStrategy(
+    std::span<const std::uint8_t> buffer) {
+  std::uint8_t kind = 0;
+  std::uint32_t dim = 0;
+  if (Status env = CheckEnvelope(buffer, kStrategyMagic, "strategy", kind, dim);
+      !env.ok()) {
+    return env;
+  }
+  if (kind != 0) {
+    return Status::InvalidArgument("strategy kind byte must be zero, got " +
+                                   std::to_string(kind));
+  }
+  if (buffer.size() < kWireEnvelopeBytes + 16) {
+    return Status::InvalidArgument("strategy buffer truncated");
+  }
+  const std::uint8_t* payload = buffer.data() + kWireHeaderBytes;
+  const std::uint32_t m = GetU32(payload);
+  const std::uint32_t version = GetU32(payload + 4);
+  const double epsilon = GetF64(payload + 8);
+  // Dimension sanity before the m * n payload-size multiply can overflow;
+  // 2^15 caps rows/cols far above the paper's largest experiment while
+  // keeping m * n * 8 comfortably inside size_t.
+  constexpr std::uint32_t kMaxSide = 1u << 15;
+  if (dim == 0 || dim > kMaxSide || m == 0 || m > kMaxSide) {
+    return Status::InvalidArgument(
+        "strategy dimensions " + std::to_string(m) + " x " +
+        std::to_string(dim) + " out of range");
+  }
+  if (version > static_cast<std::uint32_t>(INT32_MAX)) {
+    return Status::InvalidArgument("strategy version " +
+                                   std::to_string(version) + " out of range");
+  }
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "strategy epsilon is not a positive finite value");
+  }
+  if (Status s = CheckPayloadSize(
+          buffer,
+          16 + 8 * static_cast<std::size_t>(m) * static_cast<std::size_t>(dim),
+          "strategy");
+      !s.ok()) {
+    return s;
+  }
+  StrategySnapshot strategy;
+  strategy.version = static_cast<int>(version);
+  strategy.epsilon = epsilon;
+  strategy.q.ResizeUninitialized(static_cast<int>(m), static_cast<int>(dim));
+  const std::uint8_t* entries = payload + 16;
+  for (std::uint32_t r = 0; r < m; ++r) {
+    for (std::uint32_t c = 0; c < dim; ++c) {
+      const double v = GetF64(
+          entries + 8 * (static_cast<std::size_t>(r) * dim + c));
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(
+            "strategy entry is not finite at row " + std::to_string(r) +
+            ", column " + std::to_string(c));
+      }
+      strategy.q(static_cast<int>(r), static_cast<int>(c)) = v;
+    }
+  }
+  // The matrix governs what leaves a device: a client must never rebuild its
+  // randomizer from bytes that are not a genuine epsilon-LDP strategy for
+  // the budget it was promised.
+  const StrategyValidation validation =
+      ValidateStrategy(strategy.q, epsilon, /*tol=*/1e-6);
+  if (!validation.valid) {
+    return Status::InvalidArgument(
+        "strategy matrix is not a valid " + std::to_string(epsilon) +
+        "-LDP strategy:" + validation.ToString());
+  }
+  return strategy;
 }
 
 }  // namespace wfm

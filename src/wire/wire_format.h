@@ -1,11 +1,13 @@
 // Versioned, compact wire encodings for everything that crosses a process
 // boundary in a deployment: the per-user Report, the per-epoch
-// EpochSnapshot, and the served WorkloadEstimate.
+// EpochSnapshot, the served WorkloadEstimate, and the versioned
+// StrategySnapshot that adaptive serving ships to clients after a roll.
 //
 // Every object shares the same envelope (all integers little-endian):
 //
 //   bytes 0..3    magic     four ASCII bytes naming the object type
-//                           ("WFRP" report, "WFSN" snapshot, "WFES" estimate)
+//                           ("WFRP" report, "WFSN" snapshot, "WFES" estimate,
+//                            "WFST" strategy)
 //   byte  4       version   format version; this header implements version 1
 //   byte  5       kind      report variant (reports only; 0 elsewhere)
 //   bytes 6..7    reserved  must be zero
@@ -26,9 +28,22 @@
 // RAPPOR/OUE report costs ceil(n/8) payload bytes plus the fixed
 // kEnvelopeBytes, not one byte per bit.
 //
-// Snapshot payload (dim = m): i32 epoch_id, i64 count, then dim doubles of
-// histogram. Estimate payload (dim = n): u32 num_queries, then dim doubles
+// Snapshot payloads (dim = m) come in two kinds: kind 0 is u32 epoch_id,
+// u64 count, then dim doubles of histogram — the pre-rollover layout,
+// byte-identical to what older peers emit and accept. Kind 1 inserts a
+// u32 strategy_version (>= 1) between count and histogram; encoding is
+// canonical, so a snapshot sealed under version 0 always goes out as kind 0
+// and a kind-1 buffer carrying version 0 is rejected as corruption.
+//
+// Estimate payload (dim = n): u32 num_queries, then dim doubles
 // of data_vector followed by num_queries doubles of query_answers.
+//
+// Strategy payload (dim = n, the domain size): u32 m, u32 version,
+// f64 epsilon, then m * n doubles of the strategy matrix Q in row-major
+// order. Decoding re-validates Q as an epsilon-LDP strategy (column sums,
+// non-negativity, the e^epsilon column ratio bound), so a client that
+// rebuilds its encoder from a kGetStrategy response can never be tricked
+// into randomizing under a worse privacy guarantee than it was promised.
 //
 // Decoding treats the buffer as untrusted bytes off a network or disk: any
 // structural defect — short or oversized buffer, wrong magic, unknown
@@ -45,6 +60,7 @@
 #include <span>
 #include <vector>
 
+#include "api/plan.h"
 #include "collect/collection_session.h"
 #include "common/status.h"
 #include "estimation/estimator.h"
@@ -94,6 +110,14 @@ WireBytes EncodeEstimate(const WorkloadEstimate& estimate);
 /// Parses an untrusted estimate buffer; kInvalidArgument on any structural
 /// defect.
 StatusOr<WorkloadEstimate> DecodeEstimate(std::span<const std::uint8_t> buffer);
+
+/// Serializes a versioned strategy (the kGetStrategy response body).
+WireBytes EncodeStrategy(const StrategySnapshot& strategy);
+
+/// Parses an untrusted strategy buffer; kInvalidArgument on any structural
+/// defect or when the carried matrix is not a valid epsilon-LDP strategy
+/// for the carried budget.
+StatusOr<StrategySnapshot> DecodeStrategy(std::span<const std::uint8_t> buffer);
 
 }  // namespace wfm
 

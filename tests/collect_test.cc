@@ -49,6 +49,18 @@ Vector SerialHistogram(int m, const std::vector<int>& reports) {
   return serial.histogram();
 }
 
+Report DenseReport(Vector v) {
+  Report r;
+  r.dense = std::move(v);
+  return r;
+}
+
+Report BitsReport(std::vector<std::uint8_t> bits) {
+  Report r;
+  r.bits = std::move(bits);
+  return r;
+}
+
 std::unique_ptr<CollectionSession> MakeSession(int n, int num_shards) {
   const Matrix q = RandomizedResponseMechanism::BuildStrategy(n, 1.0);
   auto workload = std::make_shared<const HistogramWorkload>(n);
@@ -73,14 +85,13 @@ TEST(CollectDeathTest, RejectsBadShardIds) {
 
 TEST(CollectDeathTest, RejectsReportKindMismatches) {
   ShardedAggregator categorical(/*num_outputs=*/3, /*num_shards=*/1);
-  const Vector dense_report{1.0, 0.0, -0.5};
-  EXPECT_DEATH(categorical.AddDense(0, dense_report), "categorical");
+  EXPECT_DEATH(categorical.Accept(0, DenseReport({1.0, 0.0, -0.5})),
+               "categorical");
 
   ShardedAggregator dense(/*num_outputs=*/3, /*num_shards=*/1,
                           ReportKind::kDense);
   EXPECT_DEATH(dense.Add(0, 1), "dense");
-  const Vector short_report{1.0};
-  EXPECT_DEATH(dense.AddDense(0, short_report), "WFM_CHECK");
+  EXPECT_DEATH(dense.Accept(0, DenseReport({1.0})), "WFM_CHECK");
 }
 
 TEST(EstimateServerTest, ServingRequiresASealedEpoch) {
@@ -166,9 +177,9 @@ TEST(ShardedAggregatorTest, ManyThreadsMayShareOneShard) {
 TEST(ShardedAggregatorTest, DenseMergeSumsReportsCoordinatewise) {
   ShardedAggregator agg(/*num_outputs=*/3, /*num_shards=*/2,
                         ReportKind::kDense);
-  agg.AddDense(0, Vector{1.0, -2.0, 0.5});
-  agg.AddDense(1, Vector{0.25, 1.0, -0.5});
-  agg.AddDense(0, Vector{0.0, 1.0, 3.0});
+  agg.Accept(0, DenseReport({1.0, -2.0, 0.5}));
+  agg.Accept(1, DenseReport({0.25, 1.0, -0.5}));
+  agg.Accept(0, DenseReport({0.0, 1.0, 3.0}));
   EXPECT_EQ(agg.Merge(), (Vector{1.25, 0.0, 3.0}));
   EXPECT_EQ(agg.num_responses(), 3);
 }
@@ -178,17 +189,17 @@ TEST(ShardedAggregatorTest, ConcurrentDenseMergeIsExactForIntegerReports) {
   // concurrent dense merge must equal the serial sum bit for bit.
   const int m = 8;
   const int reports_per_thread = 20000;
-  std::vector<std::vector<Vector>> streams(kIngestThreads);
+  std::vector<std::vector<Report>> streams(kIngestThreads);
   Vector expected(m, 0.0);
   for (int t = 0; t < kIngestThreads; ++t) {
     Rng rng(300 + t);
     for (int i = 0; i < reports_per_thread; ++i) {
-      Vector report(m, 0.0);
+      Vector values(m, 0.0);
       for (int o = 0; o < m; ++o) {
-        report[o] = static_cast<double>(rng.UniformInt(7) - 3);
-        expected[o] += report[o];
+        values[o] = static_cast<double>(rng.UniformInt(7) - 3);
+        expected[o] += values[o];
       }
-      streams[t].push_back(std::move(report));
+      streams[t].push_back(DenseReport(std::move(values)));
     }
   }
 
@@ -198,7 +209,7 @@ TEST(ShardedAggregatorTest, ConcurrentDenseMergeIsExactForIntegerReports) {
     threads.emplace_back([&, t] {
       // Mix shard ids so shards are genuinely contended.
       for (std::size_t i = 0; i < streams[t].size(); ++i) {
-        agg.AddDense(static_cast<int>((t + i) % kIngestThreads), streams[t][i]);
+        agg.Accept(static_cast<int>((t + i) % kIngestThreads), streams[t][i]);
       }
     });
   }
@@ -384,27 +395,23 @@ TEST(CollectDeathTest, RejectsBitVectorKindMismatchesAndCorruptBits) {
   ShardedAggregator bits(/*num_outputs=*/3, /*num_shards=*/1,
                          ReportKind::kBitVector);
   EXPECT_DEATH(bits.Add(0, 1), "bit-vector");
-  const Vector dense_report{1.0, 0.0, 0.5};
-  EXPECT_DEATH(bits.AddDense(0, dense_report), "bit-vector");
+  EXPECT_DEATH(bits.Accept(0, DenseReport({1.0, 0.0, 0.5})), "bit-vector");
 
   ShardedAggregator categorical(/*num_outputs=*/3, /*num_shards=*/1);
-  const std::vector<std::uint8_t> report{1, 0, 1};
-  EXPECT_DEATH(categorical.AddBits(0, report), "categorical");
+  EXPECT_DEATH(categorical.Accept(0, BitsReport({1, 0, 1})), "categorical");
 
-  const std::vector<std::uint8_t> short_report{1, 0};
-  EXPECT_DEATH(bits.AddBits(0, short_report), "WFM_CHECK");
+  EXPECT_DEATH(bits.Accept(0, BitsReport({1, 0})), "WFM_CHECK");
   // Entries beyond {0, 1} indicate a corrupt stream, validated before they
   // can skew the per-coordinate counts.
-  const std::vector<std::uint8_t> corrupt{1, 2, 0};
-  EXPECT_DEATH(bits.AddBits(0, corrupt), "out of range");
+  EXPECT_DEATH(bits.Accept(0, BitsReport({1, 2, 0})), "out of range");
 }
 
 TEST(ShardedAggregatorTest, BitVectorMergeCountsSetBitsPerCoordinate) {
   ShardedAggregator agg(/*num_outputs=*/4, /*num_shards=*/2,
                         ReportKind::kBitVector);
-  agg.AddBits(0, std::vector<std::uint8_t>{1, 0, 1, 0});
-  agg.AddBits(1, std::vector<std::uint8_t>{1, 1, 0, 0});
-  agg.AddBits(0, std::vector<std::uint8_t>{0, 0, 0, 1});
+  agg.Accept(0, BitsReport({1, 0, 1, 0}));
+  agg.Accept(1, BitsReport({1, 1, 0, 0}));
+  agg.Accept(0, BitsReport({0, 0, 0, 1}));
   EXPECT_EQ(agg.Merge(), (Vector{2, 1, 1, 1}));
   // One report = one response, no matter how many bits it sets: the total is
   // the N that the affine debias divides against.
@@ -452,7 +459,7 @@ TEST(CollectionSessionTest, BitVectorEpochCountAccountingUnderConcurrentSeals) {
   std::vector<std::thread> threads;
   for (int t = 0; t < kIngestThreads; ++t) {
     threads.emplace_back([&, t] {
-      for (const auto& bits : streams[t]) session.AcceptBits(t, bits);
+      for (const auto& bits : streams[t]) session.Accept(t, BitsReport(bits));
       threads_done.fetch_add(1);
     });
   }
@@ -502,16 +509,16 @@ TEST(EstimateServerTest, AffineDecodeUsesPerEpochReportCounts) {
   };
 
   // Epoch 0: 3 reports.
-  session.AcceptBits(0, std::vector<std::uint8_t>{1, 0, 1, 0});
-  session.AcceptBits(0, std::vector<std::uint8_t>{0, 1, 0, 0});
-  session.AcceptBits(0, std::vector<std::uint8_t>{1, 1, 1, 1});
+  session.Accept(0, BitsReport({1, 0, 1, 0}));
+  session.Accept(0, BitsReport({0, 1, 0, 0}));
+  session.Accept(0, BitsReport({1, 1, 1, 1}));
   const EpochSnapshot first = session.Seal();
   ASSERT_EQ(first.count, 3);
   EXPECT_EQ(server.Serve(EstimatorKind::kUnbiased).value().data_vector,
             debias(first.histogram, first.count));
 
   // Epoch 1: 1 report. Serving window 1 must use N = 1, window 2 N = 4.
-  session.AcceptBits(0, std::vector<std::uint8_t>{0, 0, 1, 1});
+  session.Accept(0, BitsReport({0, 0, 1, 1}));
   const EpochSnapshot second = session.Seal();
   ASSERT_EQ(second.count, 1);
   EXPECT_EQ(server.Serve(EstimatorKind::kUnbiased).value().data_vector,
@@ -617,7 +624,7 @@ TEST(UnifiedIngestTest, AcceptBatchMatchesPerReportAcceptForEveryKind) {
 TEST(UnifiedIngestTest, AddBitsBatchMatchesPerReportAddBits) {
   // The batched bit-vector hot path (k concatenated m-bit reports, scratch
   // counts, one atomic per touched counter) must be report-for-report
-  // equivalent to AddBits.
+  // equivalent to per-report Accept.
   const int m = 16;
   const int k = 1000;
   Rng rng(82);
@@ -628,8 +635,8 @@ TEST(UnifiedIngestTest, AddBitsBatchMatchesPerReportAddBits) {
 
   ShardedAggregator serial(m, /*num_shards=*/1, ReportKind::kBitVector);
   for (int i = 0; i < k; ++i) {
-    serial.AddBits(0, std::span<const std::uint8_t>(
-                          concatenated.data() + i * m, m));
+    serial.Accept(0, BitsReport({concatenated.data() + i * m,
+                                 concatenated.data() + (i + 1) * m}));
   }
   ShardedAggregator batched(m, /*num_shards=*/1, ReportKind::kBitVector);
   batched.AddBitsBatch(0, concatenated);

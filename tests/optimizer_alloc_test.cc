@@ -121,14 +121,14 @@ TEST(OptimizerAllocTest, OptimizeAllocationCountIndependentOfIterations) {
 
   auto run = [&](int iterations) {
     OptimizerConfig config;
-    config.strategy_rows = 64;
+    config.random_init_rows = 64;
     config.iterations = iterations;
     // Skip the search phase (one run per call) with a step small enough that
     // the strategy never leaves the positive-definite region: the claim under
     // test is zero allocation on the Cholesky path (the rare pseudo-inverse
     // fallback is allowed to allocate).
     config.step_size = 1e-7;
-    config.restarts = 1;
+    config.num_restarts = 1;
     config.seed = 7;
     const std::size_t before = g_allocations.load(std::memory_order_relaxed);
     const OptimizerResult result = OptimizeStrategy(gram, 1.0, config);

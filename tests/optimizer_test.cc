@@ -10,6 +10,7 @@
 #include "core/lower_bound.h"
 #include "core/objective.h"
 #include "core/strategy.h"
+#include "linalg/thread_pool.h"
 #include "mechanisms/randomized_response.h"
 #include "workload/workload.h"
 
@@ -93,7 +94,7 @@ TEST(OptimizerTest, DeterministicForSeed) {
 TEST(OptimizerTest, CustomStrategyRows) {
   const auto w = CreateWorkload("Histogram", 6);
   OptimizerConfig config = FastConfig();
-  config.strategy_rows = 2 * 6;
+  config.random_init_rows = 2 * 6;
   const OptimizerResult res = OptimizeStrategy(w->Gram(), 1.0, config);
   EXPECT_EQ(res.q.rows(), 12);
   EXPECT_TRUE(ValidateStrategy(res.q, 1.0, 1e-7).valid);
@@ -113,10 +114,32 @@ TEST(OptimizerTest, MultipleRestartsNeverHurt) {
   OptimizerConfig one = FastConfig();
   one.iterations = 60;
   OptimizerConfig three = one;
-  three.restarts = 3;
+  three.num_restarts = 3;
   const double single = OptimizeStrategy(w->Gram(), 1.0, one).objective;
   const double multi = OptimizeStrategy(w->Gram(), 1.0, three).objective;
   EXPECT_LE(multi, single + 1e-9);
+}
+
+TEST(OptimizerTest, ParallelRestartsAreDeterministicAcrossThreadCounts) {
+  // Best-of-K restarts fan out over the ThreadPool, but each restart owns
+  // its (pre-forked) RNG and workspace, so the result — winner included —
+  // must be bit-identical whether the pool has one thread or many.
+  const auto w = CreateWorkload("Prefix", 6);
+  OptimizerConfig config = FastConfig();
+  config.iterations = 60;
+  config.num_restarts = 4;
+
+  ThreadPool serial(1);
+  ThreadPool::SetGlobal(&serial);
+  const OptimizerResult one_thread = OptimizeStrategy(w->Gram(), 1.0, config);
+  ThreadPool wide(4);
+  ThreadPool::SetGlobal(&wide);
+  const OptimizerResult four_threads = OptimizeStrategy(w->Gram(), 1.0, config);
+  ThreadPool::SetGlobal(nullptr);
+
+  EXPECT_EQ(one_thread.objective, four_threads.objective);
+  EXPECT_TRUE(one_thread.q.ApproxEquals(four_threads.q, 0.0));
+  EXPECT_EQ(one_thread.history, four_threads.history);
 }
 
 TEST(OptimizerTest, FixedStepSkipsSearch) {
@@ -138,7 +161,7 @@ TEST(OptimizerTest, TimeOneIterationRunsAndIsPositive) {
 
 TEST(OptimizerDeathTest, RejectsTooFewRows) {
   OptimizerConfig config;
-  config.strategy_rows = 3;
+  config.random_init_rows = 3;
   EXPECT_DEATH(OptimizeStrategy(Matrix::Identity(8), 1.0, config), "at least n");
 }
 

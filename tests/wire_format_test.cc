@@ -224,6 +224,143 @@ TEST(WireSnapshotTest, NonFiniteHistogramEntriesAreRejected) {
   EXPECT_NE(decoded.status().message().find("finite"), std::string::npos);
 }
 
+TEST(WireSnapshotTest, VersionedSnapshotRoundTripsBitForBit) {
+  Rng rng(22);
+  for (const int version : {1, 2, 7, 1000}) {
+    EpochSnapshot snapshot;
+    snapshot.epoch_id = version;
+    snapshot.count = rng.UniformInt(1 << 30);
+    snapshot.strategy_version = version;
+    snapshot.histogram.resize(8);
+    for (double& v : snapshot.histogram) v = rng.Normal() * 1e6;
+    const WireBytes wire = EncodeSnapshot(snapshot);
+    // Kind 1 carries exactly 4 bytes more than the legacy layout.
+    EXPECT_EQ(wire[5], 1);
+    EXPECT_EQ(wire.size(), kWireEnvelopeBytes + 16 + 8 * 8);
+    const StatusOr<EpochSnapshot> decoded = DecodeSnapshot(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value(), snapshot);
+  }
+}
+
+TEST(WireSnapshotTest, VersionZeroStaysOnTheLegacyEncoding) {
+  // Canonical form: version 0 (every pre-rollover producer) must emit kind 0
+  // byte-identically to the historical encoding, so old consumers keep
+  // decoding new producers that never roll.
+  EpochSnapshot snapshot;
+  snapshot.epoch_id = 3;
+  snapshot.count = 12;
+  snapshot.histogram = {1.0, 2.0, 3.0};
+  const WireBytes wire = EncodeSnapshot(snapshot);
+  EXPECT_EQ(wire[5], 0);
+  EXPECT_EQ(wire.size(), kWireEnvelopeBytes + 12 + 8 * 3);
+}
+
+TEST(WireSnapshotTest, VersionedKindCarryingVersionZeroIsRejected) {
+  // A kind-1 buffer declaring version 0 is the non-canonical twin of a legal
+  // kind-0 buffer; accepting it would give one snapshot two encodings.
+  EpochSnapshot snapshot;
+  snapshot.epoch_id = 0;
+  snapshot.count = 5;
+  snapshot.strategy_version = 2;
+  snapshot.histogram = {4.0, 1.0};
+  WireBytes wire = EncodeSnapshot(snapshot);
+  // Patch the version word (payload offset 12) down to zero.
+  for (int i = 0; i < 4; ++i) wire[kWireHeaderBytes + 12 + i] = 0;
+  RestampCrc(wire);
+  const StatusOr<EpochSnapshot> decoded = DecodeSnapshot(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos);
+}
+
+TEST(WireSnapshotTest, UnknownSnapshotKindIsRejected) {
+  EpochSnapshot snapshot;
+  snapshot.epoch_id = 0;
+  snapshot.count = 1;
+  snapshot.histogram = {1.0};
+  WireBytes wire = EncodeSnapshot(snapshot);
+  wire[5] = 2;
+  RestampCrc(wire);
+  EXPECT_EQ(DecodeSnapshot(wire).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireStrategyTest, RoundTripsBitForBit) {
+  for (const double eps : {0.5, 1.0, 4.0}) {
+    StrategySnapshot strategy;
+    strategy.version = 3;
+    strategy.epsilon = eps;
+    strategy.q = RandomizedResponseMechanism::BuildStrategy(16, eps);
+    const StatusOr<StrategySnapshot> decoded =
+        DecodeStrategy(EncodeStrategy(strategy));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().version, strategy.version);
+    EXPECT_EQ(decoded.value().epsilon, strategy.epsilon);
+    ASSERT_EQ(decoded.value().q.rows(), strategy.q.rows());
+    ASSERT_EQ(decoded.value().q.cols(), strategy.q.cols());
+    for (int r = 0; r < strategy.q.rows(); ++r) {
+      for (int c = 0; c < strategy.q.cols(); ++c) {
+        EXPECT_EQ(decoded.value().q(r, c), strategy.q(r, c));
+      }
+    }
+  }
+}
+
+TEST(WireStrategyTest, DecodeRevalidatesTheLdpGuarantee) {
+  // The decoder must not let a client rebuild its randomizer from a matrix
+  // that is not actually an eps-LDP strategy for the claimed epsilon — a
+  // tampered (or buggy) server would otherwise silently void the privacy
+  // guarantee of every report the client sends.
+  StrategySnapshot strategy;
+  strategy.version = 1;
+  strategy.epsilon = 1.0;
+  strategy.q = RandomizedResponseMechanism::BuildStrategy(4, 2.0);
+  WireBytes wire = EncodeStrategy(strategy);  // Claims eps=1, built for 2.
+  const StatusOr<StrategySnapshot> decoded = DecodeStrategy(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("strategy"), std::string::npos);
+}
+
+TEST(WireStrategyTest, EveryTruncationIsRejected) {
+  StrategySnapshot strategy;
+  strategy.version = 1;
+  strategy.epsilon = 1.0;
+  strategy.q = RandomizedResponseMechanism::BuildStrategy(4, 1.0);
+  const WireBytes wire = EncodeStrategy(strategy);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const StatusOr<StrategySnapshot> decoded =
+        DecodeStrategy(std::span<const std::uint8_t>(wire.data(), len));
+    ASSERT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireStrategyTest, NonFiniteEpsilonAndEntriesAreRejected) {
+  StrategySnapshot strategy;
+  strategy.version = 1;
+  strategy.epsilon = 1.0;
+  strategy.q = RandomizedResponseMechanism::BuildStrategy(4, 1.0);
+  const WireBytes good = EncodeStrategy(strategy);
+  {
+    WireBytes wire = good;  // Zero out the epsilon f64 (payload offset 8).
+    for (int i = 0; i < 8; ++i) wire[kWireHeaderBytes + 8 + i] = 0;
+    RestampCrc(wire);
+    EXPECT_EQ(DecodeStrategy(wire).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    WireBytes wire = good;  // NaN into the first matrix entry (offset 16).
+    for (int i = 0; i < 8; ++i) {
+      wire[kWireHeaderBytes + 16 + i] = (i == 7) ? 0x7f : 0xff;
+    }
+    RestampCrc(wire);
+    EXPECT_EQ(DecodeStrategy(wire).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
 TEST(WireEstimateTest, RoundTripsBitForBit) {
   Rng rng(31);
   WorkloadEstimate estimate;

@@ -17,7 +17,9 @@
 #include <gtest/gtest.h>
 
 #include "api/plan.h"
+#include "ldp/local_randomizer.h"
 #include "linalg/rng.h"
+#include "mechanisms/randomized_response.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "wire/service.h"
@@ -395,6 +397,123 @@ TEST(WireServiceTest, MetricsScrapeIsBitExactWithInProcessExposition) {
       std::span<const std::uint8_t>(&bad_format, 1));
   ASSERT_TRUE(bad.ok());
   EXPECT_EQ(bad.value().status, kWireStatusBadRequest);
+  server.Stop();
+}
+
+TEST(WireServiceTest, NetworkedClientSurvivesAStrategyRoll) {
+  // The adaptive serving loop end-to-end over the wire: a device that only
+  // ever talks kGetStrategy/kAccept/kSeal keeps encoding under the active
+  // strategy across a roll, and the server's decodes stay bit-identical to
+  // an in-process session fed the same reports.
+  const int n = 8;
+  const Matrix q0 = RandomizedResponseMechanism::BuildStrategy(n, 1.0);
+  StatusOr<Plan> built = Plan::For(std::make_shared<const PrefixWorkload>(n))
+                             .Epsilon(1.0)
+                             .Strategy(q0)
+                             .Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const Plan& plan = built.value();
+  CollectionServer server(plan, EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<CollectionClient> connected =
+      CollectionClient::Connect(server.port());
+  ASSERT_TRUE(connected.ok());
+  CollectionClient& remote = connected.value();
+  std::unique_ptr<PlanSession> local = plan.StartSession(1);
+
+  // The device bootstraps its encoder from the served strategy, not from
+  // out-of-band configuration.
+  StatusOr<StrategySnapshot> served = remote.GetStrategy();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(served.value().version, 0);
+  EXPECT_EQ(served.value().epsilon, 1.0);
+  ASSERT_EQ(served.value().q.rows(), q0.rows());
+  EXPECT_EQ(served.value().q(0, 0), q0(0, 0));
+
+  Rng rng(17);
+  auto ingest_epoch = [&](const Matrix& strategy) {
+    const LocalRandomizer randomizer(strategy);
+    for (int u = 0; u < 2000; ++u) {
+      Report report;
+      report.index = randomizer.Respond(u % n, rng);
+      ASSERT_TRUE(remote.Accept(report).ok());
+      ASSERT_TRUE(local->Accept(0, report).ok());
+    }
+  };
+
+  ingest_epoch(served.value().q);
+  StatusOr<EpochSnapshot> epoch0 = remote.Seal();
+  ASSERT_TRUE(epoch0.ok());
+  EXPECT_EQ(epoch0.value().strategy_version, 0);
+  local->Seal();
+
+  // Operator rolls a tighter strategy (valid at the plan's budget) on both
+  // the served and the reference session.
+  const Matrix q1 = RandomizedResponseMechanism::BuildStrategy(n, 0.5);
+  ASSERT_TRUE(server.session().RollStrategy(q1).ok());
+  ASSERT_TRUE(local->RollStrategy(q1).ok());
+
+  // The roll is staged, not active: polling clients still see version 0 and
+  // keep encoding under it for the epoch already in flight.
+  served = remote.GetStrategy();
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served.value().version, 0);
+  ingest_epoch(served.value().q);
+  StatusOr<EpochSnapshot> epoch1 = remote.Seal();
+  ASSERT_TRUE(epoch1.ok());
+  EXPECT_EQ(epoch1.value().strategy_version, 0);  // Sealed under the old one.
+  local->Seal();
+
+  // Now the poll comes back with the rolled strategy; the device swaps its
+  // randomizer and the next epoch seals under version 1.
+  served = remote.GetStrategy();
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served.value().version, 1);
+  EXPECT_EQ(served.value().q(0, 0), q1(0, 0));
+  ingest_epoch(served.value().q);
+  StatusOr<EpochSnapshot> epoch2 = remote.Seal();
+  ASSERT_TRUE(epoch2.ok());
+  EXPECT_EQ(epoch2.value().strategy_version, 1);
+  local->Seal();
+
+  // The networked estimate of the post-roll epoch decodes under version 1's
+  // decoder, bit-identical to the in-process session.
+  for (const EstimatorKind kind :
+       {EstimatorKind::kUnbiased, EstimatorKind::kWnnls}) {
+    const StatusOr<WorkloadEstimate> theirs = remote.Estimate(kind);
+    ASSERT_TRUE(theirs.ok()) << theirs.status().ToString();
+    const WorkloadEstimate mine = local->Estimate(kind).value();
+    EXPECT_EQ(theirs.value().data_vector, mine.data_vector);
+    EXPECT_EQ(theirs.value().query_answers, mine.query_answers);
+  }
+  server.Stop();
+}
+
+TEST(WireServiceTest, GetStrategyIs409ForNonStrategyDeployments) {
+  // RAPPOR has no strategy matrix to serve; the frame must map the session's
+  // kFailedPrecondition onto 409, not crash or 500.
+  StatusOr<Plan> plan = Plan::For(std::make_shared<const PrefixWorkload>(8))
+                            .Epsilon(1.0)
+                            .Mechanism("RAPPOR")
+                            .Build();
+  ASSERT_TRUE(plan.ok());
+  CollectionServer server(plan.value(), EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<CollectionClient> client = CollectionClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  const StatusOr<StrategySnapshot> strategy = client.value().GetStrategy();
+  ASSERT_FALSE(strategy.ok());
+  EXPECT_EQ(strategy.status().code(), StatusCode::kFailedPrecondition);
+
+  // A payload on the empty-bodied request is a malformed frame: 400, and the
+  // connection survives to serve the next request.
+  const std::uint8_t junk = 1;
+  StatusOr<WireResponse> raw = client.value().RawRequest(
+      static_cast<std::uint8_t>(WireMessageType::kGetStrategy),
+      std::span<const std::uint8_t>(&junk, 1));
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw.value().status, kWireStatusBadRequest);
+  EXPECT_TRUE(client.value().Ping().ok());
   server.Stop();
 }
 

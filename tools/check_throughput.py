@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Sustained-throughput gate over BENCH_throughput.json.
+
+Compares the ingest rates measured by bench/throughput_collect against the
+committed floors in bench/baselines/throughput_baseline.json and fails (exit
+1) when any scenario's best rate drops below tolerance * floor.
+
+The floors are deliberately far below what any healthy build measures — they
+are set to catch order-of-magnitude regressions (an accidental lock on the
+ingest hot path, a Debug-flavored Release build, a per-report allocation),
+not single-digit-percent drift, because shared CI runners are too noisy for
+tight thresholds. The trajectory artifacts uploaded per commit remain the
+place to read fine-grained perf history.
+
+Usage:
+  tools/check_throughput.py BENCH_throughput.json \
+      bench/baselines/throughput_baseline.json
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        entries = json.load(f)
+    with open(argv[2]) as f:
+        baseline = json.load(f)
+
+    tolerance = baseline["tolerance"]
+    floors = baseline["floors_reports_per_sec"]
+
+    # Best rate per scenario across thread counts: the gate asks "can this
+    # build still sustain the rate somewhere", not "at which thread count".
+    best = {}
+    for entry in entries:
+        scenario = entry["scenario"]
+        rate = float(entry["reports_per_sec"])
+        best[scenario] = max(best.get(scenario, 0.0), rate)
+
+    failed = False
+    width = max(len(s) for s in floors) + 2
+    print(f"{'scenario':<{width}}{'measured':>14}{'floor':>14}"
+          f"{'required':>14}  verdict")
+    for scenario, floor in floors.items():
+        required = tolerance * floor
+        measured = best.get(scenario)
+        if measured is None:
+            print(f"{scenario:<{width}}{'MISSING':>14}{floor:>14.3g}"
+                  f"{required:>14.3g}  FAIL (scenario absent from run)")
+            failed = True
+            continue
+        verdict = "ok" if measured >= required else "FAIL"
+        failed = failed or measured < required
+        print(f"{scenario:<{width}}{measured:>14.3g}{floor:>14.3g}"
+              f"{required:>14.3g}  {verdict}")
+
+    extra = sorted(set(best) - set(floors))
+    if extra:
+        print(f"note: scenarios without a committed floor (unchecked): "
+              f"{', '.join(extra)}")
+
+    if failed:
+        print("throughput gate FAILED: a scenario regressed below "
+              f"{tolerance}x its committed floor", file=sys.stderr)
+        return 1
+    print("throughput gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
