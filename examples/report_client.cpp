@@ -14,7 +14,16 @@
 // Build & run (against a running report_server with the same flags):
 //   ./build/examples/report_client [--port=7971] [--eps=1.0] [--n=16]
 //                                  [--devices=20000] [--epochs=2]
-//                                  [--shutdown=true]
+//                                  [--shutdown=true] [--io_timeout_ms=5000]
+//                                  [--max_retries=0] [--chaos=false]
+//
+// With --chaos the client routes its own traffic through an in-process
+// FaultProxy that tears connections mid-frame, drops acks after the server
+// committed them, and stalls writes — then demands the networked estimate
+// STILL matches the in-process reference bit for bit, and that the retry
+// layer actually absorbed at least one duplicate along the way. CI runs this
+// as the chaos smoke test. A [fault] summary of retries/timeouts/dedups is
+// printed either way.
 
 #include <cmath>
 #include <cstdint>
@@ -64,7 +73,11 @@ int main(int argc, char** argv) {
   const int devices = flags.GetInt("devices", 20000);
   const int epochs = flags.GetInt("epochs", 2);
   const bool shutdown = flags.GetBool("shutdown", true);
+  const int io_timeout_ms = flags.GetInt("io_timeout_ms", 5000);
+  int max_retries = flags.GetInt("max_retries", 0);
+  const bool chaos = flags.GetBool("chaos", false);
   wfm::WarnUnusedFlags(flags);
+  if (chaos && max_retries == 0) max_retries = 8;  // Chaos implies retries.
 
   // Same pinned seed as report_server: both processes derive the identical
   // deployment, so the wire never needs to carry the strategy.
@@ -84,8 +97,37 @@ int main(int argc, char** argv) {
   const wfm::Plan& plan = built.value();
   const wfm::PlanClient device = plan.Client();
 
+  // Under --chaos, interpose the fault-injecting proxy. The schedule walks
+  // the client through three connections: the opening ping's response is
+  // torn mid-header (transparent retry #1); on the next connection the
+  // first accept is committed server-side but its ack is torn two bytes in
+  // (so the retry re-delivers a counted report — the forced duplicate); the
+  // third connection stalls that retry mid-frame for 50ms, then serves the
+  // rest of the run faithfully.
+  wfm::FaultProxy proxy(
+      port, {{wfm::FaultType::kReset, wfm::FaultDirection::kToClient,
+              /*after_bytes=*/3},
+             {wfm::FaultType::kReset, wfm::FaultDirection::kToClient,
+              /*after_bytes=*/8},
+             {wfm::FaultType::kDelay, wfm::FaultDirection::kToServer,
+              /*after_bytes=*/9, /*delay_ms=*/50}});
+  int connect_port = port;
+  if (chaos) {
+    if (wfm::Status started = proxy.Start(); !started.ok()) {
+      std::printf("cannot start fault proxy: %s\n",
+                  started.ToString().c_str());
+      return 1;
+    }
+    connect_port = proxy.port();
+    std::printf("[chaos] fault proxy on 127.0.0.1:%d -> 127.0.0.1:%d\n",
+                proxy.port(), port);
+  }
+
+  wfm::WireOptions wire;
+  wire.io_timeout_ms = io_timeout_ms;
+  wire.max_retries = max_retries;
   wfm::StatusOr<wfm::CollectionClient> connected =
-      wfm::CollectionClient::Connect(port);
+      wfm::CollectionClient::Connect(connect_port, wire);
   if (!connected.ok()) {
     std::printf("cannot connect: %s\n",
                 connected.status().ToString().c_str());
@@ -190,6 +232,24 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // What the fault-tolerance layer did on this client's behalf. Under
+  // --chaos the scripted schedule must actually have fired: at least one
+  // transparent retry and at least one server-side duplicate suppression,
+  // or the smoke test proved nothing.
+  const wfm::WireClientStats& faults = remote.stats();
+  std::printf("[fault] retries=%lld timeouts=%lld reconnects=%lld "
+              "dedup_acks=%lld shed_retries=%lld\n",
+              static_cast<long long>(faults.retries),
+              static_cast<long long>(faults.timeouts),
+              static_cast<long long>(faults.reconnects),
+              static_cast<long long>(faults.dedup_acks),
+              static_cast<long long>(faults.shed_retries));
+  if (chaos && (faults.retries < 1 || faults.dedup_acks < 1)) {
+    std::printf("FAILED: chaos schedule fired no retry/dedup — the fault "
+                "layer was never exercised\n");
+    return 1;
+  }
+
   if (shutdown) {
     if (wfm::Status stop = remote.Shutdown(); !stop.ok()) {
       std::printf("shutdown failed: %s\n", stop.ToString().c_str());
@@ -200,6 +260,7 @@ int main(int argc, char** argv) {
     std::printf("FAILED: %d epoch(s) diverged\n", mismatches);
     return 1;
   }
-  std::printf("OK: %d epochs, networked == in-process\n", epochs);
+  std::printf("OK: %d epochs, networked == in-process%s\n", epochs,
+              chaos ? " despite injected faults" : "");
   return 0;
 }

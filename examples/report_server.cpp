@@ -11,6 +11,13 @@
 // Build & run:
 //   ./build/examples/report_server [--port=7971] [--shards=4] [--eps=1.0]
 //                                  [--n=16] [--rounds=4] [--snapshot-dir=]
+//                                  [--io_timeout_ms=5000]
+//                                  [--max_unsealed_per_shard=0]
+//
+// --io_timeout_ms bounds how long a connection may dribble one frame before
+// it is evicted (the slow-loris defense); --max_unsealed_per_shard > 0 turns
+// on admission control, shedding ingest past the per-shard bound with a 503
+// + Retry-After instead of letting the epoch backlog grow without limit.
 //
 // With --snapshot-dir set, sealed epochs persist there and a restarted
 // server recovers them before accepting traffic (kill it mid-session and
@@ -36,6 +43,9 @@ int main(int argc, char** argv) {
   const int n = flags.GetInt("n", 16);
   const int rounds = flags.GetInt("rounds", 4);
   const std::string snapshot_dir = flags.GetString("snapshot-dir", "");
+  const int io_timeout_ms = flags.GetInt("io_timeout_ms", 5000);
+  const int max_unsealed =
+      flags.GetInt("max_unsealed_per_shard", 0);  // 0 = no shedding
   wfm::WarnUnusedFlags(flags);
 
   auto workload = std::make_shared<const wfm::HistogramWorkload>(n);
@@ -61,6 +71,8 @@ int main(int argc, char** argv) {
   options.port = port;
   options.num_shards = shards;
   options.snapshot_dir = snapshot_dir;
+  options.io_timeout_ms = io_timeout_ms;
+  options.max_unsealed_reports_per_shard = max_unsealed;
   wfm::CollectionServer server(built.value(), options);
   if (wfm::Status started = server.Start(); !started.ok()) {
     std::printf("cannot start server: %s\n", started.ToString().c_str());

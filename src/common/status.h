@@ -20,6 +20,12 @@ enum class StatusCode {
   kNotFound,
   kFailedPrecondition,
   kInternal,
+  /// Transient overload or outage: safe to retry after a backoff (the wire
+  /// layer's 503, carrying a Retry-After hint).
+  kUnavailable,
+  /// An I/O deadline expired before the operation completed; the underlying
+  /// transport state is unknown, so retries must be idempotent.
+  kDeadlineExceeded,
 };
 
 /// Result of a fallible operation: either OK or a code plus message.
@@ -41,6 +47,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -65,6 +65,24 @@
 // the process's obs/ telemetry registry (ingest counters, accept/reject
 // tallies, request latencies) so operators can watch steps 2-4 run live.
 //
+// Exactly-once ingest (wire/service.h). Step 3 over a real network must
+// survive retries without double counting: a torn connection after the
+// server ingested a report but before its ack reached the device would
+// otherwise re-deliver a counted report. Every kAccept/kAcceptBatch payload
+// therefore opens with a 16-byte idempotency tag — u64 client_id | u64
+// sequence, little-endian, ahead of the encoded report(s). client_id 0
+// means untagged (fire-and-forget, no dedup); otherwise the server keeps a
+// bounded per-client window of seen sequences and acknowledges a re-sent
+// sequence as a duplicate WITHOUT touching any aggregate, so a device may
+// retry the same tagged frame any number of times and its report counts
+// exactly once. The accept ack carries one flag byte (0 fresh, 1
+// duplicate). Ingest can also be refused outright under load: when
+// admission control is on and a shard's unsealed backlog is at its bound,
+// the server answers kUnavailable (HTTP-wise: a 503) whose payload leads
+// with a u32 Retry-After hint in milliseconds — the report was NOT counted,
+// and the client should back off and re-send the same tagged frame, which
+// stays exactly-once by the same window.
+//
 // Strategy rollover (src/adaptive). Step 1 can recur mid-deployment: when
 // the AdaptiveController detects population drift it re-optimizes Q and
 // stages the result through PlanSession::RollStrategy, which takes effect at

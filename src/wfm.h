@@ -91,6 +91,7 @@
 
 // wire: serialized report/snapshot/estimate encodings, durable epoch
 // snapshots, and the TCP service front end over a PlanSession.
+#include "wire/fault_injection.h"
 #include "wire/service.h"
 #include "wire/snapshot_store.h"
 #include "wire/wire_format.h"

@@ -1,0 +1,220 @@
+#include "wire/fault_injection.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstddef>
+#include <utility>
+
+namespace wfm {
+namespace {
+
+constexpr int kPollTickMs = 50;
+constexpr std::uint8_t kGarbageMask = 0xa5;
+
+// Blocking write of the whole buffer; false when the peer is gone. The tick
+// keeps the relay responsive to Stop() even against a peer that never reads.
+bool ForwardAll(int fd, const std::uint8_t* data, std::size_t size,
+                const std::atomic<bool>& running) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t put = ::send(fd, data + done, size - done,
+                               MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (put > 0) {
+      done += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put == 0) return false;
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return false;
+    }
+    if (!running.load(std::memory_order_relaxed)) return false;
+    pollfd p{fd, POLLOUT, 0};
+    ::poll(&p, 1, kPollTickMs);
+  }
+  return true;
+}
+
+}  // namespace
+
+FaultProxy::FaultProxy(int target_port, std::vector<FaultAction> script)
+    : target_port_(target_port), script_(std::move(script)) {}
+
+FaultProxy::~FaultProxy() { Stop(); }
+
+Status FaultProxy::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("fault proxy bind() failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("fault proxy listen() failed");
+  }
+  running_.store(true);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void FaultProxy::Stop() {
+  if (running_.exchange(false) && listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    to_join.swap(relay_threads_);
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : live_fds_) ::close(fd);
+    live_fds_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void FaultProxy::AcceptLoop() {
+  std::size_t next_action = 0;
+  while (running_.load()) {
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) break;  // listener closed by Stop()
+    const int server_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(target_port_));
+    if (server_fd < 0 ||
+        ::connect(server_fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      if (server_fd >= 0) ::close(server_fd);
+      ::close(client_fd);
+      continue;
+    }
+    const int nodelay = 1;
+    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                 sizeof(nodelay));
+    ::setsockopt(server_fd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                 sizeof(nodelay));
+    const FaultAction action =
+        next_action < script_.size() ? script_[next_action] : FaultAction{};
+    ++next_action;
+    stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_fds_.push_back(client_fd);
+    live_fds_.push_back(server_fd);
+    relay_threads_.emplace_back([this, client_fd, server_fd, action] {
+      Relay(client_fd, server_fd, action, FaultDirection::kToServer);
+    });
+    relay_threads_.emplace_back([this, client_fd, server_fd, action] {
+      Relay(server_fd, client_fd, action, FaultDirection::kToClient);
+    });
+  }
+}
+
+void FaultProxy::Relay(int from_fd, int to_fd, FaultAction action,
+                       FaultDirection relay_direction) {
+  const bool armed = action.type != FaultType::kNone &&
+                     action.direction == relay_direction;
+  std::int64_t forwarded = 0;  // bytes forwarded faithfully so far
+  bool delayed = false;        // kDelay pauses only once
+  std::uint8_t buffer[4096];
+  while (running_.load(std::memory_order_relaxed)) {
+    pollfd p{from_fd, POLLIN, 0};
+    if (::poll(&p, 1, kPollTickMs) <= 0) continue;
+    const ssize_t got = ::recv(from_fd, buffer, sizeof(buffer), MSG_DONTWAIT);
+    if (got == 0) break;  // peer closed: propagate EOF below
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      break;
+    }
+    std::size_t size = static_cast<std::size_t>(got);
+    // The prefix of this chunk that lands before the trigger point is
+    // always forwarded untouched.
+    std::size_t faithful = size;
+    if (armed && forwarded + static_cast<std::int64_t>(size) >
+                     action.after_bytes) {
+      faithful = forwarded >= action.after_bytes
+                     ? 0
+                     : static_cast<std::size_t>(action.after_bytes -
+                                                forwarded);
+    }
+    if (faithful > 0) {
+      if (!ForwardAll(to_fd, buffer, faithful, running_)) break;
+      forwarded += static_cast<std::int64_t>(faithful);
+    }
+    if (faithful == size) continue;  // trigger not reached yet
+    std::uint8_t* rest = buffer + faithful;
+    const std::size_t rest_size = size - faithful;
+    bool tear_down = false;
+    switch (action.type) {
+      case FaultType::kReset:
+        stats_.resets.fetch_add(1, std::memory_order_relaxed);
+        tear_down = true;
+        break;
+      case FaultType::kBlackhole:
+        stats_.blackholed_bytes.fetch_add(
+            static_cast<std::int64_t>(rest_size), std::memory_order_relaxed);
+        break;  // swallowed: never forwarded, connection stays open
+      case FaultType::kDelay:
+        if (!delayed) {
+          delayed = true;
+          stats_.delays.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(action.delay_ms));
+        }
+        if (!ForwardAll(to_fd, rest, rest_size, running_)) tear_down = true;
+        forwarded += static_cast<std::int64_t>(rest_size);
+        break;
+      case FaultType::kGarbage:
+        for (std::size_t i = 0; i < rest_size; ++i) rest[i] ^= kGarbageMask;
+        stats_.garbled_bytes.fetch_add(static_cast<std::int64_t>(rest_size),
+                                       std::memory_order_relaxed);
+        if (!ForwardAll(to_fd, rest, rest_size, running_)) tear_down = true;
+        break;
+      case FaultType::kNone:
+        break;  // unreachable: kNone is never armed
+    }
+    if (tear_down) {
+      ::shutdown(from_fd, SHUT_RDWR);
+      ::shutdown(to_fd, SHUT_RDWR);
+      return;
+    }
+  }
+  // Half-close so the peer's read side sees EOF while any response still in
+  // flight on the other relay can finish.
+  ::shutdown(to_fd, SHUT_WR);
+  ::shutdown(from_fd, SHUT_RD);
+}
+
+}  // namespace wfm

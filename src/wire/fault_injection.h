@@ -1,0 +1,115 @@
+// A fault-injecting TCP proxy: the chaos harness for the wire layer.
+//
+// FaultProxy sits between a CollectionClient and a CollectionServer on
+// loopback and misbehaves on purpose, following a script: the i-th accepted
+// connection runs the i-th FaultAction (connections past the end of the
+// script forward faithfully). Because the client's retry layer reconnects
+// after every transport failure, a script is also a schedule — each
+// reconnect advances to the next action, so a test can force "first delivery
+// dies, retry goes clean" deterministically.
+//
+// The four fault shapes map onto the failure modes a fleet actually sees:
+//
+//   kReset      after `after_bytes` forwarded in `direction`, both sides are
+//               torn down mid-frame (connection reset).
+//   kBlackhole  after `after_bytes`, bytes in `direction` are swallowed
+//               forever while the connection stays open — the peer starves
+//               until its deadline fires. Blackholing to-client drops an ack
+//               the server already committed: the canonical forced-dup.
+//   kDelay      after `after_bytes`, forwarding in `direction` pauses once
+//               for `delay_ms` — a mid-frame stall that splits writes and
+//               exercises deadline headroom without losing bytes.
+//   kGarbage    after `after_bytes`, every later byte in `direction` is
+//               XOR-corrupted. To-server this mangles a request body (the
+//               server must answer 400 and ingest nothing); to-client it
+//               mangles a response in flight.
+//
+// The proxy never interprets frames — it counts raw bytes — so `after_bytes`
+// chosen inside a frame produces genuine mid-frame faults.
+
+#ifndef WFM_WIRE_FAULT_INJECTION_H_
+#define WFM_WIRE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wfm {
+
+enum class FaultType : std::uint8_t {
+  kNone = 0,   ///< Forward faithfully.
+  kReset,      ///< Tear the connection down mid-stream.
+  kBlackhole,  ///< Swallow bytes; the peer starves until its deadline.
+  kDelay,      ///< One mid-stream pause of delay_ms.
+  kGarbage,    ///< XOR-corrupt every byte past the trigger.
+};
+
+enum class FaultDirection : std::uint8_t {
+  kToServer = 0,  ///< Applies to bytes flowing client -> server.
+  kToClient = 1,  ///< Applies to bytes flowing server -> client.
+};
+
+/// One scripted misbehavior, armed after `after_bytes` have been forwarded
+/// faithfully in `direction` on that connection.
+struct FaultAction {
+  FaultType type = FaultType::kNone;
+  FaultDirection direction = FaultDirection::kToServer;
+  std::int64_t after_bytes = 0;
+  int delay_ms = 0;  ///< Only read by kDelay.
+};
+
+/// What the proxy actually did — tests assert the script really fired.
+struct FaultProxyStats {
+  std::atomic<std::int64_t> connections{0};
+  std::atomic<std::int64_t> resets{0};
+  std::atomic<std::int64_t> blackholed_bytes{0};
+  std::atomic<std::int64_t> delays{0};
+  std::atomic<std::int64_t> garbled_bytes{0};
+};
+
+/// The proxy process: listens on an ephemeral loopback port and forwards to
+/// 127.0.0.1:target_port, one relay thread pair per connection.
+class FaultProxy {
+ public:
+  FaultProxy(int target_port, std::vector<FaultAction> script);
+  ~FaultProxy();
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// Binds and starts accepting. kInternal when the socket cannot be bound.
+  Status Start();
+
+  /// Tears down the listener and every live relay, then joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The port clients should connect to (resolved after Start()).
+  int port() const { return port_; }
+
+  const FaultProxyStats& stats() const { return stats_; }
+
+ private:
+  void AcceptLoop();
+  void Relay(int from_fd, int to_fd, FaultAction action,
+             FaultDirection relay_direction);
+
+  int target_port_;
+  std::vector<FaultAction> script_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+  std::mutex mutex_;
+  std::vector<std::thread> relay_threads_;
+  std::vector<int> live_fds_;
+  FaultProxyStats stats_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_WIRE_FAULT_INJECTION_H_

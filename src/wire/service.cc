@@ -3,10 +3,16 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <random>
+#include <set>
 #include <utility>
 
 #include "common/check.h"
@@ -17,9 +23,12 @@
 namespace wfm {
 namespace {
 
-// Frame bodies are reports/snapshots of a fixed deployment, so anything past
-// a few MB is a malformed or hostile length prefix, not a real request.
-constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+// How often blocked socket waits re-check the drain flag. Bounds Stop()
+// latency for idle connections without busy-waiting.
+constexpr int kPollTickMs = 50;
+
+// Chunk size for draining oversized frames without buffering them.
+constexpr std::size_t kDrainChunkBytes = 64 * 1024;
 
 // ---- request telemetry ----------------------------------------------------
 
@@ -27,8 +36,8 @@ constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 // the first served connection) and reused as raw pointers thereafter so the
 // serving loop never touches the registry map.
 struct WireTelemetry {
-  /// One slot per WireMessageType (1..9) plus a trailing unknown slot.
-  static constexpr int kNumSlots = 10;
+  /// One slot per WireMessageType (1..10) plus a trailing unknown slot.
+  static constexpr int kNumSlots = 11;
 
   Counter* requests[kNumSlots];
   Histogram* latency[kNumSlots];
@@ -37,10 +46,15 @@ struct WireTelemetry {
   Counter* responses_404;
   Counter* responses_409;
   Counter* responses_500;
+  Counter* responses_503;
   Counter* bytes_read;
   Counter* bytes_written;
   Counter* connections;
   Gauge* connections_active;
+  Counter* timeouts;  ///< I/O deadline expiries (evictions + client waits).
+  Counter* deduped;   ///< Retried ingest frames suppressed by the window.
+  Counter* shed;      ///< Ingest frames refused by admission control.
+  Counter* retries;   ///< Client-side transparent re-sends.
 
   Counter& ResponseCounter(std::uint16_t status) const {
     switch (status) {
@@ -52,6 +66,8 @@ struct WireTelemetry {
         return *responses_404;
       case kWireStatusConflict:
         return *responses_409;
+      case kWireStatusUnavailable:
+        return *responses_503;
       default:
         return *responses_500;
     }
@@ -60,14 +76,24 @@ struct WireTelemetry {
 
 /// Telemetry slot for a (possibly unknown) request type byte.
 int RequestSlot(std::uint8_t type) {
-  return type >= 1 && type <= 9 ? type - 1 : WireTelemetry::kNumSlots - 1;
+  return type >= 1 && type <= 10 ? type - 1 : WireTelemetry::kNumSlots - 1;
 }
 
 const WireTelemetry& Telemetry() {
   static const WireTelemetry* const telemetry = [] {
     static constexpr const char* kSlotNames[WireTelemetry::kNumSlots] = {
-        "accept", "seal",     "estimate", "get_snapshot", "push_snapshot",
-        "ping",   "shutdown", "metrics",  "get_strategy", "unknown"};
+        "accept",
+        "seal",
+        "estimate",
+        "get_snapshot",
+        "push_snapshot",
+        "ping",
+        "shutdown",
+        "metrics",
+        "get_strategy",
+        "accept_batch",
+        "unknown",
+    };
     auto* t = new WireTelemetry();
     MetricsRegistry& registry = MetricsRegistry::Global();
     for (int i = 0; i < WireTelemetry::kNumSlots; ++i) {
@@ -81,38 +107,115 @@ const WireTelemetry& Telemetry() {
     t->responses_404 = &registry.GetCounter("wfm_wire_responses_404_total");
     t->responses_409 = &registry.GetCounter("wfm_wire_responses_409_total");
     t->responses_500 = &registry.GetCounter("wfm_wire_responses_500_total");
+    t->responses_503 = &registry.GetCounter("wfm_wire_responses_503_total");
     t->bytes_read = &registry.GetCounter("wfm_wire_bytes_read_total");
     t->bytes_written = &registry.GetCounter("wfm_wire_bytes_written_total");
     t->connections = &registry.GetCounter("wfm_wire_connections_total");
-    t->connections_active =
-        &registry.GetGauge("wfm_wire_connections_active");
+    t->connections_active = &registry.GetGauge("wfm_wire_connections_active");
+    t->timeouts = &registry.GetCounter("wfm_wire_timeouts_total");
+    t->deduped = &registry.GetCounter("wfm_wire_deduped_total");
+    t->shed = &registry.GetCounter("wfm_wire_shed_total");
+    t->retries = &registry.GetCounter("wfm_wire_retries_total");
     return t;
   }();
   return *telemetry;
 }
 
-// ---- blocking socket I/O ---------------------------------------------------
+// ---- deadline-bounded socket I/O -------------------------------------------
 
-bool ReadExactly(int fd, std::uint8_t* data, std::size_t size) {
-  std::size_t done = 0;
-  while (done < size) {
-    const ssize_t got = ::recv(fd, data + done, size - done, 0);
-    if (got <= 0) return false;  // peer closed or error
-    done += static_cast<std::size_t>(got);
-  }
-  return true;
+enum class IoResult { kOk, kClosed, kTimeout, kStopped };
+
+std::int64_t ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
 }
 
-bool WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
+// Reads exactly `size` bytes. `deadline_ms` <= 0 waits forever; `stop`, when
+// set, aborts the wait between polls (the graceful-drain hook). Uses
+// MSG_DONTWAIT + poll so a deadline can interrupt a stalled peer.
+IoResult ReadBytes(int fd, std::uint8_t* data, std::size_t size,
+                   int deadline_ms, const std::atomic<bool>* stop) {
+  const auto start = std::chrono::steady_clock::now();
   std::size_t done = 0;
   while (done < size) {
-    // MSG_NOSIGNAL: a peer that hangs up mid-response must surface as an
-    // error return, not a process-killing SIGPIPE.
-    const ssize_t put = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
-    if (put <= 0) return false;
-    done += static_cast<std::size_t>(put);
+    const ssize_t got = ::recv(fd, data + done, size - done, MSG_DONTWAIT);
+    if (got > 0) {
+      done += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) return IoResult::kClosed;  // orderly peer close
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return IoResult::kClosed;
+    }
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      return IoResult::kStopped;
+    }
+    int wait = kPollTickMs;
+    if (deadline_ms > 0) {
+      const std::int64_t elapsed = ElapsedMs(start);
+      if (elapsed >= deadline_ms) return IoResult::kTimeout;
+      wait = static_cast<int>(
+          std::min<std::int64_t>(wait, deadline_ms - elapsed));
+    }
+    pollfd p{fd, POLLIN, 0};
+    ::poll(&p, 1, wait);
   }
-  return true;
+  return IoResult::kOk;
+}
+
+// Writes all of `data`. MSG_NOSIGNAL everywhere: a peer that hangs up
+// mid-response must surface as an error return, not a process-killing
+// SIGPIPE.
+IoResult WriteBytes(int fd, const std::uint8_t* data, std::size_t size,
+                    int deadline_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t put = ::send(fd, data + done, size - done,
+                               MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (put > 0) {
+      done += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put == 0) return IoResult::kClosed;
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return IoResult::kClosed;
+    }
+    int wait = kPollTickMs;
+    if (deadline_ms > 0) {
+      const std::int64_t elapsed = ElapsedMs(start);
+      if (elapsed >= deadline_ms) return IoResult::kTimeout;
+      wait = static_cast<int>(
+          std::min<std::int64_t>(wait, deadline_ms - elapsed));
+    }
+    pollfd p{fd, POLLOUT, 0};
+    ::poll(&p, 1, wait);
+  }
+  return IoResult::kOk;
+}
+
+// Reads and discards `size` bytes under one overall deadline — how an
+// oversized frame is consumed without ever being buffered, keeping the
+// connection usable for the next request.
+IoResult DiscardBytes(int fd, std::uint64_t size, int deadline_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  std::uint8_t scratch[kDrainChunkBytes];
+  std::uint64_t remaining = size;
+  while (remaining > 0) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, sizeof(scratch)));
+    int budget = -1;
+    if (deadline_ms > 0) {
+      const std::int64_t elapsed = ElapsedMs(start);
+      if (elapsed >= deadline_ms) return IoResult::kTimeout;
+      budget = static_cast<int>(deadline_ms - elapsed);
+    }
+    const IoResult got = ReadBytes(fd, scratch, chunk, budget, nullptr);
+    if (got != IoResult::kOk) return got;
+    remaining -= chunk;
+  }
+  return IoResult::kOk;
 }
 
 void PutU16LE(WireBytes& out, std::uint16_t v) {
@@ -127,6 +230,12 @@ void PutU32LE(WireBytes& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 24));
 }
 
+void PutU64LE(WireBytes& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
 std::uint32_t GetU32LE(const std::uint8_t* p) {
   return static_cast<std::uint32_t>(p[0]) |
          static_cast<std::uint32_t>(p[1]) << 8 |
@@ -134,17 +243,29 @@ std::uint32_t GetU32LE(const std::uint8_t* p) {
          static_cast<std::uint32_t>(p[3]) << 24;
 }
 
-bool SendResponse(int fd, const WireResponse& response) {
+std::uint64_t GetU64LE(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+  return v;
+}
+
+IoResult SendResponse(int fd, const WireResponse& response, int deadline_ms) {
   WireBytes frame;
   frame.reserve(4 + 2 + response.payload.size());
   PutU32LE(frame, static_cast<std::uint32_t>(2 + response.payload.size()));
   PutU16LE(frame, response.status);
   frame.insert(frame.end(), response.payload.begin(), response.payload.end());
-  return WriteAll(fd, frame.data(), frame.size());
+  return WriteBytes(fd, frame.data(), frame.size(), deadline_ms);
 }
 
 WireResponse OkResponse(WireBytes payload = {}) {
   return WireResponse{kWireStatusOk, std::move(payload)};
+}
+
+// Ingest ack payload: one byte, 0 = freshly counted, 1 = duplicate delivery
+// of work the server had already counted.
+WireResponse IngestAck(bool duplicate) {
+  return OkResponse(WireBytes{static_cast<std::uint8_t>(duplicate ? 1 : 0)});
 }
 
 WireResponse ErrorResponse(const Status& status) {
@@ -155,8 +276,38 @@ WireResponse ErrorResponse(const Status& status) {
   return response;
 }
 
+// The 503 shed response: u32 Retry-After hint (milliseconds), then the
+// human-readable reason.
+WireResponse ShedResponse(int retry_after_ms, int shard, std::int64_t cap) {
+  WireResponse response;
+  response.status = kWireStatusUnavailable;
+  const std::uint32_t hint =
+      retry_after_ms > 0 ? static_cast<std::uint32_t>(retry_after_ms) : 0;
+  PutU32LE(response.payload, hint);
+  const std::string message =
+      "shard " + std::to_string(shard) + " at admission cap " +
+      std::to_string(cap) + " unsealed reports; retry after " +
+      std::to_string(retry_after_ms) + "ms or seal the epoch";
+  response.payload.insert(response.payload.end(), message.begin(),
+                          message.end());
+  return response;
+}
+
+// Pulls the Retry-After hint out of a 503 payload (0 when absent).
+std::uint32_t RetryAfterHintMs(const WireResponse& response) {
+  if (response.status != kWireStatusUnavailable ||
+      response.payload.size() < 4) {
+    return 0;
+  }
+  return GetU32LE(response.payload.data());
+}
+
 Status StatusFromResponse(const WireResponse& response) {
-  const std::string message(response.payload.begin(), response.payload.end());
+  std::span<const std::uint8_t> text(response.payload);
+  if (response.status == kWireStatusUnavailable && text.size() >= 4) {
+    text = text.subspan(4);  // Skip the Retry-After hint.
+  }
+  const std::string message(text.begin(), text.end());
   switch (response.status) {
     case kWireStatusOk:
       return Status::Ok();
@@ -166,6 +317,8 @@ Status StatusFromResponse(const WireResponse& response) {
       return Status::NotFound(message);
     case kWireStatusConflict:
       return Status::FailedPrecondition(message);
+    case kWireStatusUnavailable:
+      return Status::Unavailable(message);
     default:
       return Status::Internal(message);
   }
@@ -185,15 +338,31 @@ std::uint16_t WireStatusCode(const Status& status) {
       return kWireStatusConflict;
     case StatusCode::kInternal:
       return kWireStatusInternal;
+    case StatusCode::kUnavailable:
+      return kWireStatusUnavailable;
+    case StatusCode::kDeadlineExceeded:
+      return kWireStatusInternal;
   }
   return kWireStatusInternal;
 }
 
 // ---- server ---------------------------------------------------------------
 
+// One client's idempotency state: the newest sequence plus every sequence in
+// the trailing window. The lock is held across the ingest of a fresh
+// sequence, so concurrent re-deliveries of the same (client_id, sequence)
+// serialize and exactly one of them counts.
+struct CollectionServer::ClientDedupWindow {
+  std::mutex mu;
+  bool any = false;
+  std::uint64_t max_seq = 0;
+  std::set<std::uint64_t> seen;
+};
+
 CollectionServer::CollectionServer(const Plan& plan, ServiceOptions options)
     : session_(plan.StartSession(options.num_shards)),
-      options_(std::move(options)) {}
+      options_(std::move(options)),
+      shard_backlog_(static_cast<std::size_t>(options_.num_shards)) {}
 
 CollectionServer::~CollectionServer() { Stop(); }
 
@@ -236,24 +405,42 @@ Status CollectionServer::Start() {
     return Status::Internal("listen() failed");
   }
 
+  draining_.store(false);
   running_.store(true);
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }
 
 void CollectionServer::Stop() {
+  // Graceful phase: connections finish the request they are handling, flush
+  // its response, and exit at the next between-frames poll tick.
+  draining_.store(true);
   if (running_.exchange(false) && listen_fd_ >= 0) {
     // Shutting down the listener unblocks accept(); the loop then exits.
     ::shutdown(listen_fd_, SHUT_RDWR);
   }
   if (acceptor_.joinable()) acceptor_.join();
+
+  const auto drain_start = std::chrono::steady_clock::now();
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      if (live_fds_.empty()) break;
+    }
+    if (ElapsedMs(drain_start) >= options_.drain_timeout_ms) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Force phase: anything still connected is mid-frame against a stalled
+  // peer; a half-open shutdown unblocks its recv so the joins below cannot
+  // deadlock on a client that never finishes.
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
   std::vector<std::thread> to_join;
   {
     std::lock_guard<std::mutex> lock(threads_mutex_);
-    // Connection threads block in recv() until their client hangs up; a
-    // half-open shutdown unblocks them so the joins below cannot deadlock
-    // on a client that never disconnects.
-    for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
     to_join.swap(connection_threads_);
   }
   for (std::thread& t : to_join) {
@@ -297,24 +484,53 @@ void CollectionServer::ServeConnection(int fd, int connection_id) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
   WireBytes body;
   for (;;) {
+    // Between frames: wait for the first byte under the idle budget,
+    // checking the drain flag each tick so Stop() can reclaim the thread
+    // without cutting anyone's response.
     std::uint8_t length_bytes[4];
-    if (!ReadExactly(fd, length_bytes, 4)) break;
+    const IoResult first =
+        ReadBytes(fd, length_bytes, 1, options_.idle_timeout_ms, &draining_);
+    if (first == IoResult::kTimeout) {
+      telemetry.timeouts->Increment();  // idle eviction
+      break;
+    }
+    if (first != IoResult::kOk) break;  // peer closed, or draining
+    // A frame has begun: the rest must land within the I/O deadline or the
+    // peer is evicted (slow-loris defense).
+    if (ReadBytes(fd, length_bytes + 1, 3, options_.io_timeout_ms, nullptr) !=
+        IoResult::kOk) {
+      telemetry.timeouts->Increment();
+      break;
+    }
     const std::uint32_t length = GetU32LE(length_bytes);
-    if (length < 1 || length > kMaxFrameBytes) {
-      // An unframeable length prefix is unrecoverable on a byte stream —
-      // answer 400 and drop the connection (resync is impossible).
+    if (length < 1 || length > options_.max_frame_bytes) {
+      // Oversized (or empty) frame: drain the declared body without ever
+      // buffering it, answer 400, and keep serving — the frame cap must not
+      // cost the client its connection.
+      if (length >= 1 &&
+          DiscardBytes(fd, length, options_.io_timeout_ms) != IoResult::kOk) {
+        telemetry.timeouts->Increment();
+        break;
+      }
       const WireResponse response = ErrorResponse(Status::InvalidArgument(
           "frame length " + std::to_string(length) + " outside [1, " +
-          std::to_string(kMaxFrameBytes) + "]"));
-      telemetry.bytes_read->Add(4);
+          std::to_string(options_.max_frame_bytes) + "]"));
+      telemetry.bytes_read->Add(4 + static_cast<std::int64_t>(length));
       telemetry.ResponseCounter(response.status).Increment();
       telemetry.bytes_written->Add(
           6 + static_cast<std::int64_t>(response.payload.size()));
-      SendResponse(fd, response);
-      break;
+      if (SendResponse(fd, response, options_.io_timeout_ms) !=
+          IoResult::kOk) {
+        break;
+      }
+      continue;
     }
     body.resize(length);
-    if (!ReadExactly(fd, body.data(), length)) break;
+    if (ReadBytes(fd, body.data(), length, options_.io_timeout_ms, nullptr) !=
+        IoResult::kOk) {
+      telemetry.timeouts->Increment();
+      break;
+    }
     const std::uint8_t type = body[0];
     const int slot = RequestSlot(type);
     const std::span<const std::uint8_t> payload(body.data() + 1, length - 1);
@@ -330,15 +546,18 @@ void CollectionServer::ServeConnection(int fd, int connection_id) {
     telemetry.ResponseCounter(response.status).Increment();
     telemetry.bytes_written->Add(
         6 + static_cast<std::int64_t>(response.payload.size()));
-    if (!SendResponse(fd, response)) break;
+    const IoResult sent = SendResponse(fd, response, options_.io_timeout_ms);
+    if (sent == IoResult::kTimeout) telemetry.timeouts->Increment();
+    if (sent != IoResult::kOk) break;
     if (type == static_cast<std::uint8_t>(WireMessageType::kShutdown)) {
-      // Response is out; now unblock the acceptor. Other live connections
-      // drain naturally (Stop() joins them).
+      // Response is out; now unblock the acceptor and drain the rest.
+      draining_.store(true);
       if (running_.exchange(false)) {
         ::shutdown(listen_fd_, SHUT_RDWR);
       }
       break;
     }
+    if (draining_.load(std::memory_order_relaxed)) break;
   }
   {
     std::lock_guard<std::mutex> lock(threads_mutex_);
@@ -348,24 +567,158 @@ void CollectionServer::ServeConnection(int fd, int connection_id) {
   ::close(fd);
 }
 
+bool CollectionServer::ShedIngest(int shard, std::int64_t num_reports) const {
+  const std::int64_t cap = options_.max_unsealed_reports_per_shard;
+  if (cap <= 0) return false;
+  const std::int64_t backlog =
+      shard_backlog_[static_cast<std::size_t>(shard)].load(
+          std::memory_order_relaxed);
+  return backlog + num_reports > cap;
+}
+
+WireResponse CollectionServer::AdmitTagged(
+    std::uint64_t client_id, std::uint64_t sequence, int shard,
+    std::int64_t num_reports, const std::function<Status()>& ingest) {
+  ClientDedupWindow* window;
+  {
+    std::lock_guard<std::mutex> lock(dedup_mutex_);
+    std::unique_ptr<ClientDedupWindow>& slot = dedup_windows_[client_id];
+    if (slot == nullptr) slot = std::make_unique<ClientDedupWindow>();
+    window = slot.get();
+  }
+  std::lock_guard<std::mutex> lock(window->mu);
+  const std::uint64_t span = static_cast<std::uint64_t>(options_.dedup_window);
+  if (window->any && sequence <= window->max_seq) {
+    // Older than the window: long since delivered (acknowledging is the only
+    // safe answer for a retry). Inside the window: consult the exact set.
+    if (window->max_seq - sequence >= span ||
+        window->seen.count(sequence) > 0) {
+      Telemetry().deduped->Add(num_reports);
+      return IngestAck(/*duplicate=*/true);
+    }
+  }
+  // Fresh work: duplicates bypass admission control above (re-delivery of
+  // counted reports costs nothing), but new reports are subject to it.
+  if (ShedIngest(shard, num_reports)) {
+    Telemetry().shed->Add(num_reports);
+    return ShedResponse(options_.retry_after_ms, shard,
+                        options_.max_unsealed_reports_per_shard);
+  }
+  if (Status accepted = ingest(); !accepted.ok()) {
+    // Not recorded: the frame never counted, so a (corrected) retry is not a
+    // duplicate.
+    return ErrorResponse(accepted);
+  }
+  shard_backlog_[static_cast<std::size_t>(shard)].fetch_add(
+      num_reports, std::memory_order_relaxed);
+  window->seen.insert(sequence);
+  if (!window->any || sequence > window->max_seq) {
+    window->max_seq = sequence;
+    window->any = true;
+  }
+  if (window->max_seq >= span) {
+    window->seen.erase(window->seen.begin(),
+                       window->seen.lower_bound(window->max_seq - span + 1));
+  }
+  return IngestAck(/*duplicate=*/false);
+}
+
+WireResponse CollectionServer::HandleIngest(
+    std::span<const std::uint8_t> payload, int shard, bool batch) {
+  if (payload.size() < 16) {
+    return ErrorResponse(Status::InvalidArgument(
+        "ingest frame too short for its 16-byte idempotency tag"));
+  }
+  const std::uint64_t client_id = GetU64LE(payload.data());
+  const std::uint64_t sequence = GetU64LE(payload.data() + 8);
+  const std::span<const std::uint8_t> body = payload.subspan(16);
+
+  std::vector<Report> reports;
+  if (!batch) {
+    StatusOr<Report> report = DecodeReport(body);
+    if (!report.ok()) return ErrorResponse(report.status());
+    reports.push_back(std::move(report).value());
+  } else {
+    if (body.size() < 4) {
+      return ErrorResponse(
+          Status::InvalidArgument("batch frame too short for its count"));
+    }
+    const std::uint32_t count = GetU32LE(body.data());
+    if (count == 0) {
+      return ErrorResponse(Status::InvalidArgument("batch frame is empty"));
+    }
+    reports.reserve(count);
+    std::size_t offset = 4;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (body.size() - offset < 4) {
+        return ErrorResponse(Status::InvalidArgument(
+            "batch truncated before report " + std::to_string(i)));
+      }
+      const std::uint32_t entry = GetU32LE(body.data() + offset);
+      offset += 4;
+      if (body.size() - offset < entry) {
+        return ErrorResponse(Status::InvalidArgument(
+            "batch report " + std::to_string(i) + " overruns the frame"));
+      }
+      StatusOr<Report> report = DecodeReport(body.subspan(offset, entry));
+      if (!report.ok()) {
+        return ErrorResponse(Status::InvalidArgument(
+            "batch report " + std::to_string(i) + " rejected: " +
+            report.status().message()));
+      }
+      reports.push_back(std::move(report).value());
+      offset += entry;
+    }
+    if (offset != body.size()) {
+      return ErrorResponse(
+          Status::InvalidArgument("batch carries trailing bytes"));
+    }
+  }
+
+  const std::int64_t num_reports = static_cast<std::int64_t>(reports.size());
+  const auto ingest = [&]() -> Status {
+    if (batch) {
+      return session_->AcceptBatch(shard,
+                                   std::span<const Report>(reports));
+    }
+    return session_->Accept(shard, reports.front());
+  };
+
+  if (client_id != 0 && options_.dedup_window > 0) {
+    return AdmitTagged(client_id, sequence, shard, num_reports, ingest);
+  }
+  // Untagged ingest: no retry protection, but admission control still holds.
+  if (ShedIngest(shard, num_reports)) {
+    Telemetry().shed->Add(num_reports);
+    return ShedResponse(options_.retry_after_ms, shard,
+                        options_.max_unsealed_reports_per_shard);
+  }
+  if (Status accepted = ingest(); !accepted.ok()) {
+    return ErrorResponse(accepted);
+  }
+  shard_backlog_[static_cast<std::size_t>(shard)].fetch_add(
+      num_reports, std::memory_order_relaxed);
+  return IngestAck(/*duplicate=*/false);
+}
+
 WireResponse CollectionServer::HandleRequest(
     std::uint8_t type, std::span<const std::uint8_t> payload, int shard) {
   switch (static_cast<WireMessageType>(type)) {
-    case WireMessageType::kAccept: {
-      StatusOr<Report> report = DecodeReport(payload);
-      if (!report.ok()) return ErrorResponse(report.status());
-      if (Status accepted = session_->Accept(shard, report.value());
-          !accepted.ok()) {
-        return ErrorResponse(accepted);
-      }
-      return OkResponse();
-    }
+    case WireMessageType::kAccept:
+      return HandleIngest(payload, shard, /*batch=*/false);
+    case WireMessageType::kAcceptBatch:
+      return HandleIngest(payload, shard, /*batch=*/true);
     case WireMessageType::kSeal: {
       if (!payload.empty()) {
         return ErrorResponse(
             Status::InvalidArgument("seal request carries a payload"));
       }
       const EpochSnapshot snapshot = session_->Seal();
+      // The seal drained every admitted report into a sealed epoch; the
+      // admission backlog restarts from zero.
+      for (std::atomic<std::int64_t>& backlog : shard_backlog_) {
+        backlog.store(0, std::memory_order_relaxed);
+      }
       if (!options_.snapshot_dir.empty()) {
         SnapshotStore store(options_.snapshot_dir);
         if (Status saved = store.Append(snapshot); !saved.ok()) {
@@ -444,37 +797,108 @@ WireResponse CollectionServer::HandleRequest(
 
 // ---- client ---------------------------------------------------------------
 
-StatusOr<CollectionClient> CollectionClient::Connect(int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+namespace {
+
+// A nonzero 64-bit identity for a client that did not pin one. Random so
+// independent fleet members almost surely never collide.
+std::uint64_t GenerateClientId() {
+  std::random_device rd;
+  std::uint64_t id = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  if (id == 0) id = 1;
+  return id;
+}
+
+// Opens a TCP connection to 127.0.0.1:port within connect_timeout_ms.
+StatusOr<int> ConnectFd(int port, int connect_timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd < 0) return Status::Internal("socket() failed");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    return Status::Internal("connect() to 127.0.0.1:" + std::to_string(port) +
-                            " failed");
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return Status::Internal("connect() to 127.0.0.1:" +
+                              std::to_string(port) + " failed");
+    }
+    pollfd p{fd, POLLOUT, 0};
+    const int waited =
+        ::poll(&p, 1, connect_timeout_ms > 0 ? connect_timeout_ms : -1);
+    if (waited <= 0) {
+      ::close(fd);
+      return Status::DeadlineExceeded("connect() to 127.0.0.1:" +
+                                      std::to_string(port) + " timed out");
+    }
+    int error = 0;
+    socklen_t len = sizeof(error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len);
+    if (error != 0) {
+      ::close(fd);
+      return Status::Internal("connect() to 127.0.0.1:" +
+                              std::to_string(port) + " failed: " +
+                              std::strerror(error));
+    }
   }
   const int nodelay = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
-  return CollectionClient(fd);
+  return fd;
+}
+
+// True when a transport-level failure is worth a reconnect-and-retry: the
+// request may or may not have been processed, which is exactly what the
+// idempotency tag makes safe.
+bool IsTransientTransport(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kInternal;
+}
+
+}  // namespace
+
+StatusOr<CollectionClient> CollectionClient::Connect(int port,
+                                                     WireOptions options) {
+  StatusOr<int> fd = ConnectFd(port, options.connect_timeout_ms);
+  if (!fd.ok()) return fd.status();
+  if (options.client_id == 0) options.client_id = GenerateClientId();
+  return CollectionClient(fd.value(), port, options);
 }
 
 CollectionClient::CollectionClient(CollectionClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(other.port_),
+      options_(other.options_),
+      next_sequence_(other.next_sequence_),
+      backoff_state_(other.backoff_state_),
+      stats_(other.stats_) {}
 
 CollectionClient& CollectionClient::operator=(
     CollectionClient&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    port_ = other.port_;
+    options_ = other.options_;
+    next_sequence_ = other.next_sequence_;
+    backoff_state_ = other.backoff_state_;
+    stats_ = other.stats_;
   }
   return *this;
 }
 
 CollectionClient::~CollectionClient() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+Status CollectionClient::Reconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  StatusOr<int> fd = ConnectFd(port_, options_.connect_timeout_ms);
+  if (!fd.ok()) return fd.status();
+  fd_ = fd.value();
+  ++stats_.reconnects;
+  return Status::Ok();
 }
 
 StatusOr<WireResponse> CollectionClient::RawRequest(
@@ -485,15 +909,33 @@ StatusOr<WireResponse> CollectionClient::RawRequest(
   PutU32LE(frame, static_cast<std::uint32_t>(1 + payload.size()));
   frame.push_back(type);
   frame.insert(frame.end(), payload.begin(), payload.end());
-  if (!WriteAll(fd_, frame.data(), frame.size())) {
-    return Status::Internal("request write failed (connection closed?)");
+  const auto fail = [this](IoResult result, const char* what) -> Status {
+    ::close(fd_);
+    fd_ = -1;
+    if (result == IoResult::kTimeout) {
+      ++stats_.timeouts;
+      Telemetry().timeouts->Increment();
+      return Status::DeadlineExceeded(std::string(what) +
+                                      " timed out; connection dropped");
+    }
+    return Status::Internal(std::string(what) +
+                            " failed (connection closed?)");
+  };
+  if (const IoResult wrote =
+          WriteBytes(fd_, frame.data(), frame.size(), options_.io_timeout_ms);
+      wrote != IoResult::kOk) {
+    return fail(wrote, "request write");
   }
   std::uint8_t header[6];
-  if (!ReadExactly(fd_, header, 6)) {
-    return Status::Internal("response read failed (connection closed?)");
+  if (const IoResult got =
+          ReadBytes(fd_, header, 6, options_.io_timeout_ms, nullptr);
+      got != IoResult::kOk) {
+    return fail(got, "response read");
   }
   const std::uint32_t length = GetU32LE(header);
-  if (length < 2 || length > kMaxFrameBytes) {
+  if (length < 2 || length > (64u << 20)) {
+    ::close(fd_);
+    fd_ = -1;
     return Status::Internal("malformed response frame length " +
                             std::to_string(length));
   }
@@ -502,22 +944,124 @@ StatusOr<WireResponse> CollectionClient::RawRequest(
       static_cast<std::uint16_t>(header[4]) |
       static_cast<std::uint16_t>(header[5]) << 8);
   response.payload.resize(length - 2);
-  if (!response.payload.empty() &&
-      !ReadExactly(fd_, response.payload.data(), response.payload.size())) {
-    return Status::Internal("response payload read failed");
+  if (!response.payload.empty()) {
+    if (const IoResult got =
+            ReadBytes(fd_, response.payload.data(), response.payload.size(),
+                      options_.io_timeout_ms, nullptr);
+        got != IoResult::kOk) {
+      return fail(got, "response payload read");
+    }
   }
   return response;
 }
 
-Status CollectionClient::Accept(const Report& report) {
-  const WireBytes encoded = EncodeReport(report);
-  StatusOr<WireResponse> response = RawRequest(
-      static_cast<std::uint8_t>(WireMessageType::kAccept), encoded);
+StatusOr<WireResponse> CollectionClient::RetryingRequest(
+    std::uint8_t type, std::span<const std::uint8_t> payload, bool* dup_out) {
+  if (backoff_state_ == 0) {
+    backoff_state_ = options_.client_id | 0x9e3779b97f4a7c15ull;
+  }
+  const auto backoff = [this](int attempt, std::uint32_t hint_ms) {
+    std::int64_t delay = options_.retry_base_ms;
+    for (int i = 0; i < attempt && delay < options_.retry_max_ms; ++i) {
+      delay *= 2;
+    }
+    delay = std::min<std::int64_t>(delay, options_.retry_max_ms);
+    // xorshift64 jitter in [0, delay/2]: desynchronizes a fleet retrying
+    // into the same recovering server.
+    backoff_state_ ^= backoff_state_ << 13;
+    backoff_state_ ^= backoff_state_ >> 7;
+    backoff_state_ ^= backoff_state_ << 17;
+    const std::int64_t half = delay / 2;
+    const std::int64_t jitter =
+        static_cast<std::int64_t>(backoff_state_ % (half + 1));
+    delay = std::max<std::int64_t>(half + jitter, hint_ms);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  };
+
+  Status last = Status::Ok();
+  for (int attempt = 0;; ++attempt) {
+    if (fd_ < 0) {
+      if (Status reconnected = Reconnect(); !reconnected.ok()) {
+        last = reconnected;
+        if (attempt >= options_.max_retries) return last;
+        ++stats_.retries;
+        Telemetry().retries->Increment();
+        backoff(attempt, 0);
+        continue;
+      }
+    }
+    StatusOr<WireResponse> response = RawRequest(type, payload);
+    if (response.ok()) {
+      const WireResponse& r = response.value();
+      if (r.status == kWireStatusUnavailable &&
+          attempt < options_.max_retries) {
+        ++stats_.shed_retries;
+        ++stats_.retries;
+        Telemetry().retries->Increment();
+        backoff(attempt, RetryAfterHintMs(r));
+        continue;
+      }
+      if (dup_out != nullptr && r.ok() && !r.payload.empty() &&
+          r.payload[0] == 1) {
+        *dup_out = true;
+        ++stats_.dedup_acks;
+      }
+      return response;
+    }
+    last = response.status();
+    if (!IsTransientTransport(last) || attempt >= options_.max_retries) {
+      return last;
+    }
+    ++stats_.retries;
+    Telemetry().retries->Increment();
+    backoff(attempt, 0);
+  }
+}
+
+Status CollectionClient::IngestRequest(std::uint8_t type,
+                                       const WireBytes& body) {
+  bool duplicate = false;
+  StatusOr<WireResponse> response = RetryingRequest(type, body, &duplicate);
   if (!response.ok()) return response.status();
   return StatusFromResponse(response.value());
 }
 
+Status CollectionClient::Accept(const Report& report) {
+  WireBytes body;
+  PutU64LE(body, options_.client_id);
+  PutU64LE(body, next_sequence_++);
+  const WireBytes encoded = EncodeReport(report);
+  body.insert(body.end(), encoded.begin(), encoded.end());
+  return IngestRequest(static_cast<std::uint8_t>(WireMessageType::kAccept),
+                       body);
+}
+
+Status CollectionClient::AcceptBatch(std::span<const Report> reports) {
+  if (reports.empty()) {
+    return Status::InvalidArgument("cannot ship an empty batch");
+  }
+  WireBytes body;
+  PutU64LE(body, options_.client_id);
+  PutU64LE(body, next_sequence_++);
+  PutU32LE(body, static_cast<std::uint32_t>(reports.size()));
+  for (const Report& report : reports) {
+    const WireBytes encoded = EncodeReport(report);
+    PutU32LE(body, static_cast<std::uint32_t>(encoded.size()));
+    body.insert(body.end(), encoded.begin(), encoded.end());
+  }
+  return IngestRequest(
+      static_cast<std::uint8_t>(WireMessageType::kAcceptBatch), body);
+}
+
 StatusOr<EpochSnapshot> CollectionClient::Seal() {
+  // Never retried: a seal is not idempotent (each delivery cuts an epoch).
+  if (fd_ < 0) {
+    if (Status reconnected = Reconnect(); !reconnected.ok()) {
+      return reconnected;
+    }
+  }
   StatusOr<WireResponse> response =
       RawRequest(static_cast<std::uint8_t>(WireMessageType::kSeal), {});
   if (!response.ok()) return response.status();
@@ -527,9 +1071,9 @@ StatusOr<EpochSnapshot> CollectionClient::Seal() {
 
 StatusOr<WorkloadEstimate> CollectionClient::Estimate(EstimatorKind kind) {
   const std::uint8_t kind_byte = kind == EstimatorKind::kUnbiased ? 0 : 1;
-  StatusOr<WireResponse> response =
-      RawRequest(static_cast<std::uint8_t>(WireMessageType::kEstimate),
-                 std::span<const std::uint8_t>(&kind_byte, 1));
+  StatusOr<WireResponse> response = RetryingRequest(
+      static_cast<std::uint8_t>(WireMessageType::kEstimate),
+      std::span<const std::uint8_t>(&kind_byte, 1));
   if (!response.ok()) return response.status();
   if (!response.value().ok()) return StatusFromResponse(response.value());
   return DecodeEstimate(response.value().payload);
@@ -538,7 +1082,7 @@ StatusOr<WorkloadEstimate> CollectionClient::Estimate(EstimatorKind kind) {
 StatusOr<EpochSnapshot> CollectionClient::GetSnapshot(int epoch_id) {
   WireBytes payload;
   PutU32LE(payload, static_cast<std::uint32_t>(epoch_id));
-  StatusOr<WireResponse> response = RawRequest(
+  StatusOr<WireResponse> response = RetryingRequest(
       static_cast<std::uint8_t>(WireMessageType::kGetSnapshot), payload);
   if (!response.ok()) return response.status();
   if (!response.value().ok()) return StatusFromResponse(response.value());
@@ -546,6 +1090,12 @@ StatusOr<EpochSnapshot> CollectionClient::GetSnapshot(int epoch_id) {
 }
 
 StatusOr<int> CollectionClient::PushSnapshot(const EpochSnapshot& snapshot) {
+  // Never retried: adopting the same epoch twice is two local epochs.
+  if (fd_ < 0) {
+    if (Status reconnected = Reconnect(); !reconnected.ok()) {
+      return reconnected;
+    }
+  }
   const WireBytes encoded = EncodeSnapshot(snapshot);
   StatusOr<WireResponse> response = RawRequest(
       static_cast<std::uint8_t>(WireMessageType::kPushSnapshot), encoded);
@@ -559,9 +1109,9 @@ StatusOr<int> CollectionClient::PushSnapshot(const EpochSnapshot& snapshot) {
 
 StatusOr<std::string> CollectionClient::Metrics(MetricsFormat format) {
   const std::uint8_t format_byte = static_cast<std::uint8_t>(format);
-  StatusOr<WireResponse> response =
-      RawRequest(static_cast<std::uint8_t>(WireMessageType::kMetrics),
-                 std::span<const std::uint8_t>(&format_byte, 1));
+  StatusOr<WireResponse> response = RetryingRequest(
+      static_cast<std::uint8_t>(WireMessageType::kMetrics),
+      std::span<const std::uint8_t>(&format_byte, 1));
   if (!response.ok()) return response.status();
   if (!response.value().ok()) return StatusFromResponse(response.value());
   return std::string(response.value().payload.begin(),
@@ -569,16 +1119,16 @@ StatusOr<std::string> CollectionClient::Metrics(MetricsFormat format) {
 }
 
 StatusOr<StrategySnapshot> CollectionClient::GetStrategy() {
-  StatusOr<WireResponse> response =
-      RawRequest(static_cast<std::uint8_t>(WireMessageType::kGetStrategy), {});
+  StatusOr<WireResponse> response = RetryingRequest(
+      static_cast<std::uint8_t>(WireMessageType::kGetStrategy), {});
   if (!response.ok()) return response.status();
   if (!response.value().ok()) return StatusFromResponse(response.value());
   return DecodeStrategy(response.value().payload);
 }
 
 Status CollectionClient::Ping() {
-  StatusOr<WireResponse> response =
-      RawRequest(static_cast<std::uint8_t>(WireMessageType::kPing), {});
+  StatusOr<WireResponse> response = RetryingRequest(
+      static_cast<std::uint8_t>(WireMessageType::kPing), {});
   if (!response.ok()) return response.status();
   return StatusFromResponse(response.value());
 }

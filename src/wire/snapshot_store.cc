@@ -7,6 +7,7 @@
 #include <system_error>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "wire/wire_format.h"
 
 namespace wfm {
@@ -115,7 +116,19 @@ StatusOr<std::vector<EpochSnapshot>> SnapshotStore::LoadAll() const {
   for (const fs::directory_entry& entry : it) {
     if (entry.path().extension() != kSnapshotSuffix) continue;
     StatusOr<EpochSnapshot> loaded = LoadSnapshotFile(entry.path().string());
-    if (!loaded.ok()) return loaded.status();
+    if (!loaded.ok()) {
+      // One corrupt file must not take down recovery of the whole history:
+      // quarantine it (rename out of the .wfmsnap namespace, so neither this
+      // walk nor any later one retries it) and keep loading. The rename
+      // preserves the bytes for forensics.
+      std::error_code rename_ec;
+      fs::rename(entry.path(), fs::path(entry.path().string() + ".corrupt"),
+                 rename_ec);
+      MetricsRegistry::Global()
+          .GetCounter("wfm_snapshots_quarantined_total")
+          .Increment();
+      continue;
+    }
     snapshots.push_back(std::move(loaded).value());
   }
   std::sort(snapshots.begin(), snapshots.end(),

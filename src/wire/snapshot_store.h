@@ -55,8 +55,10 @@ class SnapshotStore {
   Status Append(const EpochSnapshot& snapshot);
 
   /// Loads every persisted snapshot, sorted by epoch_id ascending. A missing
-  /// directory is an empty history (fresh start), not an error; a file that
-  /// fails to decode is (the store is the trust boundary on restart).
+  /// directory is an empty history (fresh start), not an error. A file that
+  /// fails to decode is quarantined — renamed to `<name>.wfmsnap.corrupt`,
+  /// counted into wfm_snapshots_quarantined_total — and recovery continues
+  /// with every healthy epoch, so one damaged file never takes serving down.
   StatusOr<std::vector<EpochSnapshot>> LoadAll() const;
 
  private:

@@ -1,0 +1,401 @@
+// Chaos suite for the wire layer's fault-tolerance pillars: every schedule
+// the FaultProxy can throw at the client/server pair must leave each
+// acknowledged report counted exactly once — the networked estimate stays
+// bit-identical to an in-process reference session fed the same reports —
+// with at least one schedule forcing a dedup hit and one forcing a
+// shed/kUnavailable retry.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/plan.h"
+#include "linalg/rng.h"
+#include "wire/fault_injection.h"
+#include "wire/service.h"
+#include "workload/prefix.h"
+
+namespace wfm {
+namespace {
+
+Plan MakePlan(int n) {
+  OptimizerConfig config;
+  config.iterations = 120;
+  config.seed = 7;  // Pinned: every MakePlan(n) is the identical deployment.
+  auto workload = std::make_shared<const PrefixWorkload>(n);
+  StatusOr<Plan> plan = Plan::For(std::move(workload))
+                            .Epsilon(1.0)
+                            .Mechanism("Optimized")
+                            .Optimizer(config)
+                            .Build();
+  return std::move(plan).value();
+}
+
+ServiceOptions OneShardOptions() {
+  ServiceOptions options;
+  options.port = 0;
+  // One shard, so the networked histogram matches a single-shard reference
+  // session bit for bit regardless of which connection carried a report.
+  options.num_shards = 1;
+  return options;
+}
+
+WireOptions RetryingOptions() {
+  WireOptions options;
+  options.io_timeout_ms = 300;  // Fast deadline so blackholes fail quickly.
+  options.max_retries = 5;
+  options.retry_base_ms = 5;
+  options.retry_max_ms = 50;
+  return options;
+}
+
+std::int64_t PrometheusCounter(const std::string& text,
+                               const std::string& name) {
+  const std::string needle = name + " ";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::atoll(text.c_str() + pos + needle.size());
+    }
+    pos += needle.size();
+  }
+  return 0;
+}
+
+// A blackholed ack is the canonical forced duplicate: the server commits the
+// report but the client never hears it, so the retry re-delivers a counted
+// sequence and the dedup window must absorb it without moving a counter.
+TEST(WireChaosTest, BlackholedAckForcesRetryAndDedup) {
+  const Plan plan = MakePlan(8);
+  CollectionServer server(plan, OneShardOptions());
+  ASSERT_TRUE(server.Start().ok());
+  FaultProxy proxy(server.port(),
+                   {{FaultType::kBlackhole, FaultDirection::kToClient,
+                     /*after_bytes=*/0}});
+  ASSERT_TRUE(proxy.Start().ok());
+
+  StatusOr<std::string> baseline =
+      CollectionClient::Connect(server.port()).value().Metrics();
+  ASSERT_TRUE(baseline.ok());
+
+  StatusOr<CollectionClient> connected =
+      CollectionClient::Connect(proxy.port(), RetryingOptions());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  CollectionClient& client = connected.value();
+
+  std::unique_ptr<PlanSession> reference = plan.StartSession(1);
+  const PlanClient device = plan.Client();
+  Rng rng(17);
+  for (int u = 0; u < 50; ++u) {
+    const Report report = device.Respond(u % 8, rng);
+    ASSERT_TRUE(client.Accept(report).ok());
+    ASSERT_TRUE(reference->Accept(0, report).ok());
+  }
+  // The first ack was swallowed: the client must have timed out, recon-
+  // nected, re-sent, and been told "duplicate".
+  EXPECT_GE(client.stats().timeouts, 1);
+  EXPECT_GE(client.stats().reconnects, 1);
+  EXPECT_GE(client.stats().retries, 1);
+  EXPECT_GE(client.stats().dedup_acks, 1);
+
+  const EpochSnapshot expected = reference->Seal();
+  const StatusOr<EpochSnapshot> sealed = client.Seal();
+  ASSERT_TRUE(sealed.ok()) << sealed.status().ToString();
+  EXPECT_EQ(sealed.value().count, expected.count);
+  EXPECT_EQ(sealed.value().histogram, expected.histogram);
+
+  const StatusOr<std::string> after =
+      CollectionClient::Connect(server.port()).value().Metrics();
+  ASSERT_TRUE(after.ok());
+  EXPECT_GE(PrometheusCounter(after.value(), "wfm_wire_deduped_total") -
+                PrometheusCounter(baseline.value(), "wfm_wire_deduped_total"),
+            1);
+  proxy.Stop();
+  server.Stop();
+}
+
+// Two transport faults against one report: the request torn mid-frame (the
+// server never saw it — the retry is a fresh ingest) and then the response
+// torn after commit (the second retry is a true duplicate). Exactly one
+// count lands either way.
+TEST(WireChaosTest, MidFrameResetsRetryIntoExactlyOnce) {
+  const Plan plan = MakePlan(8);
+  CollectionServer server(plan, OneShardOptions());
+  ASSERT_TRUE(server.Start().ok());
+  FaultProxy proxy(
+      server.port(),
+      {{FaultType::kReset, FaultDirection::kToServer, /*after_bytes=*/10},
+       {FaultType::kReset, FaultDirection::kToClient, /*after_bytes=*/0}});
+  ASSERT_TRUE(proxy.Start().ok());
+
+  StatusOr<CollectionClient> connected =
+      CollectionClient::Connect(proxy.port(), RetryingOptions());
+  ASSERT_TRUE(connected.ok());
+  CollectionClient& client = connected.value();
+
+  std::unique_ptr<PlanSession> reference = plan.StartSession(1);
+  const PlanClient device = plan.Client();
+  Rng rng(29);
+  for (int u = 0; u < 20; ++u) {
+    const Report report = device.Respond(u % 8, rng);
+    ASSERT_TRUE(client.Accept(report).ok());
+    ASSERT_TRUE(reference->Accept(0, report).ok());
+  }
+  EXPECT_GE(client.stats().retries, 2);
+  EXPECT_GE(client.stats().dedup_acks, 1);
+
+  const EpochSnapshot expected = reference->Seal();
+  const StatusOr<EpochSnapshot> sealed = client.Seal();
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(sealed.value().count, expected.count);
+  EXPECT_EQ(sealed.value().histogram, expected.histogram);
+  proxy.Stop();
+  server.Stop();
+}
+
+// Corruption past the idempotency tag mangles the report body in flight: the
+// server must answer 400 and ingest nothing — and because a rejected frame
+// records no sequence, a clean re-delivery afterwards is fresh, not a dup.
+TEST(WireChaosTest, GarbledBodyIsRejectedAndNeverCounted) {
+  const Plan plan = MakePlan(8);
+  CollectionServer server(plan, OneShardOptions());
+  ASSERT_TRUE(server.Start().ok());
+  // Corrupt client->server bytes past frame header + tag: the report body.
+  FaultProxy proxy(server.port(),
+                   {{FaultType::kGarbage, FaultDirection::kToServer,
+                     /*after_bytes=*/4 + 1 + 16}});
+  ASSERT_TRUE(proxy.Start().ok());
+
+  std::unique_ptr<PlanSession> reference = plan.StartSession(1);
+  const PlanClient device = plan.Client();
+  Rng rng(31);
+  const Report report = device.Respond(3, rng);
+  {
+    StatusOr<CollectionClient> faulted =
+        CollectionClient::Connect(proxy.port());  // no retries: 400 is final
+    ASSERT_TRUE(faulted.ok());
+    const Status rejected = faulted.value().Accept(report);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  }
+  // Nothing was counted, so re-delivering on a clean connection is the
+  // first (and only) ingest of this report.
+  StatusOr<CollectionClient> clean =
+      CollectionClient::Connect(proxy.port(), RetryingOptions());
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(clean.value().Accept(report).ok());
+  ASSERT_TRUE(reference->Accept(0, report).ok());
+  EXPECT_GE(proxy.stats().garbled_bytes.load(), 1);
+
+  const EpochSnapshot expected = reference->Seal();
+  const StatusOr<EpochSnapshot> sealed = clean.value().Seal();
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(sealed.value().count, expected.count);
+  EXPECT_EQ(sealed.value().histogram, expected.histogram);
+  proxy.Stop();
+  server.Stop();
+}
+
+// A mid-frame stall below the deadline is absorbed without any retry: the
+// partial write sits in flight until the delay passes, and the server's
+// io deadline tolerates it.
+TEST(WireChaosTest, MidFrameDelayWithinDeadlineNeedsNoRetry) {
+  const Plan plan = MakePlan(8);
+  CollectionServer server(plan, OneShardOptions());
+  ASSERT_TRUE(server.Start().ok());
+  FaultProxy proxy(server.port(),
+                   {{FaultType::kDelay, FaultDirection::kToServer,
+                     /*after_bytes=*/10, /*delay_ms=*/100}});
+  ASSERT_TRUE(proxy.Start().ok());
+
+  WireOptions options = RetryingOptions();
+  options.io_timeout_ms = 5000;  // Far above the injected 100ms stall.
+  StatusOr<CollectionClient> connected =
+      CollectionClient::Connect(proxy.port(), options);
+  ASSERT_TRUE(connected.ok());
+  CollectionClient& client = connected.value();
+
+  std::unique_ptr<PlanSession> reference = plan.StartSession(1);
+  const PlanClient device = plan.Client();
+  Rng rng(37);
+  for (int u = 0; u < 10; ++u) {
+    const Report report = device.Respond(u % 8, rng);
+    ASSERT_TRUE(client.Accept(report).ok());
+    ASSERT_TRUE(reference->Accept(0, report).ok());
+  }
+  EXPECT_EQ(client.stats().retries, 0);
+  EXPECT_EQ(proxy.stats().delays.load(), 1);
+
+  const EpochSnapshot expected = reference->Seal();
+  const StatusOr<EpochSnapshot> sealed = client.Seal();
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(sealed.value().count, expected.count);
+  EXPECT_EQ(sealed.value().histogram, expected.histogram);
+  proxy.Stop();
+  server.Stop();
+}
+
+// Admission control: past the per-shard cap ingest is shed with 503 and a
+// Retry-After hint. A fail-fast client surfaces kUnavailable; a retrying
+// client rides out the overload and lands its report once the epoch seals.
+TEST(WireChaosTest, ShedIngestSurfacesUnavailableAndRetriesAfterSeal) {
+  const Plan plan = MakePlan(8);
+  ServiceOptions options = OneShardOptions();
+  options.max_unsealed_reports_per_shard = 8;
+  options.retry_after_ms = 10;
+  CollectionServer server(plan, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  StatusOr<CollectionClient> direct = CollectionClient::Connect(server.port());
+  ASSERT_TRUE(direct.ok());
+  StatusOr<std::string> baseline = direct.value().Metrics();
+  ASSERT_TRUE(baseline.ok());
+
+  const PlanClient device = plan.Client();
+  Rng rng(41);
+  for (int u = 0; u < 8; ++u) {
+    ASSERT_TRUE(direct.value().Accept(device.Respond(u % 8, rng)).ok());
+  }
+  // Ninth report on a fail-fast client: shed, surfaced as kUnavailable.
+  const Status shed = direct.value().Accept(device.Respond(0, rng));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+
+  // A retrying client rides the 503s until a concurrent seal drains the
+  // backlog, then lands its report exactly once.
+  WireOptions retrying = RetryingOptions();
+  retrying.max_retries = 50;
+  retrying.retry_base_ms = 10;
+  StatusOr<CollectionClient> patient =
+      CollectionClient::Connect(server.port(), retrying);
+  ASSERT_TRUE(patient.ok());
+  std::thread sealer([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    // Seal over the wire: the kSeal handler is what resets the admission
+    // backlog (the wire layer owns admission, not the session).
+    StatusOr<CollectionClient> sealer_client =
+        CollectionClient::Connect(server.port());
+    ASSERT_TRUE(sealer_client.ok());
+    ASSERT_TRUE(sealer_client.value().Seal().ok());
+  });
+  ASSERT_TRUE(patient.value().Accept(device.Respond(5, rng)).ok());
+  sealer.join();
+  EXPECT_GE(patient.value().stats().shed_retries, 1);
+
+  const StatusOr<std::string> after = direct.value().Metrics();
+  ASSERT_TRUE(after.ok());
+  EXPECT_GE(PrometheusCounter(after.value(), "wfm_wire_shed_total") -
+                PrometheusCounter(baseline.value(), "wfm_wire_shed_total"),
+            2);
+  // The in-process seal above cut epoch 0 with the 8 admitted reports; the
+  // patient client's report is alone in epoch 1.
+  const StatusOr<EpochSnapshot> second = direct.value().Seal();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().count, 1);
+  server.Stop();
+}
+
+// The integration schedule: a long mixed run of blackholes, mid-frame
+// resets, and stalls across many reconnects. The networked estimate must
+// come out bit-identical to the in-process twin — the paper's error bounds
+// (Theorem 3.4) assume exactly-once counting, so this is the property the
+// whole fault layer exists to protect.
+TEST(WireChaosTest, MixedFaultScheduleKeepsEstimatesBitIdentical) {
+  const Plan plan = MakePlan(8);
+  CollectionServer server(plan, OneShardOptions());
+  ASSERT_TRUE(server.Start().ok());
+  // Every scripted connection eventually dies, so the client walks the
+  // whole schedule: swallowed ack, request torn mid-frame, ack torn
+  // mid-header, a long connection starved mid-stream, another torn
+  // mid-stream, and finally a clean connection that merely stalls once.
+  FaultProxy proxy(
+      server.port(),
+      {{FaultType::kBlackhole, FaultDirection::kToClient, /*after_bytes=*/0},
+       {FaultType::kReset, FaultDirection::kToServer, /*after_bytes=*/12},
+       {FaultType::kReset, FaultDirection::kToClient, /*after_bytes=*/3},
+       {FaultType::kBlackhole, FaultDirection::kToServer,
+        /*after_bytes=*/5000},
+       {FaultType::kReset, FaultDirection::kToServer, /*after_bytes=*/700},
+       {FaultType::kDelay, FaultDirection::kToServer, /*after_bytes=*/9,
+        /*delay_ms=*/50}});
+  ASSERT_TRUE(proxy.Start().ok());
+
+  std::unique_ptr<PlanSession> reference = plan.StartSession(1);
+  const PlanClient device = plan.Client();
+  Rng rng(43);
+  StatusOr<CollectionClient> connected =
+      CollectionClient::Connect(proxy.port(), RetryingOptions());
+  ASSERT_TRUE(connected.ok());
+  CollectionClient& client = connected.value();
+  for (int u = 0; u < 200; ++u) {
+    const Report report = device.Respond(u % 8, rng);
+    ASSERT_TRUE(client.Accept(report).ok());
+    ASSERT_TRUE(reference->Accept(0, report).ok());
+  }
+  EXPECT_GE(client.stats().retries, 5);
+  EXPECT_GE(client.stats().reconnects, 5);
+  EXPECT_GE(client.stats().dedup_acks, 1);
+
+  const EpochSnapshot expected = reference->Seal();
+  const StatusOr<EpochSnapshot> sealed = client.Seal();
+  ASSERT_TRUE(sealed.ok()) << sealed.status().ToString();
+  ASSERT_EQ(sealed.value().count, expected.count);
+  ASSERT_EQ(sealed.value().histogram, expected.histogram);
+
+  for (const EstimatorKind kind :
+       {EstimatorKind::kUnbiased, EstimatorKind::kWnnls}) {
+    const WorkloadEstimate mine = reference->Estimate(kind).value();
+    const StatusOr<WorkloadEstimate> theirs = client.Estimate(kind);
+    ASSERT_TRUE(theirs.ok()) << theirs.status().ToString();
+    EXPECT_EQ(theirs.value().data_vector, mine.data_vector);
+    EXPECT_EQ(theirs.value().query_answers, mine.query_answers);
+  }
+  proxy.Stop();
+  server.Stop();
+}
+
+// A batch is one idempotent unit: a blackholed batch ack re-delivers the
+// whole batch under one (client_id, sequence), and none of its reports may
+// double-count.
+TEST(WireChaosTest, RetriedBatchNeverDoubleCounts) {
+  const Plan plan = MakePlan(8);
+  CollectionServer server(plan, OneShardOptions());
+  ASSERT_TRUE(server.Start().ok());
+  FaultProxy proxy(server.port(),
+                   {{FaultType::kBlackhole, FaultDirection::kToClient,
+                     /*after_bytes=*/0}});
+  ASSERT_TRUE(proxy.Start().ok());
+
+  StatusOr<CollectionClient> connected =
+      CollectionClient::Connect(proxy.port(), RetryingOptions());
+  ASSERT_TRUE(connected.ok());
+  CollectionClient& client = connected.value();
+
+  std::unique_ptr<PlanSession> reference = plan.StartSession(1);
+  const PlanClient device = plan.Client();
+  Rng rng(47);
+  std::vector<Report> batch;
+  for (int u = 0; u < 32; ++u) batch.push_back(device.Respond(u % 8, rng));
+  ASSERT_TRUE(client.AcceptBatch(batch).ok());
+  ASSERT_TRUE(
+      reference->AcceptBatch(0, std::span<const Report>(batch)).ok());
+  EXPECT_GE(client.stats().dedup_acks, 1);
+
+  const EpochSnapshot expected = reference->Seal();
+  const StatusOr<EpochSnapshot> sealed = client.Seal();
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(sealed.value().count, expected.count);
+  EXPECT_EQ(sealed.value().histogram, expected.histogram);
+  proxy.Stop();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace wfm

@@ -488,20 +488,27 @@ TEST(SnapshotStoreTest, MissingDirectoryIsAFreshStart) {
   EXPECT_TRUE(loaded.value().empty());
 }
 
-TEST(SnapshotStoreTest, CorruptFileIsRejectedOnLoad) {
+TEST(SnapshotStoreTest, CorruptFileIsQuarantinedOnLoad) {
   const std::string dir =
       (std::filesystem::path(::testing::TempDir()) / "wfm_store_corrupt")
           .string();
   std::filesystem::remove_all(dir);
   SnapshotStore store(dir);
-  EpochSnapshot snapshot;
-  snapshot.epoch_id = 0;
-  snapshot.count = 5;
-  snapshot.histogram = {5.0, 0.0};
-  ASSERT_TRUE(store.Append(snapshot).ok());
+  EpochSnapshot healthy;
+  healthy.epoch_id = 0;
+  healthy.count = 5;
+  healthy.histogram = {5.0, 0.0};
+  ASSERT_TRUE(store.Append(healthy).ok());
+  EpochSnapshot doomed;
+  doomed.epoch_id = 1;
+  doomed.count = 3;
+  doomed.histogram = {0.0, 3.0};
+  ASSERT_TRUE(store.Append(doomed).ok());
 
-  // Flip one payload byte on disk: the restart trust boundary must refuse it.
-  const std::string path = dir + "/epoch-00000000.wfmsnap";
+  // Flip one payload byte on disk: the restart trust boundary must refuse
+  // the file — but quarantine it and keep serving the healthy epochs
+  // rather than failing the whole recovery.
+  const std::string path = dir + "/epoch-00000001.wfmsnap";
   std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
   ASSERT_TRUE(file.is_open());
   file.seekp(static_cast<std::streamoff>(kWireHeaderBytes));
@@ -510,8 +517,12 @@ TEST(SnapshotStoreTest, CorruptFileIsRejectedOnLoad) {
   file.close();
 
   const StatusOr<std::vector<EpochSnapshot>> loaded = store.LoadAll();
-  ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 1u);
+  EXPECT_EQ(loaded.value()[0].epoch_id, 0);
+  EXPECT_EQ(loaded.value()[0].count, 5);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
 }
 
 TEST(SnapshotStoreTest, RefusesSnapshotsWithoutAnEpochId) {

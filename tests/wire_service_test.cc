@@ -5,9 +5,17 @@
 // without losing a report, merge snapshots pushed from other nodes, and
 // recover sealed history from its snapshot directory across a restart.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <span>
 #include <string>
@@ -48,6 +56,14 @@ ServiceOptions EphemeralOptions() {
   options.port = 0;  // The kernel picks a free port; tests read it back.
   options.num_shards = 4;
   return options;
+}
+
+// Wraps a raw ingest body in the untagged (client_id = 0) idempotency
+// prefix, so hand-crafted frames still reach the report decode path.
+WireBytes Untagged(const WireBytes& body) {
+  WireBytes framed(16, 0);
+  framed.insert(framed.end(), body.begin(), body.end());
+  return framed;
 }
 
 TEST(WireServiceTest, StartsOnAnEphemeralPortAndAnswersPing) {
@@ -136,11 +152,18 @@ TEST(WireServiceTest, MalformedPayloadsGet400AndTheConnectionSurvives) {
   ASSERT_TRUE(connected.ok());
   CollectionClient& client = connected.value();
 
-  // Garbage bytes as an accept payload: structurally invalid wire report.
-  const std::vector<std::uint8_t> garbage{0xde, 0xad, 0xbe, 0xef, 0x00};
+  // A frame too short to even carry the idempotency tag.
+  const std::vector<std::uint8_t> tagless{0xde, 0xad, 0xbe, 0xef, 0x00};
   StatusOr<WireResponse> response = client.RawRequest(
-      static_cast<std::uint8_t>(WireMessageType::kAccept), garbage);
+      static_cast<std::uint8_t>(WireMessageType::kAccept), tagless);
   ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().status, kWireStatusBadRequest);
+
+  // Garbage bytes as an accept body: structurally invalid wire report.
+  response = client.RawRequest(
+      static_cast<std::uint8_t>(WireMessageType::kAccept),
+      Untagged({0xde, 0xad, 0xbe, 0xef, 0x00}));
+  ASSERT_TRUE(response.ok());
   EXPECT_EQ(response.value().status, kWireStatusBadRequest);
 
   // A structurally valid report of the wrong shape: rejected at the
@@ -149,7 +172,7 @@ TEST(WireServiceTest, MalformedPayloadsGet400AndTheConnectionSurvives) {
   wrong_shape.bits = {1, 0, 1};
   response = client.RawRequest(
       static_cast<std::uint8_t>(WireMessageType::kAccept),
-      EncodeReport(wrong_shape));
+      Untagged(EncodeReport(wrong_shape)));
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response.value().status, kWireStatusBadRequest);
 
@@ -322,15 +345,15 @@ TEST(WireServiceTest, MetricsScrapeCountsThePinnedRequestSequence) {
   for (int u = 0; u < 100; ++u) {
     ASSERT_TRUE(client.Accept(device.Respond(u % 8, rng)).ok());
   }
-  const std::vector<std::uint8_t> garbage{0xde, 0xad, 0xbe, 0xef};
   StatusOr<WireResponse> bad = client.RawRequest(
-      static_cast<std::uint8_t>(WireMessageType::kAccept), garbage);
+      static_cast<std::uint8_t>(WireMessageType::kAccept),
+      Untagged({0xde, 0xad, 0xbe, 0xef}));
   ASSERT_TRUE(bad.ok());
   EXPECT_EQ(bad.value().status, kWireStatusBadRequest);
   Report wrong_shape;
   wrong_shape.bits = {1, 0, 1};
   bad = client.RawRequest(static_cast<std::uint8_t>(WireMessageType::kAccept),
-                          EncodeReport(wrong_shape));
+                          Untagged(EncodeReport(wrong_shape)));
   ASSERT_TRUE(bad.ok());
   EXPECT_EQ(bad.value().status, kWireStatusBadRequest);
   ASSERT_TRUE(client.Seal().ok());
@@ -515,6 +538,166 @@ TEST(WireServiceTest, GetStrategyIs409ForNonStrategyDeployments) {
   EXPECT_EQ(raw.value().status, kWireStatusBadRequest);
   EXPECT_TRUE(client.value().Ping().ok());
   server.Stop();
+}
+
+TEST(WireServiceTest, OversizedFrameGets400AndTheConnectionSurvives) {
+  ServiceOptions options = EphemeralOptions();
+  options.max_frame_bytes = 1024;  // Small cap so the test ships no 64MB.
+  CollectionServer server(MakePlan(8), options);
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<CollectionClient> connected =
+      CollectionClient::Connect(server.port());
+  ASSERT_TRUE(connected.ok());
+  CollectionClient& client = connected.value();
+
+  // A frame past the cap: drained server-side without buffering, answered
+  // 400 — and the connection must stay usable.
+  const WireBytes big(2000, 0x2a);
+  StatusOr<WireResponse> response = client.RawRequest(
+      static_cast<std::uint8_t>(WireMessageType::kAccept), big);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().status, kWireStatusBadRequest);
+
+  EXPECT_TRUE(client.Ping().ok());
+  const PlanClient device = MakePlan(8).Client();
+  Rng rng(53);
+  EXPECT_TRUE(client.Accept(device.Respond(2, rng)).ok());
+  const StatusOr<EpochSnapshot> sealed = client.Seal();
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(sealed.value().count, 1);
+  server.Stop();
+}
+
+TEST(WireServiceTest, StopDrainsInFlightRequestsWithoutHangingOrLosingAcks) {
+  const Plan plan = MakePlan(8);
+  CollectionServer server(plan, EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  // A fleet hammers the server while Stop() lands mid-traffic. The drain
+  // contract: Stop() returns (no hang), and every report a client saw
+  // acknowledged made it into the session — an in-flight request finishes
+  // and flushes its whole response before its connection dies, so no client
+  // ever reads a torn frame as success.
+  constexpr int kFleet = 4;
+  std::atomic<std::int64_t> acked{0};
+  std::vector<std::thread> fleet;
+  const PlanClient device = plan.Client();
+  for (int c = 0; c < kFleet; ++c) {
+    fleet.emplace_back([&, c] {
+      StatusOr<CollectionClient> client =
+          CollectionClient::Connect(server.port());
+      if (!client.ok()) return;
+      Rng rng(6000 + c);
+      for (int u = 0; u < 5000; ++u) {
+        if (!client.value().Accept(device.Respond(u % 8, rng)).ok()) break;
+        acked.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server.Stop();  // Races the in-flight accepts.
+  for (std::thread& t : fleet) t.join();
+
+  const EpochSnapshot sealed = server.session().Seal();
+  EXPECT_GE(sealed.count, acked.load());
+  EXPECT_GT(acked.load(), 0);  // The race was real: traffic was flowing.
+}
+
+TEST(WireServiceTest, MidResponseDisconnectDoesNotKillTheServer) {
+  CollectionServer server(MakePlan(8), EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Pipeline a burst of requests, then hard-reset the connection without
+  // reading a byte: the server ends up writing responses into a dead socket.
+  // Unguarded, that raises SIGPIPE and kills the process; with MSG_NOSIGNAL
+  // it must surface as a write error on that connection only.
+  for (int round = 0; round < 5; ++round) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    WireBytes burst;
+    for (int i = 0; i < 50; ++i) {
+      // kMetrics frame: length 2, type 8, format byte 0 (Prometheus).
+      const std::uint8_t frame[] = {2, 0, 0, 0, 8, 0};
+      burst.insert(burst.end(), frame, frame + sizeof(frame));
+    }
+    ASSERT_EQ(::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(burst.size()));
+    // SO_LINGER(on, 0) turns close() into an immediate RST.
+    const linger hard_reset{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_reset, sizeof(hard_reset));
+    ::close(fd);
+  }
+
+  // Alive and serving: the resets cost their connections, nothing more.
+  StatusOr<CollectionClient> probe = CollectionClient::Connect(server.port());
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_TRUE(probe.value().Ping().ok());
+  server.Stop();
+}
+
+TEST(WireServiceTest, CorruptSnapshotFileIsQuarantinedNotFatal) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "wfm_quarantine")
+          .string();
+  std::filesystem::remove_all(dir);
+  const Plan plan = MakePlan(8);
+  ServiceOptions options = EphemeralOptions();
+  options.snapshot_dir = dir;
+
+  // Seed one healthy sealed epoch on disk.
+  {
+    CollectionServer server(plan, options);
+    ASSERT_TRUE(server.Start().ok());
+    StatusOr<CollectionClient> client =
+        CollectionClient::Connect(server.port());
+    ASSERT_TRUE(client.ok());
+    const PlanClient device = plan.Client();
+    Rng rng(61);
+    for (int u = 0; u < 100; ++u) {
+      ASSERT_TRUE(client.value().Accept(device.Respond(u % 8, rng)).ok());
+    }
+    ASSERT_TRUE(client.value().Seal().ok());
+    server.Stop();
+  }
+  // Plant a corrupt snapshot beside it.
+  const std::filesystem::path bad =
+      std::filesystem::path(dir) / "epoch-00000001.wfmsnap";
+  {
+    std::ofstream out(bad, std::ios::binary);
+    const char garbage[] = "not a snapshot";
+    out.write(garbage, sizeof(garbage));
+  }
+  const std::string before = ToPrometheusText(MetricsRegistry::Global()
+                                                  .Snapshot());
+
+  // Recovery survives: the healthy epoch serves, the corrupt file is moved
+  // out of the .wfmsnap namespace and counted.
+  CollectionServer revived(plan, options);
+  ASSERT_TRUE(revived.Start().ok());
+  StatusOr<CollectionClient> client =
+      CollectionClient::Connect(revived.port());
+  ASSERT_TRUE(client.ok());
+  const StatusOr<EpochSnapshot> epoch0 = client.value().GetSnapshot(0);
+  ASSERT_TRUE(epoch0.ok()) << epoch0.status().ToString();
+  EXPECT_EQ(epoch0.value().count, 100);
+  EXPECT_FALSE(client.value().GetSnapshot(1).ok());
+
+  EXPECT_FALSE(std::filesystem::exists(bad));
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(dir) / "epoch-00000001.wfmsnap.corrupt"));
+  const std::string after = ToPrometheusText(MetricsRegistry::Global()
+                                                 .Snapshot());
+  EXPECT_EQ(
+      PrometheusCounter(after, "wfm_snapshots_quarantined_total") -
+          PrometheusCounter(before, "wfm_snapshots_quarantined_total"),
+      1);
+  revived.Stop();
 }
 
 TEST(WireServiceTest, ShutdownFrameStopsTheServer) {
