@@ -241,6 +241,13 @@ StatusOr<Plan> PlanBuilder::Build() const {
 
   std::shared_ptr<const wfm::Mechanism> mechanism;
   if (!fixed_strategy_.empty()) {
+    if (stats.factored() && stats.gram.empty()) {
+      return Status::InvalidArgument(
+          "Strategy() supplies a dense strategy matrix, but workload '" +
+          stats.name + "' is Kronecker-structured past the dense ceiling "
+          "(n = " + std::to_string(stats.n) +
+          "); use the \"Optimized\" mechanism's factored path instead");
+    }
     if (fixed_strategy_.cols() != stats.n) {
       return Status::InvalidArgument(
           "Strategy() matrix has " + std::to_string(fixed_strategy_.cols()) +

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/pseudo_inverse.h"
+#include "workload/kronecker.h"
 
 namespace wfm {
 
@@ -11,9 +12,17 @@ WorkloadStats WorkloadStats::From(const Workload& w) {
   WorkloadStats s;
   s.n = w.domain_size();
   s.p = w.num_queries();
-  s.gram = w.Gram();
+  // Gate before materializing: huge structured domains only expose the Gram
+  // operator (GramMatVec); their stats carry the per-factor Grams instead.
+  if (w.HasDenseGram()) s.gram = w.Gram();
   s.frob_sq = w.FrobeniusNormSq();
   s.name = w.Name();
+  if (const auto* kron = dynamic_cast<const KroneckerWorkload*>(&w)) {
+    s.factors.reserve(static_cast<std::size_t>(kron->num_factors()));
+    for (int i = 0; i < kron->num_factors(); ++i) {
+      s.factors.push_back(WorkloadStats::From(kron->factor(i)));
+    }
+  }
   return s;
 }
 
@@ -56,20 +65,20 @@ FactorizationAnalysis::FactorizationAnalysis(Matrix q, const WorkloadStats& work
   // P = B Q (n x n); psi_u = [Pᵀ G P]_uu.
   const Matrix p = Multiply(b_, q_);
   const Matrix gp = Multiply(workload_.gram, p);
-  Vector psi(workload_.n, 0.0);
+  psi_.assign(workload_.n, 0.0);
   for (int i = 0; i < workload_.n; ++i) {
     const double* prow = p.RowPtr(i);
     const double* gprow = gp.RowPtr(i);
-    for (int u = 0; u < workload_.n; ++u) psi[u] += prow[u] * gprow[u];
+    for (int u = 0; u < workload_.n; ++u) psi_[u] += prow[u] * gprow[u];
   }
 
   // phi_u = sum_o q_ou c_o - psi_u.
-  const Vector t = MultiplyTVec(q_, c);
+  t_ = MultiplyTVec(q_, c);
   phi_.resize(workload_.n);
   for (int u = 0; u < workload_.n; ++u) {
     // Guard round-off: variance contributions are non-negative by
     // construction (covariance of a multinomial is PSD).
-    phi_[u] = std::max(0.0, t[u] - psi[u]);
+    phi_[u] = std::max(0.0, t_[u] - psi_[u]);
   }
 
   // Factorization residual ||G(BQ) - G||_max / ||G||_max. Since null(G) =

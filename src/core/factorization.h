@@ -19,6 +19,7 @@
 #define WFM_CORE_FACTORIZATION_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "linalg/matrix.h"
 #include "workload/workload.h"
@@ -29,9 +30,17 @@ namespace wfm {
 struct WorkloadStats {
   int n = 0;               ///< Domain size.
   std::int64_t p = 0;      ///< Number of queries.
-  Matrix gram;             ///< G = WᵀW.
+  /// G = WᵀW. Empty when the workload declines dense materialization
+  /// (HasDenseGram() false — huge Kronecker domains); factored consumers
+  /// work from `factors` instead and dense-only consumers must check.
+  Matrix gram;
   double frob_sq = 0.0;    ///< ||W||_F².
   std::string name;
+  /// Per-factor stats when the workload is Kronecker-structured (in factor
+  /// order, factor 0 most significant); empty for flat workloads.
+  std::vector<WorkloadStats> factors;
+
+  bool factored() const { return !factors.empty(); }
 
   static WorkloadStats From(const Workload& w);
 };
@@ -53,6 +62,15 @@ class FactorizationAnalysis {
   /// Per-user variance contribution phi_u for one user of type u
   /// (Theorem 3.4 with x = e_u).
   const Vector& PerUserVariance() const { return phi_; }
+
+  /// The two terms of phi_u = t_u − psi_u, exposed separately because they
+  /// (not phi itself) are what multiplies across Kronecker factors:
+  /// for Q = ⊗ Q_i, t_u = Π t_i[u_i] and psi_u = Π psi_i[u_i], so
+  /// phi_u = Π t_i[u_i] − Π psi_i[u_i]  (core/factored.h combines them).
+  /// t_u = Σ_o q_ou c_o is the second-moment term; psi_u = ||V q_u||² the
+  /// squared-mean term.
+  const Vector& PerUserSecondMoment() const { return t_; }
+  const Vector& PerUserMeanEnergy() const { return psi_; }
 
   /// Exact total variance on a data vector (Theorem 3.4).
   double DataVariance(const Vector& x) const;
@@ -92,6 +110,8 @@ class FactorizationAnalysis {
   WorkloadStats workload_;
   Matrix b_;          // n x m.
   Vector phi_;        // Per-user unit variance.
+  Vector t_;          // Second-moment term of phi.
+  Vector psi_;        // Squared-mean term of phi.
   double objective_ = 0.0;
   double residual_ = 0.0;
 };

@@ -1,7 +1,10 @@
 #include "estimation/decoder.h"
 
+#include <limits>
 #include <string>
+#include <utility>
 
+#include "linalg/kron.h"
 #include "linalg/symmetric_eigen.h"
 
 namespace wfm {
@@ -26,19 +29,46 @@ ReportDecoder::ReportDecoder(AffineDebias debias, WorkloadStats stats)
       << "q =" << affine_.q;
 }
 
+ReportDecoder::ReportDecoder(std::vector<Matrix> b_factors, WorkloadStats stats)
+    : b_factors_(std::move(b_factors)),
+      stats_(std::move(stats)),
+      factored_mode_(true) {
+  WFM_CHECK(stats_.factored())
+      << "factored decoder needs Kronecker-structured workload stats";
+  WFM_CHECK_EQ(b_factors_.size(), stats_.factors.size())
+      << "decode factor count mismatch";
+  std::int64_t m = 1;
+  std::int64_t n = 1;
+  for (std::size_t i = 0; i < b_factors_.size(); ++i) {
+    WFM_CHECK_EQ(b_factors_[i].rows(), stats_.factors[i].n)
+        << "decode factor" << i << "domain mismatch";
+    WFM_CHECK_GT(b_factors_[i].cols(), 0);
+    m = CheckedMulNonNegative(m, b_factors_[i].cols());
+    n = CheckedMulNonNegative(n, b_factors_[i].rows());
+  }
+  WFM_CHECK_EQ(n, stats_.n);
+  WFM_CHECK_LE(m, std::numeric_limits<int>::max())
+      << "composed output alphabet exceeds int";
+  m_ = static_cast<int>(m);
+}
+
 ReportDecoder::ReportDecoder(const ReportDecoder& other)
     : b_(other.b_),
+      b_factors_(other.b_factors_),
       stats_(other.stats_),
       m_(other.m_),
       affine_mode_(other.affine_mode_),
+      factored_mode_(other.factored_mode_),
       affine_(other.affine_),
       gram_lipschitz_(other.gram_lipschitz_.load(std::memory_order_relaxed)) {}
 
 ReportDecoder& ReportDecoder::operator=(const ReportDecoder& other) {
   b_ = other.b_;
+  b_factors_ = other.b_factors_;
   stats_ = other.stats_;
   m_ = other.m_;
   affine_mode_ = other.affine_mode_;
+  factored_mode_ = other.factored_mode_;
   affine_ = other.affine_;
   gram_lipschitz_.store(other.gram_lipschitz_.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
@@ -47,17 +77,21 @@ ReportDecoder& ReportDecoder::operator=(const ReportDecoder& other) {
 
 ReportDecoder::ReportDecoder(ReportDecoder&& other) noexcept
     : b_(std::move(other.b_)),
+      b_factors_(std::move(other.b_factors_)),
       stats_(std::move(other.stats_)),
       m_(other.m_),
       affine_mode_(other.affine_mode_),
+      factored_mode_(other.factored_mode_),
       affine_(other.affine_),
       gram_lipschitz_(other.gram_lipschitz_.load(std::memory_order_relaxed)) {}
 
 ReportDecoder& ReportDecoder::operator=(ReportDecoder&& other) noexcept {
   b_ = std::move(other.b_);
+  b_factors_ = std::move(other.b_factors_);
   stats_ = std::move(other.stats_);
   m_ = other.m_;
   affine_mode_ = other.affine_mode_;
+  factored_mode_ = other.factored_mode_;
   affine_ = other.affine_;
   gram_lipschitz_.store(other.gram_lipschitz_.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
@@ -72,7 +106,17 @@ const AffineDebias& ReportDecoder::affine_debias() const {
 double ReportDecoder::GramLipschitz() const {
   double cached = gram_lipschitz_.load(std::memory_order_acquire);
   if (cached >= 0.0) return cached;
-  cached = 2.0 * PowerIterationLargestEigenvalue(stats_.gram);
+  if (factored_mode_) {
+    // λ_max(⊗ G_i) = Π λ_max(G_i): eigenvalues of a Kronecker product are
+    // the products of factor eigenvalues.
+    double lambda = 1.0;
+    for (const WorkloadStats& f : stats_.factors) {
+      lambda *= PowerIterationLargestEigenvalue(f.gram);
+    }
+    cached = 2.0 * lambda;
+  } else {
+    cached = 2.0 * PowerIterationLargestEigenvalue(stats_.gram);
+  }
   gram_lipschitz_.store(cached, std::memory_order_release);
   return cached;
 }
@@ -94,6 +138,12 @@ StatusOr<Vector> ReportDecoder::TryEstimateDataVector(
     return Status::InvalidArgument(
         "aggregate has dimension " + std::to_string(aggregate.size()) +
         ", decoder expects m = " + std::to_string(m_));
+  }
+  if (factored_mode_) {
+    std::vector<const Matrix*> factors;
+    factors.reserve(b_factors_.size());
+    for (const Matrix& b : b_factors_) factors.push_back(&b);
+    return KroneckerMatVec(factors, aggregate);
   }
   if (!affine_mode_) return MultiplyVec(b_, aggregate);
   if (num_reports < 0) {

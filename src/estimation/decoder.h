@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "common/status.h"
 #include "core/factorization.h"
@@ -53,6 +54,12 @@ class ReportDecoder {
   /// callers must use the count-taking EstimateDataVector overload.
   ReportDecoder(AffineDebias debias, WorkloadStats stats);
 
+  /// Factored (Kronecker) decoder: per-factor reconstruction factors B_i
+  /// (n_i x m_i, factor order matching stats.factors), decoding
+  /// x̂ = (⊗ B_i) y mode-wise — no composed n x m matrix exists. `stats`
+  /// must be factored; m is Π m_i.
+  ReportDecoder(std::vector<Matrix> b_factors, WorkloadStats stats);
+
   // Copies and moves carry the cached Lipschitz constant along (the atomic
   // member deletes the defaults).
   ReportDecoder(const ReportDecoder& other);
@@ -66,8 +73,12 @@ class ReportDecoder {
 
   int n() const { return stats_.n; }
   int m() const { return m_; }
-  /// Linear decode factor; empty for affine decoders.
+  /// Linear decode factor; empty for affine and factored decoders.
   const Matrix& b() const { return b_; }
+  /// True when the decode factor is held in Kronecker form.
+  bool factored() const { return factored_mode_; }
+  /// Per-factor decode factors; empty unless factored().
+  const std::vector<Matrix>& b_factors() const { return b_factors_; }
   const WorkloadStats& workload_stats() const { return stats_; }
 
   /// True when this decoder debiases affinely and therefore needs the report
@@ -97,14 +108,18 @@ class ReportDecoder {
   /// 2·λ_max(G): the Lipschitz constant of the WNNLS gradient for this
   /// deployment's workload. Computed by power iteration on first use and
   /// cached, so repeated consistent decodes (one per served estimate) pay
-  /// for it once. Thread-safe; a racing first call recomputes the same value.
+  /// for it once. For factored decoders λ_max(⊗ G_i) = Π λ_max(G_i), so the
+  /// power iteration runs per factor. Thread-safe; a racing first call
+  /// recomputes the same value.
   double GramLipschitz() const;
 
  private:
-  Matrix b_;  ///< Empty in affine mode.
+  Matrix b_;  ///< Empty in affine and factored modes.
+  std::vector<Matrix> b_factors_;  ///< Non-empty only in factored mode.
   WorkloadStats stats_;
   int m_ = 0;
   bool affine_mode_ = false;
+  bool factored_mode_ = false;
   AffineDebias affine_;
   /// Negative means "not computed yet".
   mutable std::atomic<double> gram_lipschitz_{-1.0};

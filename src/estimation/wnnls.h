@@ -18,6 +18,7 @@
 #define WFM_ESTIMATION_WNNLS_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "core/factorization.h"
 #include "estimation/decoder.h"
@@ -48,6 +49,19 @@ struct WnnlsResult {
 WnnlsResult SolveWnnlsFromGram(const Matrix& gram, const Vector& rhs,
                                const WnnlsOptions& options = {},
                                const Vector* warm_start = nullptr);
+
+/// y = G x as a callable: out receives G x (resized by the callee). Lets the
+/// solver run against Gram matrices that exist only as operators — the
+/// Kronecker vec-trick on structured domains.
+using GramOperator = std::function<void(const Vector& x, Vector& out)>;
+
+/// Operator form of the same solve over an n-dimensional domain. The
+/// Lipschitz constant cannot be estimated from an operator cheaply, so
+/// options.lipschitz must be positive (ReportDecoder::GramLipschitz supplies
+/// it for factored deployments).
+WnnlsResult SolveWnnls(const GramOperator& gram_op, std::int64_t n,
+                       const Vector& rhs, const WnnlsOptions& options,
+                       const Vector* warm_start = nullptr);
 
 /// Convenience: consistent data-vector estimate from a report aggregate,
 /// r = G x_hat with x_hat the decoder's unbiased estimate, warm-started at

@@ -1,10 +1,57 @@
 #include "ldp/reporter.h"
 
+#include <limits>
+
+#include "linalg/kron.h"
+
 namespace wfm {
 
 Report StrategyReporter::Respond(int user_type, Rng& rng) const {
   Report report;
   report.index = randomizer_.Respond(user_type, rng);
+  return report;
+}
+
+FactoredStrategyReporter::FactoredStrategyReporter(
+    const std::vector<Matrix>& factors) {
+  WFM_CHECK(!factors.empty()) << "factored reporter needs at least one factor";
+  std::int64_t n = 1;
+  std::int64_t m = 1;
+  randomizers_.reserve(factors.size());
+  for (const Matrix& q : factors) {
+    randomizers_.emplace_back(q);
+    n = CheckedMulNonNegative(n, q.cols());
+    m = CheckedMulNonNegative(m, q.rows());
+  }
+  WFM_CHECK_LE(n, std::numeric_limits<int>::max());
+  WFM_CHECK_LE(m, std::numeric_limits<int>::max())
+      << "composed output alphabet exceeds int";
+  n_ = static_cast<int>(n);
+  m_ = static_cast<int>(m);
+}
+
+Report FactoredStrategyReporter::Respond(int user_type, Rng& rng) const {
+  WFM_CHECK(user_type >= 0 && user_type < n_)
+      << "user type out of range:" << user_type << "for n =" << n_;
+  const int k = num_factors();
+  // Mixed-radix decompose (factor 0 most significant): peel from the least
+  // significant end.
+  std::vector<int> types(k);
+  int rest = user_type;
+  for (int i = k - 1; i >= 0; --i) {
+    const int ni = randomizers_[i].num_types();
+    types[i] = rest % ni;
+    rest /= ni;
+  }
+  // Sample factors in index order (deterministic RNG consumption), then
+  // flatten the factor outputs with the same convention.
+  int out = 0;
+  for (int i = 0; i < k; ++i) {
+    const int oi = randomizers_[i].Respond(types[i], rng);
+    out = out * randomizers_[i].num_outputs() + oi;
+  }
+  Report report;
+  report.index = out;
   return report;
 }
 

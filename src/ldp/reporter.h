@@ -90,6 +90,33 @@ class StrategyReporter final : public Reporter {
   LocalRandomizer randomizer_;
 };
 
+/// Categorical reporter for a Kronecker-factored strategy Q = ⊗ Q_i: the
+/// columns of ⊗ Q_i are the ⊗ of factor columns, so sampling the composed
+/// channel is sampling each factor independently. The user type decomposes
+/// mixed-radix into per-factor types (factor 0 most significant, matching
+/// linalg/kron.h) and the output index is the same flattening of the factor
+/// outputs — a composed report costs k small alias-table draws, never
+/// touching the Π m_i x Π n_i product.
+class FactoredStrategyReporter final : public Reporter {
+ public:
+  /// `factors` are the per-factor strategies Q_i; the composed output
+  /// alphabet Π m_i must fit an int.
+  explicit FactoredStrategyReporter(const std::vector<Matrix>& factors);
+
+  int num_outputs() const override { return m_; }
+  int num_types() const override { return n_; }
+  bool dense_reports() const override { return false; }
+  Report Respond(int user_type, Rng& rng) const override;
+
+  int num_factors() const { return static_cast<int>(randomizers_.size()); }
+  const LocalRandomizer& randomizer(int i) const { return randomizers_[i]; }
+
+ private:
+  std::vector<LocalRandomizer> randomizers_;
+  int n_ = 1;
+  int m_ = 1;
+};
+
 /// Client half of unary-encoding frequency oracles (RAPPOR, OUE): one-hot
 /// encode the type into n bits, then report each bit independently as 1 with
 /// probability p if the true bit is 1 and q if it is 0 (one Bernoulli draw

@@ -1,0 +1,52 @@
+// A mechanism carried in Kronecker form end to end: the strategy, the
+// reporter, and the decoder all stay per-factor, so a structured domain of
+// n = Π n_i deploys with memory and compute proportional to the factor
+// sizes. Each factor Q_i is ε_i-LDP and the composed channel samples the
+// factors independently, so the deployment is (Σ ε_i)-LDP — the product
+// analogue of Proposition 2.6.
+
+#ifndef WFM_MECHANISMS_FACTORED_H_
+#define WFM_MECHANISMS_FACTORED_H_
+
+#include <string>
+#include <utility>
+
+#include "core/factored.h"
+#include "mechanisms/mechanism.h"
+
+namespace wfm {
+
+class FactoredStrategyMechanism final : public Mechanism {
+ public:
+  /// `strategy` holds the per-factor matrices and their budget shares; `eps`
+  /// is the total budget and must be >= Σ ε_i (validated per factor at
+  /// construction). `n` is the composed domain Π n_i.
+  FactoredStrategyMechanism(FactoredStrategy strategy, int n, double eps,
+                            std::string name = "Optimized");
+
+  std::string Name() const override { return name_; }
+  int domain_size() const override { return n_; }
+  double epsilon() const override { return eps_; }
+  const FactoredStrategy& strategy() const { return strategy_; }
+
+  /// Error analysis / deployment against Kronecker-structured stats whose
+  /// factor domains match the strategy's. Analysis runs per factor and
+  /// combines by the product laws (core/factored.h); the only composed-size
+  /// object ever built is the O(n) phi vector of the error profile.
+  ErrorProfile Analyze(const WorkloadStats& workload) const override;
+  StatusOr<ErrorProfile> TryAnalyze(const WorkloadStats& workload) const override;
+  StatusOr<Deployment> Deploy(const WorkloadStats& workload) const override;
+
+ private:
+  StatusOr<FactoredAnalysis> TryAnalyzeFactored(
+      const WorkloadStats& workload) const;
+
+  FactoredStrategy strategy_;
+  int n_;
+  double eps_;
+  std::string name_;
+};
+
+}  // namespace wfm
+
+#endif  // WFM_MECHANISMS_FACTORED_H_

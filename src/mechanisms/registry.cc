@@ -3,6 +3,8 @@
 #include <limits>
 #include <utility>
 
+#include "core/factored.h"
+#include "mechanisms/factored.h"
 #include "mechanisms/fourier.h"
 #include "mechanisms/hadamard_response.h"
 #include "mechanisms/hierarchical.h"
@@ -27,13 +29,30 @@ Status ValidateShape(const WorkloadStats& workload, double eps) {
   return Status::Ok();
 }
 
+/// Structured domains past the dense ceiling carry no n x n Gram, and the
+/// dense baselines would allocate O(n²) just to construct. They must bow out
+/// with a Status *before* construction so AutoSelect can skip them.
+Status RequireDenseDomain(const WorkloadStats& workload,
+                          const std::string& name) {
+  if (workload.factored() && workload.gram.empty()) {
+    return Status::FailedPrecondition(
+        name + " is a dense-domain mechanism; structured workload '" +
+        workload.name + "' (n = " + std::to_string(workload.n) +
+        ") only supports the factored \"Optimized\" path");
+  }
+  return Status::Ok();
+}
+
 /// Adapts a (n, eps) baseline constructor into a MechanismFactory.
 template <typename MechanismT, typename... Extra>
-MechanismFactory BaselineFactory(Extra... extra) {
-  return [extra...](const WorkloadStats& workload, double eps,
-                    const MechanismOptions&)
+MechanismFactory BaselineFactory(std::string display_name, Extra... extra) {
+  return [display_name, extra...](const WorkloadStats& workload, double eps,
+                                  const MechanismOptions&)
              -> StatusOr<std::unique_ptr<Mechanism>> {
     if (Status s = ValidateShape(workload, eps); !s.ok()) return s;
+    if (Status s = RequireDenseDomain(workload, display_name); !s.ok()) {
+      return s;
+    }
     return std::unique_ptr<Mechanism>(
         std::make_unique<MechanismT>(workload.n, eps, extra...));
   };
@@ -46,15 +65,22 @@ void RegisterBuiltins(MechanismRegistry& registry) {
     WFM_CHECK(s.ok()) << s.ToString();
   };
 
-  must_register("Randomized Response",
-                BaselineFactory<RandomizedResponseMechanism>());
-  must_register("Hadamard", BaselineFactory<HadamardResponseMechanism>());
-  must_register("Hierarchical", BaselineFactory<HierarchicalMechanism>());
+  must_register(
+      "Randomized Response",
+      BaselineFactory<RandomizedResponseMechanism>("Randomized Response"));
+  must_register("Hadamard",
+                BaselineFactory<HadamardResponseMechanism>("Hadamard"));
+  must_register("Hierarchical",
+                BaselineFactory<HierarchicalMechanism>("Hierarchical"));
   must_register("Fourier",
                 [](const WorkloadStats& workload, double eps,
                    const MechanismOptions&)
                     -> StatusOr<std::unique_ptr<Mechanism>> {
                   if (Status s = ValidateShape(workload, eps); !s.ok()) return s;
+                  if (Status s = RequireDenseDomain(workload, "Fourier");
+                      !s.ok()) {
+                    return s;
+                  }
                   const int n = workload.n;
                   if ((n & (n - 1)) != 0) {
                     return Status::InvalidArgument(
@@ -66,9 +92,11 @@ void RegisterBuiltins(MechanismRegistry& registry) {
                 });
   must_register("Matrix Mechanism (L1)",
                 BaselineFactory<MatrixMechanism>(
+                    "Matrix Mechanism (L1)",
                     MatrixMechanism::NoiseType::kLaplaceL1));
   must_register("Matrix Mechanism (L2)",
                 BaselineFactory<MatrixMechanism>(
+                    "Matrix Mechanism (L2)",
                     MatrixMechanism::NoiseType::kGaussianL2));
   must_register(
       "Optimized",
@@ -76,6 +104,22 @@ void RegisterBuiltins(MechanismRegistry& registry) {
          const MechanismOptions& options)
           -> StatusOr<std::unique_ptr<Mechanism>> {
         if (Status s = ValidateShape(workload, eps); !s.ok()) return s;
+        if (workload.factored() && workload.gram.empty()) {
+          // Structured domain past the dense ceiling: run Algorithm 2 per
+          // factor and keep the strategy in Kronecker form end to end.
+          FactoredOptimizerConfig config;
+          config.factor_config = options.optimizer;
+          // Composed-domain seeds and per-type weights do not decompose
+          // across factors; the per-factor PGD runs start from scratch.
+          config.factor_config.seed_strategies.clear();
+          config.factor_config.population.clear();
+          config.split_grid = options.factored_split_grid;
+          FactoredOptimizerResult result =
+              OptimizeFactoredStrategy(workload, eps, config);
+          return std::unique_ptr<Mechanism>(
+              std::make_unique<FactoredStrategyMechanism>(
+                  std::move(result.strategy), workload.n, eps));
+        }
         if (workload.gram.rows() != workload.n ||
             workload.gram.cols() != workload.n) {
           return Status::FailedPrecondition(
@@ -88,8 +132,8 @@ void RegisterBuiltins(MechanismRegistry& registry) {
   // Unary-encoding frequency oracles: n-bit-vector reports, affine debias
   // decode. Registered after the Figure 1 field so the legend-order prefix
   // of ListMechanisms() stays stable.
-  must_register("RAPPOR", BaselineFactory<RapporMechanism>());
-  must_register("OUE", BaselineFactory<OueMechanism>());
+  must_register("RAPPOR", BaselineFactory<RapporMechanism>("RAPPOR"));
+  must_register("OUE", BaselineFactory<OueMechanism>("OUE"));
 }
 
 }  // namespace

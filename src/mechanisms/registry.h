@@ -32,8 +32,13 @@ namespace wfm {
 
 /// Per-construction knobs a factory may consult.
 struct MechanismOptions {
-  /// Consumed by "Optimized" (Algorithm 2 budget, seed, restarts).
+  /// Consumed by "Optimized" (Algorithm 2 budget, seed, restarts). On
+  /// Kronecker-structured domains past the dense ceiling the same config
+  /// drives the per-factor PGD runs (core/factored.h).
   OptimizerConfig optimizer;
+  /// Resolution of the ε split across factors for the factored "Optimized"
+  /// path (FactoredOptimizerConfig::split_grid).
+  int factored_split_grid = 8;
 };
 
 /// Builds a mechanism instance for the given workload and privacy budget.

@@ -1,0 +1,167 @@
+#include "workload/kronecker.h"
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "linalg/kron.h"
+
+namespace wfm {
+
+KroneckerWorkload::KroneckerWorkload(
+    std::vector<std::unique_ptr<Workload>> factors)
+    : factors_(std::move(factors)) {
+  WFM_CHECK_GE(factors_.size(), 2u)
+      << "KroneckerWorkload needs at least two factors";
+  std::int64_t n = 1;
+  for (const auto& f : factors_) {
+    WFM_CHECK(f != nullptr);
+    WFM_CHECK_GT(f->domain_size(), 0);
+    WFM_CHECK(f->HasDenseGram())
+        << "Kronecker factor" << f->Name()
+        << "must expose a dense Gram (factors are the small dimension)";
+    factor_sizes_.push_back(f->domain_size());
+    factor_grams_.push_back(f->Gram());
+    n = CheckedMulNonNegative(n, f->domain_size());
+    num_queries_ = CheckedMulNonNegative(num_queries_, f->num_queries());
+  }
+  WFM_CHECK_LE(n, std::numeric_limits<int>::max())
+      << "composed Kronecker domain exceeds int";
+  n_ = static_cast<int>(n);
+}
+
+std::string KroneckerWorkload::Name() const {
+  std::string name;
+  for (std::size_t i = 0; i < factors_.size(); ++i) {
+    if (i > 0) name += 'x';
+    name += factors_[i]->Name();
+    name += '(';
+    name += std::to_string(factor_sizes_[i]);
+    name += ')';
+  }
+  return name;
+}
+
+Matrix KroneckerWorkload::Gram() const {
+  WFM_CHECK(HasDenseGram())
+      << Name() << "Gram is not dense-materializable at n =" << n_
+      << "; use GramMatVec";
+  std::vector<const Matrix*> grams;
+  grams.reserve(factor_grams_.size());
+  for (const Matrix& g : factor_grams_) grams.push_back(&g);
+  return KroneckerProductAll(grams);
+}
+
+double KroneckerWorkload::FrobeniusNormSq() const {
+  // ‖A ⊗ B‖_F² = ‖A‖_F² ‖B‖_F².
+  double frob = 1.0;
+  for (const auto& f : factors_) frob *= f->FrobeniusNormSq();
+  return frob;
+}
+
+Vector KroneckerWorkload::GramMatVec(const Vector& x) const {
+  WFM_CHECK_EQ(static_cast<std::int64_t>(x.size()), n_);
+  std::vector<const Matrix*> grams;
+  grams.reserve(factor_grams_.size());
+  for (const Matrix& g : factor_grams_) grams.push_back(&g);
+  return KroneckerMatVec(grams, x);
+}
+
+bool KroneckerWorkload::HasExplicitMatrix() const {
+  for (const auto& f : factors_) {
+    if (!f->HasExplicitMatrix()) return false;
+  }
+  // Same p·n budget KWayMarginals uses for its dense gate.
+  return num_queries_ <= (std::int64_t{1} << 24) / n_;
+}
+
+Matrix KroneckerWorkload::ExplicitMatrix() const {
+  WFM_CHECK(HasExplicitMatrix())
+      << Name() << "explicit matrix too large at n =" << n_;
+  std::vector<Matrix> mats;
+  mats.reserve(factors_.size());
+  for (const auto& f : factors_) mats.push_back(f->ExplicitMatrix());
+  std::vector<const Matrix*> ptrs;
+  ptrs.reserve(mats.size());
+  for (const Matrix& m : mats) ptrs.push_back(&m);
+  return KroneckerProductAll(ptrs);
+}
+
+Vector KroneckerWorkload::Apply(const Vector& x) const {
+  WFM_CHECK_EQ(static_cast<std::int64_t>(x.size()), n_);
+  // Contract one mode at a time, handing each length-n_i fiber to the
+  // factor's own (matrix-free) Apply. After contracting factor i the buffer
+  // has shape (Π_{j<=i} p_j) x (Π_{j>i} n_j).
+  const std::size_t k = factors_.size();
+  Vector cur(x);
+  Vector next;
+  Vector fiber;
+  std::int64_t left = 1;
+  std::int64_t right = 1;
+  for (std::size_t j = 1; j < k; ++j) {
+    right = CheckedMulNonNegative(right, factor_sizes_[j]);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const Workload& f = *factors_[i];
+    const std::int64_t ni = factor_sizes_[i];
+    const std::int64_t pi = f.num_queries();
+    const std::int64_t out_size =
+        CheckedMulNonNegative(CheckedMulNonNegative(left, pi), right);
+    next.assign(static_cast<std::size_t>(out_size), 0.0);
+    fiber.assign(static_cast<std::size_t>(ni), 0.0);
+    for (std::int64_t l = 0; l < left; ++l) {
+      for (std::int64_t r = 0; r < right; ++r) {
+        const double* src = cur.data() + l * ni * right + r;
+        for (std::int64_t c = 0; c < ni; ++c) fiber[c] = src[c * right];
+        const Vector res = f.Apply(fiber);
+        WFM_CHECK_EQ(static_cast<std::int64_t>(res.size()), pi);
+        double* dst = next.data() + l * pi * right + r;
+        for (std::int64_t o = 0; o < pi; ++o) dst[o * right] = res[o];
+      }
+    }
+    std::swap(cur, next);
+    left = CheckedMulNonNegative(left, pi);
+    if (i + 1 < k) right /= factor_sizes_[i + 1];
+  }
+  return cur;
+}
+
+std::unique_ptr<Workload> ParseWorkload(const std::string& spec) {
+  std::vector<std::unique_ptr<Workload>> factors;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t open = spec.find('(', pos);
+    WFM_CHECK(open != std::string::npos && open > pos)
+        << "malformed workload spec" << spec << "(expected Name(n) at offset"
+        << pos << ")";
+    const std::size_t close = spec.find(')', open);
+    WFM_CHECK(close != std::string::npos)
+        << "malformed workload spec" << spec << "(unclosed parenthesis)";
+    const std::string name = spec.substr(pos, open - pos);
+    const std::string digits = spec.substr(open + 1, close - open - 1);
+    WFM_CHECK(!digits.empty())
+        << "malformed workload spec" << spec << "(empty domain size)";
+    std::int64_t n = 0;
+    for (const char c : digits) {
+      WFM_CHECK(c >= '0' && c <= '9')
+          << "malformed domain size" << digits << "in workload spec" << spec;
+      n = n * 10 + (c - '0');
+      WFM_CHECK_LE(n, std::numeric_limits<int>::max())
+          << "domain size overflows int in workload spec" << spec;
+    }
+    WFM_CHECK_GT(n, 0) << "domain size must be positive in" << spec;
+    factors.push_back(CreateWorkload(name, static_cast<int>(n)));
+    pos = close + 1;
+    if (pos < spec.size()) {
+      WFM_CHECK_EQ(spec[pos], 'x')
+          << "expected 'x' between factors in workload spec" << spec;
+      ++pos;
+      WFM_CHECK_LT(pos, spec.size()) << "trailing 'x' in workload spec" << spec;
+    }
+  }
+  WFM_CHECK(!factors.empty()) << "empty workload spec";
+  if (factors.size() == 1) return std::move(factors[0]);
+  return std::make_unique<KroneckerWorkload>(std::move(factors));
+}
+
+}  // namespace wfm

@@ -2,6 +2,8 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "linalg/hadamard.h"
 
@@ -20,18 +22,42 @@ int Agreement(int u, int v, int k) {
 
 /// Emits the rows of the marginal on attribute subset `s` into `w` starting
 /// at `row`: one row per assignment t of the attributes in s, selecting all u
-/// with u & s == t. Returns the next free row.
-int EmitMarginalRows(int s, int n, Matrix& w, int row) {
+/// with u & s == t. Returns the next free row. The counter is int64 so it
+/// never truncates num_queries(); narrowing to Matrix's int row index is
+/// safe because the callers' HasExplicitMatrix gates bound the row count.
+std::int64_t EmitMarginalRows(int s, int n, Matrix& w, std::int64_t row) {
   // Enumerate the sub-cube of assignments t over the bits of s.
   int t = 0;
   do {
     for (int u = 0; u < n; ++u) {
-      if ((u & s) == t) w(row, u) = 1.0;
+      if ((u & s) == t) w(static_cast<int>(row), u) = 1.0;
     }
     ++row;
     t = (t - s) & s;  // Next subset of the bitmask s.
   } while (t != 0);
   return row;
+}
+
+/// Appends the answers of the marginal on subset mask `s`, in the same row
+/// order EmitMarginalRows produces, from the global character sums
+/// x̂_r = Σ_u (−1)^{popcount(r & u)} x_u. Since 1{u & s == t} =
+/// 2^{−|s|} Σ_{r⊆s} (−1)^{popcount(r & t)}(−1)^{popcount(r & u)}, the 2^|s|
+/// answers are the normalized Walsh-Hadamard transform of the x̂_r gathered
+/// over r ⊆ s (the subset walk visits r in increasing order, which is
+/// exactly the compressed sub-cube order the transform expects).
+void AppendMarginalFromCharacterSums(const Vector& transformed, int s,
+                                     Vector& out) {
+  const int j = std::popcount(static_cast<unsigned>(s));
+  Vector sub;
+  sub.reserve(std::size_t{1} << j);
+  int r = 0;
+  do {
+    sub.push_back(transformed[r]);
+    r = (r - s) & s;
+  } while (r != 0);
+  FastWalshHadamardTransform(sub);
+  const double scale = std::ldexp(1.0, -j);
+  for (const double a : sub) out.push_back(a * scale);
 }
 
 }  // namespace
@@ -75,28 +101,27 @@ double AllMarginalsWorkload::FrobeniusNormSq() const {
 }
 
 Matrix AllMarginalsWorkload::ExplicitMatrix() const {
-  WFM_CHECK(HasExplicitMatrix());
-  Matrix w(static_cast<int>(num_queries()), n_);
-  int row = 0;
+  WFM_CHECK(HasExplicitMatrix())
+      << "AllMarginals explicit matrix too large for n =" << n_;
+  const std::int64_t p = num_queries();
+  WFM_CHECK_LE(p, std::numeric_limits<int>::max());
+  Matrix w(static_cast<int>(p), n_);
+  std::int64_t row = 0;
   for (int s = 0; s < n_; ++s) row = EmitMarginalRows(s, n_, w, row);
-  WFM_CHECK_EQ(row, static_cast<int>(num_queries()));
+  WFM_CHECK_EQ(row, p);
   return w;
 }
 
 Vector AllMarginalsWorkload::Apply(const Vector& x) const {
   WFM_CHECK_EQ(static_cast<int>(x.size()), n_);
+  // One FWHT (O(n log n)) then a per-subset inverse transform: O(k·3^k)
+  // total instead of the O(3^k·n) masked scans, and no explicit matrix.
+  Vector transformed(x);
+  FastWalshHadamardTransform(transformed);
   Vector out;
   out.reserve(static_cast<std::size_t>(num_queries()));
   for (int s = 0; s < n_; ++s) {
-    int t = 0;
-    do {
-      double acc = 0.0;
-      for (int u = 0; u < n_; ++u) {
-        if ((u & s) == t) acc += x[u];
-      }
-      out.push_back(acc);
-      t = (t - s) & s;
-    } while (t != 0);
+    AppendMarginalFromCharacterSums(transformed, s, out);
   }
   return out;
 }
@@ -139,32 +164,29 @@ bool KWayMarginalsWorkload::HasExplicitMatrix() const {
 }
 
 Matrix KWayMarginalsWorkload::ExplicitMatrix() const {
-  WFM_CHECK(HasExplicitMatrix());
-  Matrix w(static_cast<int>(num_queries()), n_);
-  int row = 0;
+  WFM_CHECK(HasExplicitMatrix())
+      << "KWayMarginals explicit matrix too large for n =" << n_;
+  const std::int64_t p = num_queries();
+  WFM_CHECK_LE(p, std::numeric_limits<int>::max());
+  Matrix w(static_cast<int>(p), n_);
+  std::int64_t row = 0;
   for (int s = 0; s < n_; ++s) {
     if (std::popcount(static_cast<unsigned>(s)) != way_) continue;
     row = EmitMarginalRows(s, n_, w, row);
   }
-  WFM_CHECK_EQ(row, static_cast<int>(num_queries()));
+  WFM_CHECK_EQ(row, p);
   return w;
 }
 
 Vector KWayMarginalsWorkload::Apply(const Vector& x) const {
   WFM_CHECK_EQ(static_cast<int>(x.size()), n_);
+  Vector transformed(x);
+  FastWalshHadamardTransform(transformed);
   Vector out;
   out.reserve(static_cast<std::size_t>(num_queries()));
   for (int s = 0; s < n_; ++s) {
     if (std::popcount(static_cast<unsigned>(s)) != way_) continue;
-    int t = 0;
-    do {
-      double acc = 0.0;
-      for (int u = 0; u < n_; ++u) {
-        if ((u & s) == t) acc += x[u];
-      }
-      out.push_back(acc);
-      t = (t - s) & s;
-    } while (t != 0);
+    AppendMarginalFromCharacterSums(transformed, s, out);
   }
   return out;
 }

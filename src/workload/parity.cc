@@ -1,6 +1,8 @@
 #include "workload/parity.h"
 
 #include <bit>
+#include <cstdint>
+#include <limits>
 
 #include "linalg/hadamard.h"
 #include "workload/marginals.h"
@@ -74,18 +76,21 @@ double ParityWorkload::FrobeniusNormSq() const {
 }
 
 Matrix ParityWorkload::ExplicitMatrix() const {
-  WFM_CHECK(HasExplicitMatrix());
-  Matrix w(static_cast<int>(num_queries()), n_);
-  int row = 0;
+  WFM_CHECK(HasExplicitMatrix())
+      << "Parity explicit matrix too large for n =" << n_;
+  const std::int64_t p = num_queries();
+  WFM_CHECK_LE(p, std::numeric_limits<int>::max());
+  Matrix w(static_cast<int>(p), n_);
+  std::int64_t row = 0;
   for (int s = 0; s < n_; ++s) {
     if (std::popcount(static_cast<unsigned>(s)) > max_weight_) continue;
     for (int u = 0; u < n_; ++u) {
-      w(row, u) = HadamardEntry(static_cast<std::uint32_t>(s),
-                                static_cast<std::uint32_t>(u));
+      w(static_cast<int>(row), u) = HadamardEntry(static_cast<std::uint32_t>(s),
+                                                  static_cast<std::uint32_t>(u));
     }
     ++row;
   }
-  WFM_CHECK_EQ(row, static_cast<int>(num_queries()));
+  WFM_CHECK_EQ(row, p);
   return w;
 }
 

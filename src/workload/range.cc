@@ -1,6 +1,8 @@
 #include "workload/range.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 
 namespace wfm {
 
@@ -25,16 +27,20 @@ double AllRangeWorkload::FrobeniusNormSq() const {
 }
 
 Matrix AllRangeWorkload::ExplicitMatrix() const {
+  // Gate before sizing: num_queries() is int64 and only fits the int-dim
+  // Matrix because HasExplicitMatrix() bounds n.
   WFM_CHECK(HasExplicitMatrix()) << "AllRange explicit matrix too large for n =" << n_;
-  Matrix w(static_cast<int>(num_queries()), n_);
-  int row = 0;
+  const std::int64_t p = num_queries();
+  WFM_CHECK_LE(p, std::numeric_limits<int>::max());
+  Matrix w(static_cast<int>(p), n_);
+  std::int64_t row = 0;
   for (int a = 0; a < n_; ++a) {
     for (int b = a; b < n_; ++b) {
-      for (int u = a; u <= b; ++u) w(row, u) = 1.0;
+      for (int u = a; u <= b; ++u) w(static_cast<int>(row), u) = 1.0;
       ++row;
     }
   }
-  WFM_CHECK_EQ(row, static_cast<int>(num_queries()));
+  WFM_CHECK_EQ(row, p);
   return w;
 }
 

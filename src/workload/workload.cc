@@ -14,6 +14,13 @@ Vector Workload::Apply(const Vector& x) const {
   return MultiplyVec(ExplicitMatrix(), x);
 }
 
+Vector Workload::GramMatVec(const Vector& x) const {
+  WFM_CHECK(HasDenseGram())
+      << Name() << "does not support a dense Gram matrix at n =" << domain_size()
+      << "; override GramMatVec for structured evaluation";
+  return MultiplyVec(Gram(), x);
+}
+
 std::vector<std::string> StandardWorkloadNames() {
   return {"Histogram", "Prefix", "AllRange", "AllMarginals", "3WayMarginals",
           "Parity"};

@@ -40,6 +40,16 @@ class Workload {
   /// ||W||_F^2 = tr(G).
   virtual double FrobeniusNormSq() const = 0;
 
+  /// True when Gram() can be materialized as a dense n x n Matrix at this
+  /// size. Structured workloads over huge product domains return false and
+  /// expose the Gram operator only through GramMatVec().
+  virtual bool HasDenseGram() const { return true; }
+
+  /// y = G x = Wᵀ(W x) without materializing G. The default multiplies by
+  /// Gram(); Kronecker workloads override with the (A⊗B)x vec-trick so the
+  /// operator stays O(Σ n_i²) per apply on product domains.
+  virtual Vector GramMatVec(const Vector& x) const;
+
   /// True if ExplicitMatrix() is supported at this size.
   virtual bool HasExplicitMatrix() const { return true; }
 
